@@ -1,0 +1,122 @@
+(* cgcsim — command-line driver for the collector simulator.
+
+   Run a workload under either collector with custom parameters and print
+   the VM report:
+
+     dune exec bin/cgcsim.exe -- run --workload specjbb --collector cgc \
+       --warehouses 8 --heap-mb 64 --ms 4000 --tracing-rate 8
+
+   Or run one of the paper-reproduction experiments:
+
+     dune exec bin/cgcsim.exe -- experiment fig1 *)
+
+open Cmdliner
+
+module Vm = Cgc_runtime.Vm
+module Config = Cgc_core.Config
+
+let run_cmd =
+  let workload =
+    let doc = "Workload: specjbb, pbob or javac." in
+    Arg.(value & opt string "specjbb" & info [ "workload"; "w" ] ~doc)
+  in
+  let collector =
+    let doc = "Collector: cgc (mostly-concurrent) or stw (baseline)." in
+    Arg.(value & opt string "cgc" & info [ "collector"; "c" ] ~doc)
+  in
+  let warehouses =
+    Arg.(value & opt int 8 & info [ "warehouses" ] ~doc:"Warehouse count.")
+  in
+  let heap_mb =
+    Arg.(value & opt float 64.0 & info [ "heap-mb" ] ~doc:"Simulated heap size (MB).")
+  in
+  let ncpus = Arg.(value & opt int 4 & info [ "ncpus" ] ~doc:"Simulated CPUs.") in
+  let ms =
+    Arg.(value & opt float 4000.0 & info [ "ms" ] ~doc:"Simulated milliseconds to run.")
+  in
+  let tracing_rate =
+    Arg.(value & opt float 8.0 & info [ "tracing-rate"; "k0" ] ~doc:"Tracing rate K0.")
+  in
+  let n_background =
+    Arg.(value & opt int 4 & info [ "background" ] ~doc:"Background GC threads.")
+  in
+  let packets =
+    Arg.(value & opt int 1000 & info [ "packets" ] ~doc:"Work packets in the pool.")
+  in
+  let lazy_sweep =
+    Arg.(value & flag & info [ "lazy-sweep" ] ~doc:"Sweep outside the pause (section 7).")
+  in
+  let compaction =
+    Arg.(value & flag & info [ "compaction" ] ~doc:"Evacuate one heap area per cycle (section 2.3).")
+  in
+  let card_passes =
+    Arg.(value & opt int 1 & info [ "card-passes" ] ~doc:"Concurrent card-cleaning passes.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let exec workload collector warehouses heap_mb ncpus ms tracing_rate
+      n_background packets lazy_sweep compaction card_passes seed =
+    let gc =
+      {
+        (if collector = "stw" then Config.stw else Config.default) with
+        Config.k0 = tracing_rate;
+        n_background;
+        n_packets = packets;
+        lazy_sweep;
+        compaction;
+        card_passes;
+      }
+    in
+    let vm =
+      match workload with
+      | "specjbb" ->
+          Cgc_workloads.Specjbb.run ~warehouses ~gc ~heap_mb ~ncpus ~seed ~ms ()
+      | "pbob" ->
+          Cgc_workloads.Pbob.run ~warehouses ~gc ~heap_mb ~ncpus ~seed ~ms ()
+      | "javac" -> Cgc_workloads.Javac.run ~gc ~heap_mb ~ncpus ~seed ~ms ()
+      | w ->
+          Printf.eprintf "unknown workload %s (specjbb|pbob|javac)\n" w;
+          exit 1
+    in
+    Vm.print_report vm
+  in
+  let info =
+    Cmd.info "run" ~doc:"Run a workload under the simulated collector."
+  in
+  Cmd.v info
+    Term.(
+      const exec $ workload $ collector $ warehouses $ heap_mb $ ncpus $ ms
+      $ tracing_rate $ n_background $ packets $ lazy_sweep $ compaction
+      $ card_passes $ seed)
+
+let experiment_cmd =
+  let which =
+    let doc =
+      "Experiment: fig1, fig2, table1, table2, table3, table4, javac, \
+       packetmem."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let exec which =
+    let module E = Cgc_experiments in
+    match which with
+    | "fig1" -> ignore (E.Fig1_specjbb.run ())
+    | "fig2" -> ignore (E.Fig2_pbob.run ())
+    | "table1" | "table2" | "table3" -> ignore (E.Tables123.run ())
+    | "table4" -> ignore (E.Table4_load_balance.run ())
+    | "javac" -> ignore (E.Javac_exp.run ())
+    | "packetmem" -> ignore (E.Packet_memory.run ())
+    | n ->
+        Printf.eprintf "unknown experiment %s\n" n;
+        exit 1
+  in
+  let info = Cmd.info "experiment" ~doc:"Run a paper-reproduction experiment." in
+  Cmd.v info Term.(const exec $ which)
+
+let () =
+  let info =
+    Cmd.info "cgcsim"
+      ~doc:
+        "Simulator of the PLDI 2002 parallel, incremental and mostly \
+         concurrent garbage collector."
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; experiment_cmd ]))

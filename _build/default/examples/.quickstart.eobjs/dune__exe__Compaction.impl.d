@@ -1,0 +1,1 @@
+examples/compaction.ml: Cgc_core Cgc_heap Cgc_runtime Cgc_util Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cgc_runtime Cgc_workloads Printf

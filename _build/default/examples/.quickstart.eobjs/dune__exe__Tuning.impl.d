@@ -1,0 +1,1 @@
+examples/tuning.ml: Cgc_core Cgc_runtime Cgc_util Cgc_workloads List Printf

@@ -1,0 +1,1 @@
+examples/weak_memory.ml: Cgc_heap Cgc_packets Cgc_smp List Option Printf

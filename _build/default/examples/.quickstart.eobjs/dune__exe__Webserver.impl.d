@@ -1,0 +1,1 @@
+examples/webserver.ml: Cgc_core Cgc_runtime Cgc_smp Cgc_util Cgc_workloads Printf

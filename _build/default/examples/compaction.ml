@@ -1,0 +1,87 @@
+(* Incremental compaction in action (section 2.3).
+
+   A fragmentation-heavy workload: each worker keeps a resident set of
+   mixed-size objects and continuously frees the small ones between the
+   big ones, shredding the free list into small chunks.  With compaction
+   on, the collector evacuates one sixteenth of the heap per cycle —
+   tracking pointers into the area during marking and fixing them up
+   inside the pause — so free space re-coalesces.
+
+   Run with:  dune exec examples/compaction.exe *)
+
+module Vm = Cgc_runtime.Vm
+module Mutator = Cgc_runtime.Mutator
+module Config = Cgc_core.Config
+module Collector = Cgc_core.Collector
+module Compact = Cgc_core.Compact
+module Freelist = Cgc_heap.Freelist
+module Heap = Cgc_heap.Heap
+module Stats = Cgc_util.Stats
+module Prng = Cgc_util.Prng
+
+let n_anchors = 200
+
+let worker m =
+  let rng = Mutator.rng m in
+  (* a directory of long-lived "anchor" objects; each transaction replaces
+     one anchor (the new copy lands at a fresh address) and churns small
+     filler objects, so over time the live anchors end up peppered across
+     the whole address space with shredded free space between them *)
+  let dir = Mutator.alloc m ~nrefs:n_anchors ~size:(n_anchors + 1) in
+  Mutator.root_set m 0 dir;
+  for i = 0 to n_anchors - 1 do
+    let a = Mutator.alloc m ~nrefs:0 ~size:24 in
+    Mutator.set_ref m dir i a
+  done;
+  while not (Mutator.stopped m) do
+    let i = Prng.int rng n_anchors in
+    let fresh = Mutator.alloc m ~nrefs:0 ~size:24 in
+    Mutator.set_ref m dir i fresh;
+    for _ = 1 to 8 do
+      let o = Mutator.alloc m ~nrefs:0 ~size:(4 + Prng.int rng 10) in
+      Mutator.root_set m 1 o
+    done;
+    Mutator.root_set m 1 0;
+    Mutator.work m 6_000;
+    Mutator.tx_done m
+  done
+
+(* The metric that matters for fragmentation: the largest contiguous
+   block the allocator could hand out right now. *)
+let largest_block fl =
+  let lo = ref 1 and hi = ref (Freelist.free_slots fl + 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    match Freelist.alloc fl mid with
+    | Some addr ->
+        Freelist.add fl ~addr ~size:mid;
+        lo := mid
+    | None -> hi := mid
+  done;
+  !lo
+
+let run label gc =
+  let vm = Vm.create (Vm.config ~heap_mb:8.0 ~ncpus:4 ~gc ()) in
+  for i = 1 to 16 do
+    Vm.spawn_mutator vm ~name:(Printf.sprintf "w%d" i) worker
+  done;
+  Vm.run vm ~ms:2500.0;
+  let coll = Vm.collector vm in
+  let fl = Heap.freelist (Vm.heap vm) in
+  let st = Vm.gc_stats vm in
+  Printf.printf
+    "%-16s largest allocatable block: %7d slots (of %7d free) | avg pause %5.2f ms | evacuated %7d objs, %7d fixups\n"
+    label (largest_block fl) (Freelist.free_slots fl)
+    (Stats.mean st.Cgc_core.Gstats.pause_ms)
+    (Compact.evacuated_objects (Collector.compactor coll))
+    (Compact.fixups (Collector.compactor coll))
+
+let () =
+  print_endline
+    "Fragmentation workload, 16 workers on an 8 MB heap (2500 simulated ms):\n";
+  run "no compaction" Config.default;
+  run "compaction" { Config.default with Config.compaction = true };
+  print_endline
+    "\nEvacuating one area per cycle keeps the free list coarse (fewer, larger\n\
+     chunks) for a bounded addition to the pause — section 2.3's incremental\n\
+     alternative to stopping the world for a full compaction."

@@ -1,0 +1,42 @@
+(* Quickstart: a small VM with four mutators allocating linked structures
+   while the mostly-concurrent collector runs underneath.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Vm = Cgc_runtime.Vm
+module Mutator = Cgc_runtime.Mutator
+
+let worker m =
+  (* Build a resident list, then churn: allocate short-lived chains and
+     replace the resident list's head every transaction. *)
+  let resident = Cgc_workloads.Objgraph.build_list m ~len:2000 ~node_slots:16 in
+  Mutator.root_set m 0 resident;
+  while not (Mutator.stopped m) do
+    (* transient chain *)
+    let chain = ref 0 in
+    for _ = 1 to 10 do
+      let o = Mutator.alloc m ~nrefs:1 ~size:8 in
+      if !chain <> 0 then Mutator.set_ref m o 0 !chain;
+      chain := o;
+      Mutator.root_set m 1 o
+    done;
+    (* replace the resident head: the old head becomes garbage *)
+    let old_head = Mutator.root_get m 0 in
+    let tail = Mutator.get_ref m old_head 0 in
+    Mutator.root_set m 2 tail;
+    let fresh = Mutator.alloc m ~nrefs:1 ~size:16 in
+    Mutator.set_ref m fresh 0 tail;
+    Mutator.root_set m 0 fresh;
+    Mutator.root_set m 2 0;
+    Mutator.work m 20_000;
+    Mutator.root_set m 1 0;
+    Mutator.tx_done m
+  done
+
+let () =
+  let vm = Vm.create (Vm.config ~heap_mb:16.0 ~ncpus:4 ()) in
+  for i = 1 to 4 do
+    Vm.spawn_mutator vm ~name:(Printf.sprintf "worker-%d" i) worker
+  done;
+  Vm.run vm ~ms:2000.0;
+  Vm.print_report vm

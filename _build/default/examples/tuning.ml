@@ -1,0 +1,54 @@
+(* Tuning the tracing rate (section 3 / table 1 of the paper).
+
+   The tracing rate K0 is the central policy knob of the incremental
+   collector: how many bytes a mutator must trace per byte it allocates.
+   Low rates start collection cycles early and spread the work out —
+   mutators keep more of the processor, but floating garbage accumulates
+   and cards get re-dirtied; high rates start late and finish just as
+   memory runs out — less floating garbage and fewer cards left to the
+   pause, at the price of mutator slowdown while the cycle runs.
+
+   Run with:  dune exec examples/tuning.exe *)
+
+module Vm = Cgc_runtime.Vm
+module Config = Cgc_core.Config
+module Gstats = Cgc_core.Gstats
+module Stats = Cgc_util.Stats
+module Table = Cgc_util.Table
+
+let measure k0 =
+  let gc = { Config.default with Config.k0 } in
+  let vm = Cgc_workloads.Specjbb.setup ~warehouses:8 ~gc ~heap_mb:48.0 () in
+  Vm.run_measured vm ~warmup_ms:1200.0 ~ms:2500.0;
+  vm
+
+let () =
+  Printf.printf
+    "Sweeping the tracing rate K0 on a SPECjbb-like workload (8 warehouses, 48 MB):\n\n";
+  let t =
+    Table.create ~title:""
+      ~header:
+        [ "K0"; "tx/s"; "occupancy"; "avg pause"; "max pause"; "utilization";
+          "GC cycles" ]
+  in
+  List.iter
+    (fun k0 ->
+      let vm = measure k0 in
+      let st = Vm.gc_stats vm in
+      Table.add_row t
+        [ Printf.sprintf "%.0f" k0;
+          Printf.sprintf "%.0f" (Vm.throughput vm);
+          Table.fpct (Stats.mean st.Gstats.occupancy_end);
+          Table.fms (Stats.mean st.Gstats.pause_ms);
+          Table.fms
+            (if Stats.count st.Gstats.pause_ms = 0 then 0.0
+             else Stats.max st.Gstats.pause_ms);
+          Table.fpct (Gstats.utilization st);
+          string_of_int st.Gstats.cycles ])
+    [ 1.0; 4.0; 8.0; 10.0 ];
+  Table.print t;
+  Printf.printf
+    "\nReading the table (compare the paper's Table 1): occupancy above the ~60%%\n\
+     baseline is floating garbage — it shrinks as K0 grows; utilization is the\n\
+     mutators' share of the machine while collection runs — it shrinks too.\n\
+     The paper settles on K0 = 8 as the sweet spot, and so do we.\n"

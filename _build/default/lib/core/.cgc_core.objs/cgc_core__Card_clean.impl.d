@@ -1,0 +1,1 @@
+lib/core/card_clean.ml: Cgc_heap Cgc_smp List Tracer

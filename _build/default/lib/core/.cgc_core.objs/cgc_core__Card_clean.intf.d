@@ -1,0 +1,1 @@
+lib/core/card_clean.mli: Cgc_heap Tracer

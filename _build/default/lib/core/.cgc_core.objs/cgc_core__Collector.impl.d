@@ -1,0 +1,1 @@
+lib/core/collector.ml: Array Card_clean Cgc_heap Cgc_packets Cgc_sim Cgc_smp Cgc_util Compact Config Float Gstats Hashtbl List Mctx Metering Printf Stealing Sweep Sys Tracer

@@ -1,0 +1,1 @@
+lib/core/collector.mli: Card_clean Cgc_heap Cgc_packets Cgc_sim Cgc_smp Compact Config Gstats Mctx Tracer

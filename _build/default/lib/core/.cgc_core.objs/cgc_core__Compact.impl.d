@@ -1,0 +1,1 @@
+lib/core/compact.ml: Array Cgc_heap Cgc_smp Cgc_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/gstats.ml: Cgc_smp Cgc_util

@@ -1,0 +1,1 @@
+lib/core/gstats.mli: Cgc_smp Cgc_util

@@ -1,0 +1,1 @@
+lib/core/mctx.ml: Array Cgc_heap Cgc_sim

@@ -1,0 +1,1 @@
+lib/core/mctx.mli: Cgc_heap Cgc_sim

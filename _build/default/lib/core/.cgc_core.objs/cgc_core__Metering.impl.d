@@ -1,0 +1,1 @@
+lib/core/metering.ml: Cgc_util Config Float

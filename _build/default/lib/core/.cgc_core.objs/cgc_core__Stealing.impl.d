@@ -1,0 +1,1 @@
+lib/core/stealing.ml: Array Cgc_heap Cgc_sim Cgc_smp

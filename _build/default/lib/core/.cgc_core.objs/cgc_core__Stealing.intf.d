@@ -1,0 +1,1 @@
+lib/core/stealing.mli: Cgc_heap

@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Array Cgc_heap Cgc_smp Cgc_util List

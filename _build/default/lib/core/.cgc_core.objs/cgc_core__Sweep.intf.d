@@ -1,0 +1,1 @@
+lib/core/sweep.mli: Cgc_heap

@@ -1,0 +1,1 @@
+lib/core/tracer.ml: Array Cgc_heap Cgc_packets Cgc_smp Compact Config List Printf Sys

@@ -1,0 +1,1 @@
+lib/core/tracer.mli: Cgc_heap Cgc_packets Compact Config

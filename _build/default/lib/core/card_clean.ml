@@ -1,0 +1,78 @@
+module Heap = Cgc_heap.Heap
+module Card_table = Cgc_heap.Card_table
+module Alloc_bits = Cgc_heap.Alloc_bits
+module Machine = Cgc_smp.Machine
+module Cost = Cgc_smp.Cost
+
+type t = {
+  heap : Heap.t;
+  mach : Machine.t;
+  mutable queue : int list;
+  mutable qlen : int;
+  mutable passes : int;
+  mutable conc : int;
+  mutable stw : int;
+  mutable redirty : int;
+}
+
+let create heap =
+  {
+    heap;
+    mach = Heap.machine heap;
+    queue = [];
+    qlen = 0;
+    passes = 0;
+    conc = 0;
+    stw = 0;
+    redirty = 0;
+  }
+
+let reset_cycle t =
+  t.queue <- [];
+  t.qlen <- 0;
+  t.passes <- 0;
+  t.conc <- 0;
+  t.stw <- 0;
+  t.redirty <- 0
+
+let start_pass t ~force_fences =
+  (* Claim the pass before anything that can suspend the thread (the
+     fence-forcing flush is a preemption point): a second thread finding
+     no cleaning work must not start a duplicate pass and clobber the
+     queue. *)
+  t.passes <- t.passes + 1;
+  let cards = Card_table.snapshot (Heap.cards t.heap) in
+  force_fences ();
+  t.queue <- t.queue @ cards;
+  t.qlen <- t.qlen + List.length cards;
+  Machine.flush t.mach
+
+let queue_len t = t.qlen
+let passes_started t = t.passes
+
+let clean_one t tracer session ~stw =
+  match t.queue with
+  | [] -> None
+  | card :: rest ->
+      t.queue <- rest;
+      t.qlen <- t.qlen - 1;
+      Machine.charge t.mach t.mach.Machine.cost.Cost.card_scan;
+      let scanned = ref 0 in
+      let unsafe = ref false in
+      Heap.iter_marked_on_card t.heap card (fun addr ->
+          if Alloc_bits.is_set (Heap.alloc_bits t.heap) addr then
+            scanned := !scanned + Tracer.scan_object tracer session ~retrace:true addr
+          else unsafe := true);
+      if !unsafe then begin
+        (* Cannot rescan an unpublished object; give the card back to a
+           later pass (ultimately the stop-the-world one). *)
+        Card_table.dirty (Heap.cards t.heap) card;
+        t.redirty <- t.redirty + 1
+      end;
+      if stw then t.stw <- t.stw + 1 else t.conc <- t.conc + 1;
+      Machine.flush t.mach;
+      Some !scanned
+
+let conc_cleaned t = t.conc
+let stw_cleaned t = t.stw
+let redirtied t = t.redirty

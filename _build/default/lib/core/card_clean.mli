@@ -1,0 +1,51 @@
+(** Card cleaning — concurrent passes and the stop-the-world pass.
+
+    A cleaning pass follows the three-step snapshot protocol of
+    section 5.3 so that no fence is ever needed in the write barrier:
+    {ol
+    {- scan the card table, registering dirty cards elsewhere and clearing
+       their indicators;}
+    {- force every mutator to execute a fence (so any ref-store whose
+       card-dirtying store was already visible becomes visible too);}
+    {- clean the registered cards: rescan the marked objects on each,
+       pushing any unmarked children.}}
+
+    The concurrent phase performs {!Config.card_passes} such passes
+    (the paper's default is one; footnote 2 reports a second pass helps),
+    each card cleaned at most once per pass, and cleaning is deferred as
+    long as other tracing work exists.  The final stop-the-world phase
+    always runs one more pass with the world stopped.
+
+    A marked object whose allocation bit is not yet visible cannot be
+    rescanned safely (its contents may not be visible either); its card is
+    re-dirtied so a later pass — at the latest the stop-the-world one,
+    which runs after every allocation cache is retired — picks it up. *)
+
+type t
+
+val create : Cgc_heap.Heap.t -> t
+
+val reset_cycle : t -> unit
+
+val start_pass : t -> force_fences:(unit -> unit) -> unit
+(** Steps 1 and 2: register dirty cards and force mutator fences.
+    [force_fences] is the collector's "stop each mutator individually"
+    callback. *)
+
+val queue_len : t -> int
+(** Registered cards not yet cleaned. *)
+
+val passes_started : t -> int
+
+val clean_one : t -> Tracer.t -> Tracer.session -> stw:bool -> int option
+(** Clean one registered card: [Some slots_rescanned], or [None] when the
+    queue is empty. *)
+
+val conc_cleaned : t -> int
+(** Cards cleaned concurrently this cycle. *)
+
+val stw_cleaned : t -> int
+(** Cards cleaned during the stop-the-world phase this cycle. *)
+
+val redirtied : t -> int
+(** Cards re-dirtied because they held a marked-but-unpublished object. *)

@@ -1,0 +1,777 @@
+module Heap = Cgc_heap.Heap
+module Arena = Cgc_heap.Arena
+module Card_table = Cgc_heap.Card_table
+module Pool = Cgc_packets.Pool
+module Machine = Cgc_smp.Machine
+module Weakmem = Cgc_smp.Weakmem
+module Fence = Cgc_smp.Fence
+module Cost = Cgc_smp.Cost
+module Sched = Cgc_sim.Sched
+module Parallel = Cgc_sim.Parallel
+module Stats = Cgc_util.Stats
+
+type phase = Idle | Marking | Finalizing
+
+exception Out_of_memory
+
+let n_globals = 256
+
+type t = {
+  cfg : Config.t;
+  sched : Sched.t;
+  hp : Heap.t;
+  mach : Machine.t;
+  pl : Pool.t;
+  tr : Tracer.t;
+  cl : Card_clean.t;
+  meter : Metering.t;
+  st : Gstats.t;
+  globals : int array;
+  mutable ph : phase;
+  mutable muts : Mctx.t list;
+  mutable globals_scanned : bool;
+  mutable cycle_no : int;
+  (* per-cycle scratch *)
+  mutable conc_start : int;
+  mutable preconc_start : int;
+  mutable cycle_factors : Stats.t;
+  mutable cas_at_start : int;
+  mutable black_slots : int; (* allocate-black volume this cycle *)
+  mutable bg_window_traced : int;
+  mutable alloc_window : int;
+  mutable last_recycle : int;
+  mutable starve_streak : int;
+      (* consecutive work-seeking attempts that found no packet work *)
+  mutable lazy_state : Sweep.lazy_t option;
+  mutable bg_started : bool;
+  cp : Compact.t;
+}
+
+let create cfg ~sched ~heap =
+  if cfg.Config.compaction && cfg.Config.lazy_sweep then
+    invalid_arg "Collector.create: compaction requires in-pause sweep";
+  if cfg.Config.compaction && cfg.Config.load_balance = Config.Stealing then
+    invalid_arg "Collector.create: compaction requires the packet tracer";
+  let mach = Heap.machine heap in
+  let pl =
+    (* Under the naive fence policy the ablation also pays one fence per
+       object marked, instead of one per packet returned (section 5.1). *)
+    Pool.create mach
+      ~naive_mark_fence:(Heap.fence_policy_of heap = Cgc_heap.Heap.Naive)
+      ~n_packets:cfg.Config.n_packets
+      ~capacity:cfg.Config.packet_capacity
+  in
+  {
+    cfg;
+    sched;
+    hp = heap;
+    mach;
+    pl;
+    tr = Tracer.create cfg heap pl;
+    cl = Card_clean.create heap;
+    meter = Metering.create cfg ~heap_slots:(Heap.nslots heap);
+    st = Gstats.create ();
+    globals = Array.make n_globals 0;
+    ph = Idle;
+    muts = [];
+    globals_scanned = false;
+    cycle_no = 0;
+    conc_start = 0;
+    preconc_start = 0;
+    cycle_factors = Stats.create ();
+    cas_at_start = 0;
+    black_slots = 0;
+    bg_window_traced = 0;
+    alloc_window = 0;
+    last_recycle = 0;
+    starve_streak = 0;
+    lazy_state = None;
+    bg_started = false;
+    cp = Compact.create heap;
+  }
+
+let compactor t = t.cp
+
+let config t = t.cfg
+let heap t = t.hp
+let machine t = t.mach
+let stats t = t.st
+let tracer t = t.tr
+let pool t = t.pl
+let cleaner t = t.cl
+let phase t = t.ph
+let cycles t = t.cycle_no
+
+let register_mutator t thread ~stack_slots =
+  let m = Mctx.create ~tid:(Sched.thread_id thread) ~thread ~stack_slots in
+  t.muts <- m :: t.muts;
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Write barrier                                                       *)
+
+let set_ref t ~parent ~idx ~value =
+  let c = t.mach.Machine.cost in
+  (* The new reference is made accessible as a root first (it is the
+     [value] argument, live in the caller), then the cell is modified,
+     and finally the card is dirtied — no fence (footnote 3, section 5.3). *)
+  Arena.ref_set_raw (Heap.arena t.hp) parent idx value;
+  match t.cfg.Config.mode with
+  | Config.Stw -> ()
+  | Config.Cgc ->
+      Machine.charge t.mach c.Cost.write_barrier;
+      Card_table.dirty (Heap.cards t.hp) (Arena.card_of_addr parent)
+
+let get_ref t ~parent ~idx = Arena.ref_get (Heap.arena t.hp) parent idx
+
+let global_set t i v = t.globals.(i) <- v
+let global_get t i = t.globals.(i)
+
+let checkpoint t = Machine.flush t.mach
+
+(* Free space for the metering formulas.  Under lazy sweep the free list
+   only holds what the sweep cursor has uncovered so far; the unswept
+   remainder of the heap still contains (1 - occupancy) of reclaimable
+   space, and the kickoff formula must see it or it would start (and
+   force-finish) a new cycle immediately after every mark. *)
+let free_estimate t =
+  let actual = Heap.free_slots t.hp in
+  match t.lazy_state with
+  | Some lz when not (Sweep.lazy_finished lz) ->
+      let n = float_of_int (Heap.nslots t.hp) in
+      let free_frac =
+        Float.max 0.0 (1.0 -. (Metering.l_estimate t.meter /. n))
+      in
+      let unswept = float_of_int (Heap.nslots t.hp - Sweep.lazy_pos lz) in
+      actual + int_of_float (unswept *. free_frac)
+  | _ -> actual
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent-phase helpers                                            *)
+
+let live_estimate t =
+  Tracer.marked_slots t.tr + t.black_slots
+
+let all_stacks_scanned t =
+  List.for_all (fun (m : Mctx.t) -> m.Mctx.stack_scanned) t.muts
+
+let trace_complete t =
+  t.ph = Marking
+  && Pool.terminated t.pl
+  && Card_clean.queue_len t.cl = 0
+  && Card_clean.passes_started t.cl >= t.cfg.Config.card_passes
+  && all_stacks_scanned t && t.globals_scanned
+
+let force_mutator_fences t =
+  (* "Force all mutators to execute a fence, e.g., stop each one
+     individually" (section 5.3 step 2).  We drain each mutator's store
+     buffer and charge one fence plus a dispatch per mutator to the
+     thread doing the forcing. *)
+  let c = t.mach.Machine.cost in
+  List.iter
+    (fun (m : Mctx.t) ->
+      Fence.count t.mach.Machine.fences Fence.Card_snapshot;
+      Machine.charge t.mach (c.Cost.fence + c.Cost.dispatch);
+      Weakmem.fence t.mach.Machine.wm ~cpu:m.Mctx.tid ~now:(Machine.now t.mach))
+    t.muts
+
+let scan_own_stack t session (m : Mctx.t) =
+  if not m.Mctx.stack_scanned then begin
+    m.Mctx.stack_scanned <- true;
+    ignore (Tracer.scan_roots t.tr session m.Mctx.roots)
+  end
+
+let scan_globals t session =
+  if not t.globals_scanned then begin
+    t.globals_scanned <- true;
+    ignore (Tracer.scan_roots t.tr session t.globals)
+  end
+
+(* The concurrent-work ladder: packets first; when starved, recycle
+   deferred packets; then start / continue a card-cleaning pass; then take
+   the stack of a thread that never allocates.  Returns slots traced, 0
+   when no work could be found anywhere. *)
+let find_work t session ~budget =
+  let n = Tracer.trace_until t.tr session ~budget in
+  if n > 0 then begin
+    t.starve_streak <- 0;
+    n
+  end
+  else begin
+    t.starve_streak <- t.starve_streak + 1;
+    let recycled =
+      if
+        Pool.deferred_count t.pl > 0
+        && Machine.now t.mach - t.last_recycle
+           > t.mach.Machine.cost.Cost.cycles_per_ms
+      then begin
+        t.last_recycle <- Machine.now t.mach;
+        Pool.recycle_deferred t.pl
+      end
+      else 0
+    in
+    if recycled > 0 then Tracer.trace_until t.tr session ~budget
+    else begin
+      (* Card cleaning: deferred as long as possible (section 2.1) — a
+         momentary packet shortage early in the cycle must not trigger
+         it, or cards cleaned now will just be dirtied again.  The pass
+         starts only once the bulk of the expected tracing volume is
+         done and all stacks have been scanned. *)
+      if
+        Card_clean.queue_len t.cl = 0
+        && Card_clean.passes_started t.cl < t.cfg.Config.card_passes
+        && all_stacks_scanned t && t.globals_scanned
+        && (float_of_int (Tracer.marked_slots t.tr)
+            >= 0.8 *. Metering.l_estimate t.meter
+           || t.starve_streak >= 64)
+      then Card_clean.start_pass t.cl ~force_fences:(fun () -> force_mutator_fences t);
+      match Card_clean.clean_one t.cl t.tr session ~stw:false with
+      | Some n -> n
+      | None -> (
+          (* Stacks of threads that never allocate, last. *)
+          match
+            List.find_opt (fun (m : Mctx.t) -> not m.Mctx.stack_scanned) t.muts
+          with
+          | Some m ->
+              scan_own_stack t session m;
+              1 (* progress was made even if no roots were pushed *)
+          | None ->
+              if not t.globals_scanned then begin
+                scan_globals t session;
+                1
+              end
+              else 0)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cycle start                                                         *)
+
+let dbg = try Sys.getenv "CGC_DEBUG" = "1" with Not_found -> false
+
+let start_cycle t =
+  assert (t.ph = Idle);
+  if dbg then
+    Printf.printf "[%d] start_cycle %d free=%d\n%!" (Machine.now t.mach)
+      (t.cycle_no + 1) (Heap.free_slots t.hp);
+  (* A still-running lazy sweep reads the mark bits we are about to
+     clear: drive it to completion first. *)
+  (match t.lazy_state with
+  | Some lz when not (Sweep.lazy_finished lz) -> Sweep.lazy_finish t.hp lz
+  | _ -> ());
+  t.lazy_state <- None;
+  t.cycle_no <- t.cycle_no + 1;
+  if t.cfg.Config.compaction then begin
+    Compact.choose_area t.cp ~cycle:t.cycle_no
+      ~fraction:t.cfg.Config.evac_fraction;
+    Tracer.set_compactor t.tr t.cp
+  end;
+  t.ph <- Marking;
+  let now = Machine.now t.mach in
+  t.st.Gstats.preconc_time <- t.st.Gstats.preconc_time + (now - t.preconc_start);
+  t.conc_start <- now;
+  Heap.clear_marks t.hp;
+  Card_table.clear_all (Heap.cards t.hp);
+  Tracer.reset_cycle t.tr;
+  Card_clean.reset_cycle t.cl;
+  List.iter
+    (fun (m : Mctx.t) ->
+      m.Mctx.stack_scanned <- false;
+      m.Mctx.trace_debt <- 0)
+    t.muts;
+  t.globals_scanned <- false;
+  t.cycle_factors <- Stats.create ();
+  t.cas_at_start <- t.mach.Machine.cas_ops;
+  t.starve_streak <- 0;
+  t.black_slots <- 0;
+  t.bg_window_traced <- 0;
+  t.alloc_window <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Stop-the-world phase                                                *)
+
+let stw_mark_worker t wid nworkers =
+  let spin = ref 0 in
+  let rec go session =
+    let _ = Tracer.trace_until t.tr session ~budget:max_int in
+    match Card_clean.clean_one t.cl t.tr session ~stw:true with
+    | Some _ -> go session
+    | None ->
+        if Pool.deferred_count t.pl > 0 && Pool.recycle_deferred t.pl > 0 then begin
+          incr spin;
+          if dbg && !spin mod 100_000 = 0 then begin
+            Printf.printf "[stw spin %d] %s
+%!" !spin (Pool.debug_dump t.pl);
+            (* dump a deferred entry *)
+            ignore (Pool.recycle_deferred t.pl);
+            (match Pool.get_input t.pl with
+            | Some p ->
+                (match Cgc_packets.Packet.peek p with
+                | Some v ->
+                    Printf.printf
+                      "  entry=%d in_heap=%b abit_sc=%b abit_weak=%b header_sc=%b marked=%b
+%!"
+                      v
+                      (Arena.in_heap (Heap.arena t.hp) v)
+                      (Cgc_heap.Alloc_bits.is_set_sc (Heap.alloc_bits t.hp) v)
+                      (Cgc_heap.Alloc_bits.is_set (Heap.alloc_bits t.hp) v)
+                      (Arena.header_valid_sc (Heap.arena t.hp) v)
+                      (Heap.is_marked t.hp v)
+                | None -> ());
+                Pool.put t.pl p
+            | None -> ())
+          end;
+          go session
+        end
+        else begin
+          Tracer.release t.tr session;
+          if not (Pool.terminated t.pl) || Card_clean.queue_len t.cl > 0 then begin
+            Sched.yield ();
+            go (Tracer.new_session t.tr)
+          end
+        end
+  in
+  let session = Tracer.new_session t.tr in
+  (* Rescan every thread stack (they changed since the concurrent scan)
+     plus the global roots, partitioned across workers. *)
+  List.iteri
+    (fun i (m : Mctx.t) ->
+      if i mod nworkers = wid then begin
+        ignore (Tracer.scan_roots t.tr session m.Mctx.roots);
+        m.Mctx.stack_scanned <- true
+      end)
+    t.muts;
+  if wid = 0 then begin
+    ignore (Tracer.scan_roots t.tr session t.globals);
+    t.globals_scanned <- true
+  end;
+  go session
+
+type stw_reason = Completed | Halted | Degenerate | Forced
+
+let verify = try Sys.getenv "CGC_VERIFY" = "1" with Not_found -> false
+
+(* Host-side (uncharged) heap-integrity walk: every object reachable from
+   the roots must still look like an object.  Returns the invalid
+   (referrer, address) pairs. *)
+let check_reachable t =
+  let arena = Heap.arena t.hp in
+  let abits = Heap.alloc_bits t.hp in
+  let seen = Hashtbl.create 1024 in
+  let bad = ref [] in
+  let rec walk from addr =
+    if addr <> 0 && not (Hashtbl.mem seen addr) then begin
+      Hashtbl.replace seen addr ();
+      (* A heap-reachable object may legitimately still be unpublished
+         (its allocation bit waits for the owner's cache to retire), so
+         only the header is validated here; the allocation bit is required
+         only for the conservative root filtering below. *)
+      if not (Arena.in_heap arena addr && Arena.header_valid_sc arena addr)
+      then bad := (from, addr) :: !bad
+      else
+        let nrefs = Arena.nrefs_of_sc arena addr in
+        for i = 0 to nrefs - 1 do
+          walk addr (Arena.ref_get_sc arena addr i)
+        done
+    end
+  in
+  List.iter
+    (fun (m : Mctx.t) ->
+      Array.iter
+        (fun v ->
+          (* Roots are conservative: only follow values that the scan
+             itself would have treated as references. *)
+          if
+            Arena.in_heap arena v
+            && Cgc_heap.Alloc_bits.is_set_sc abits v
+            && Arena.header_valid_sc arena v
+          then walk (-m.Mctx.tid) v)
+        m.Mctx.roots)
+    t.muts;
+  Array.iter (fun v -> if v <> 0 then walk (-999) v) t.globals;
+  !bad
+
+let verify_reachable t =
+  match check_reachable t with
+  | [] -> ()
+  | bad ->
+      List.iter
+        (fun (from, addr) ->
+          Printf.eprintf
+            "HEAP CORRUPTION cycle %d: object %d (from %d) invalid\n%!"
+            t.cycle_no addr from)
+        (List.filteri (fun i _ -> i < 5) bad);
+      failwith "verify_reachable: corruption"
+
+let finalize t reason =
+  if t.ph <> Marking then ()
+  else begin
+    (* Stop the world before anything that can suspend this thread — the
+       phase change must be atomic with the stop, or another mutator could
+       take an allocation failure while we are in Finalizing. *)
+    Sched.stop_the_world t.sched;
+    t.ph <- Finalizing;
+    (if dbg then
+       let e, ne, af, d = Pool.counts t.pl in
+       Printf.printf
+         "[%d] finalize %s pool=(%d,%d,%d,%d) qlen=%d passes=%d stacks=%b globals=%b free=%d\n%!"
+         (Machine.now t.mach)
+         (match reason with Completed -> "completed" | Halted -> "halted"
+          | Degenerate -> "degenerate" | Forced -> "forced")
+         e ne af d (Card_clean.queue_len t.cl) (Card_clean.passes_started t.cl)
+         (all_stacks_scanned t) t.globals_scanned (Heap.free_slots t.hp));
+    Machine.flush t.mach;
+    let free_frac =
+      float_of_int (Heap.free_slots t.hp) /. float_of_int (Heap.nslots t.hp)
+    in
+    (match reason with
+    | Completed ->
+        t.st.Gstats.premature_cycles <- t.st.Gstats.premature_cycles + 1;
+        Stats.add t.st.Gstats.premature_free free_frac
+    | Halted ->
+        t.st.Gstats.halted_cycles <- t.st.Gstats.halted_cycles + 1;
+        Stats.add t.st.Gstats.cards_left
+          (float_of_int (Card_clean.queue_len t.cl))
+    | Degenerate | Forced -> ());
+    let now = Machine.now t.mach in
+    t.st.Gstats.conc_time <- t.st.Gstats.conc_time + (now - t.conc_start);
+    let mark_t0 = now in
+    let marked_before_stw = Tracer.marked_slots t.tr in
+    (* Any thread suspended mid-increment holds packets; reclaim them so
+       termination detection stays sound.  The threads notice their
+       poisoned sessions at their next safe point. *)
+    Tracer.confiscate_all t.tr;
+    (* Retire every allocation cache: publishes allocation bits (one
+       fence per cache with pending objects), so everything is traceable. *)
+    List.iter (fun (m : Mctx.t) -> Heap.retire_cache t.hp m.Mctx.cache) t.muts;
+    (* Stopping a thread synchronises it: drain all store buffers. *)
+    Weakmem.fence_all t.mach.Machine.wm;
+    ignore (Pool.recycle_deferred t.pl);
+    (* Final card cleaning under the snapshot protocol (mutator fences
+       already implied by the stop). *)
+    (match t.cfg.Config.mode with
+    | Config.Cgc -> Card_clean.start_pass t.cl ~force_fences:(fun () -> ())
+    | Config.Stw -> ());
+    let workers = max 1 (min t.cfg.Config.gc_workers (Sched.ncpus t.sched)) in
+    (match (t.cfg.Config.load_balance, t.cfg.Config.mode) with
+    | Config.Stealing, Config.Stw ->
+        (* Section 4.4 ablation: Endo-style work-stealing mark stacks in
+           place of work packets for the parallel STW mark. *)
+        let stl = Stealing.create t.hp ~nworkers:workers in
+        Parallel.run t.sched ~workers (fun wid ->
+            List.iteri
+              (fun i (m : Mctx.t) ->
+                if i mod workers = wid then begin
+                  Array.iter
+                    (fun v -> ignore (Stealing.push_root stl ~worker:wid v))
+                    m.Mctx.roots;
+                  m.Mctx.stack_scanned <- true
+                end)
+              t.muts;
+            if wid = 0 then begin
+              Array.iter
+                (fun v -> ignore (Stealing.push_root stl ~worker:wid v))
+                t.globals;
+              t.globals_scanned <- true
+            end;
+            Stealing.mark_worker stl ~worker:wid)
+    | _ -> Parallel.run t.sched ~workers (fun wid -> stw_mark_worker t wid workers));
+    Machine.flush t.mach;
+    let mark_t1 = Machine.now t.mach in
+    (* Sweep. *)
+    let live =
+      if t.cfg.Config.lazy_sweep then begin
+        let lz = Sweep.lazy_begin t.hp in
+        t.lazy_state <- Some lz;
+        live_estimate t
+      end
+      else begin
+        let regs = Sweep.regions ~nslots:(Heap.nslots t.hp) ~workers in
+        let results = Array.make workers None in
+        Parallel.run t.sched ~workers (fun wid ->
+            let lo, hi = regs.(wid) in
+            results.(wid) <- Some (Sweep.sweep_region t.hp ~lo ~hi));
+        let results =
+          Array.map
+            (function Some r -> r | None -> assert false)
+            results
+        in
+        Sweep.merge t.hp results
+      end
+    in
+    Machine.flush t.mach;
+    let sweep_t1 = Machine.now t.mach in
+    (* Incremental compaction: evacuate the chosen area and fix up the
+       remembered in-pointers, still inside the pause (section 2.3). *)
+    (if t.cfg.Config.compaction && Compact.active t.cp then begin
+       let moved = Compact.evacuate t.cp ~globals:t.globals in
+       Machine.flush t.mach;
+       Stats.add t.st.Gstats.evac_slots (float_of_int moved)
+     end);
+    let compact_t1 = Machine.now t.mach in
+    Stats.add t.st.Gstats.compact_ms (Cost.ms_of_cycles t.mach.Machine.cost (compact_t1 - sweep_t1));
+    (* Statistics. *)
+    let cost = t.mach.Machine.cost in
+    let st = t.st in
+    Stats.add st.Gstats.mark_ms (Cost.ms_of_cycles cost (mark_t1 - mark_t0));
+    Stats.add st.Gstats.sweep_ms (Cost.ms_of_cycles cost (sweep_t1 - mark_t1));
+    Stats.add st.Gstats.stw_cards (float_of_int (Card_clean.stw_cleaned t.cl));
+    Stats.add st.Gstats.conc_cards (float_of_int (Card_clean.conc_cleaned t.cl));
+    Stats.add st.Gstats.cc_ratio
+      (float_of_int (Card_clean.stw_cleaned t.cl)
+      /. float_of_int (max 1 (Card_clean.conc_cleaned t.cl)));
+    Stats.add st.Gstats.occupancy_end
+      (float_of_int live /. float_of_int (Heap.nslots t.hp));
+    Stats.add st.Gstats.float_slots (float_of_int live);
+    Stats.add st.Gstats.traced_conc_slots (float_of_int marked_before_stw);
+    Stats.add st.Gstats.traced_stw_slots
+      (float_of_int (Tracer.marked_slots t.tr - marked_before_stw));
+    if Stats.count t.cycle_factors >= 2 then
+      Stats.add st.Gstats.fairness (Stats.stddev t.cycle_factors);
+    let live_mb = float_of_int (live * 8) /. 1_048_576.0 in
+    if live_mb > 0.0 then
+      Stats.add st.Gstats.cas_per_mb
+        (float_of_int (t.mach.Machine.cas_ops - t.cas_at_start) /. live_mb);
+    st.Gstats.overflow_events <- Tracer.overflow_events t.tr;
+    st.Gstats.cycles <- st.Gstats.cycles + 1;
+    (* Metering feedback. *)
+    Metering.end_cycle t.meter ~l_observed:(live_estimate t)
+      ~m_observed:
+        ((Card_clean.conc_cleaned t.cl + Card_clean.stw_cleaned t.cl)
+        * Arena.slots_per_card);
+    if verify then verify_reachable t;
+    let pause = Sched.restart_world t.sched in
+    Stats.add st.Gstats.pause_ms (Cost.ms_of_cycles cost pause);
+    t.ph <- Idle;
+    t.preconc_start <- Machine.now t.mach
+  end
+
+(* A full stop-the-world collection in baseline mode (or a degenerate CGC
+   cycle where kickoff never fired before exhaustion). *)
+let full_collect t reason =
+  (match t.ph with
+  | Idle -> start_cycle t
+  | Marking -> ()
+  | Finalizing -> assert false);
+  finalize t reason
+
+let force_collect t = full_collect t Forced
+
+(* ------------------------------------------------------------------ *)
+(* Incremental work on the allocation slow path                        *)
+
+let do_increment t (m : Mctx.t) ~alloc =
+  if t.ph = Marking then begin
+    m.Mctx.incr_count <- m.Mctx.incr_count + 1;
+    (* Occasionally refresh the background-rate estimate Best. *)
+    if t.alloc_window >= 8192 then begin
+      Metering.observe_background t.meter ~bg_traced:t.bg_window_traced
+        ~mutator_alloc:t.alloc_window;
+      t.bg_window_traced <- 0;
+      t.alloc_window <- 0
+    end;
+    let traced_so_far =
+      Tracer.marked_slots t.tr + Tracer.retraced_slots t.tr
+    in
+    let work =
+      Metering.increment_work t.meter ~traced:traced_so_far
+        ~free:(free_estimate t) ~alloc
+      + m.Mctx.trace_debt
+    in
+    let session = ref (Tracer.new_session t.tr) in
+    scan_own_stack t !session m;
+    scan_globals t !session;
+    let traced = ref 0 in
+    let retries = ref 3 in
+    let continue = ref true in
+    while !continue && !traced < work do
+      let n = find_work t !session ~budget:(work - !traced) in
+      if n > 0 then traced := !traced + n
+      else if !retries > 0 && t.ph = Marking then begin
+        (* Momentary shortage: the work packets with the remaining tracing
+           work are held by other threads mid-scan.  Release our own
+           (empty) packets first — a waiting thread must hold nothing, or
+           a rotating population of waiters would keep the Empty-pool
+           termination criterion false forever — then give the holders a
+           slice and retry. *)
+        decr retries;
+        Tracer.release t.tr !session;
+        Machine.flush t.mach;
+        Sched.yield ();
+        session := Tracer.new_session t.tr
+      end
+      else continue := false
+    done;
+    (* Unfulfilled work is not forgiven: it carries into this mutator's
+       next increment so the cycle's total assignment stays on pace. *)
+    m.Mctx.trace_debt <- max 0 (work - !traced);
+    Tracer.release t.tr !session;
+    Machine.flush t.mach;
+    let complete = trace_complete t in
+    (if dbg && !traced < work && t.ph = Marking then
+       let e, ne, af, d = Pool.counts t.pl in
+       Printf.printf
+         "[%d] starved: pool=(%d,%d,%d,%d) term=%b qlen=%d passes=%d stacks=%b free=%d marked=%d sessions=%d\n%!"
+         (Machine.now t.mach) e ne af d (Pool.terminated t.pl)
+         (Card_clean.queue_len t.cl)
+         (Card_clean.passes_started t.cl)
+         (all_stacks_scanned t) (Heap.free_slots t.hp)
+         (Tracer.marked_slots t.tr) (Tracer.live_sessions t.tr));
+    (* The tracing factor is measured over increments that participated
+       in tracing.  A thread that could not obtain any input packet at
+       all "quits the tracing task" (section 4.3) and contributes no
+       sample; and the increment that discovers global termination is not
+       a starvation data point (its assignment no longer exists). *)
+    if work > 0 && !traced > 0 && not complete then begin
+      let f = float_of_int !traced /. float_of_int work in
+      Stats.add t.st.Gstats.tracing_factor f;
+      Stats.add t.cycle_factors f
+    end;
+    if complete then finalize t Completed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+
+let account t (m : Mctx.t) size =
+  m.Mctx.alloc_slots <- m.Mctx.alloc_slots + size;
+  t.st.Gstats.total_alloc_slots <- t.st.Gstats.total_alloc_slots + size;
+  t.alloc_window <- t.alloc_window + size;
+  match t.ph with
+  | Idle -> t.st.Gstats.preconc_slots <- t.st.Gstats.preconc_slots + size
+  | Marking -> t.st.Gstats.conc_slots <- t.st.Gstats.conc_slots + size
+  | Finalizing -> ()
+
+let mark_new t = t.ph <> Idle
+
+let note_black t size = if t.ph <> Idle then t.black_slots <- t.black_slots + size
+
+(* Refill helper that understands lazy sweeping: when the free list is
+   short, try advancing the lazy-sweep cursor before declaring failure. *)
+let rec try_refill t (m : Mctx.t) ~min =
+  if Heap.refill_cache t.hp m.Mctx.cache ~min ~pref:t.cfg.Config.cache_slots
+  then true
+  else
+    match t.lazy_state with
+    | Some lz when not (Sweep.lazy_finished lz) ->
+        ignore (Sweep.lazy_step t.hp lz ~max_slots:8192);
+        try_refill t m ~min
+    | _ -> false
+
+let rec try_alloc_large t ~size ~nrefs =
+  match Heap.alloc_large t.hp ~size ~nrefs ~mark_new:(mark_new t) with
+  | Some a -> Some a
+  | None -> (
+      match t.lazy_state with
+      | Some lz when not (Sweep.lazy_finished lz) ->
+          ignore (Sweep.lazy_step t.hp lz ~max_slots:8192);
+          try_alloc_large t ~size ~nrefs
+      | _ -> None)
+
+let pre_alloc_hook t m ~request =
+  match t.cfg.Config.mode with
+  | Config.Stw -> ()
+  | Config.Cgc -> (
+      match t.ph with
+      | Idle ->
+          if Metering.should_start t.meter ~free:(free_estimate t) then begin
+            start_cycle t;
+            do_increment t m ~alloc:request
+          end
+      | Marking -> do_increment t m ~alloc:request
+      | Finalizing -> ())
+
+let handle_alloc_failure t =
+  match (t.cfg.Config.mode, t.ph) with
+  | _, Marking -> finalize t Halted
+  | Config.Cgc, Idle -> full_collect t Degenerate
+  | Config.Stw, Idle -> full_collect t Forced
+  | _, Finalizing -> assert false
+
+let rec alloc t (m : Mctx.t) ~nrefs ~size =
+  if size >= t.cfg.Config.large_object_slots then begin
+    Machine.flush t.mach;
+    pre_alloc_hook t m ~request:size;
+    match try_alloc_large t ~size ~nrefs with
+    | Some a ->
+        note_black t size;
+        account t m size;
+        Machine.flush t.mach;
+        a
+    | None -> (
+        handle_alloc_failure t;
+        match try_alloc_large t ~size ~nrefs with
+        | Some a ->
+            note_black t size;
+            account t m size;
+            Machine.flush t.mach;
+            a
+        | None -> raise Out_of_memory)
+  end
+  else
+    match Heap.cache_alloc t.hp m.Mctx.cache ~size ~nrefs ~mark_new:(mark_new t) with
+    | Some a ->
+        note_black t size;
+        account t m size;
+        a
+    | None ->
+        (* Slow path.  Retire (and publish) the old cache first so that
+           the stack scan performed by the increment can validate this
+           thread's objects through their allocation bits. *)
+        Machine.flush t.mach;
+        Heap.retire_cache t.hp m.Mctx.cache;
+        pre_alloc_hook t m ~request:t.cfg.Config.cache_slots;
+        if try_refill t m ~min:size then alloc t m ~nrefs ~size
+        else begin
+          handle_alloc_failure t;
+          if try_refill t m ~min:size then alloc t m ~nrefs ~size
+          else raise Out_of_memory
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Background tracing threads                                          *)
+
+let background_body t () =
+  let idle_nap = t.mach.Machine.cost.Cost.cycles_per_ms / 4 in
+  while not (Sched.stop_requested t.sched) do
+    if t.ph = Marking then begin
+      let session = Tracer.new_session t.tr in
+      let n = find_work t session ~budget:t.cfg.Config.bg_chunk in
+      Tracer.release t.tr session;
+      Machine.flush t.mach;
+      if n > 0 then begin
+        t.bg_window_traced <- t.bg_window_traced + n;
+        if trace_complete t then finalize t Completed;
+        Sched.yield ()
+      end
+      else begin
+        if trace_complete t then finalize t Completed;
+        Sched.sleep (idle_nap / 4)
+      end
+    end
+    else begin
+      (* Section 7: spread deferred sweeping over the idle background
+         threads too, so the free list refills before mutators must
+         sweep on their own allocation paths. *)
+      match t.lazy_state with
+      | Some lz when not (Sweep.lazy_finished lz) ->
+          ignore (Sweep.lazy_step t.hp lz ~max_slots:16384);
+          Machine.flush t.mach;
+          Sched.yield ()
+      | _ -> Sched.sleep idle_nap
+    end
+  done
+
+let start_background t =
+  if not t.bg_started then begin
+    t.bg_started <- true;
+    match t.cfg.Config.mode with
+    | Config.Stw -> ()
+    | Config.Cgc ->
+        for i = 1 to t.cfg.Config.n_background do
+          ignore
+            (Sched.spawn t.sched
+               ~name:(Printf.sprintf "gc-background-%d" i)
+               ~prio:Sched.Low (background_body t))
+        done
+  end

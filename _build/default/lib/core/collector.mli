@@ -1,0 +1,85 @@
+(** The collector itself: the paper's parallel, incremental, mostly
+    concurrent mark-sweep garbage collector, plus the parallel
+    stop-the-world baseline it is compared against.
+
+    Life of a CGC collection cycle (sections 2 and 3):
+    {ol
+    {- {e Kickoff}: a mutator's allocation slow path notices free space has
+       dropped below [(L+M)/K0] and initialises a cycle — mark bits and
+       card table cleared, background threads start soaking idle cycles.}
+    {- {e Concurrent phase}: each allocation slow path performs an
+       increment of tracing work metered by the progress formula; the
+       first increment per thread scans that thread's own stack.  Work is
+       distributed through the work-packet pool.  When packets run dry a
+       card-cleaning pass starts (deferred as long as possible, each card
+       cleaned at most once per pass), then unscanned stacks of
+       non-allocating threads are taken, then deferred packets recycled.}
+    {- {e Stop-the-world phase}: triggered by concurrent-tracing
+       termination (detected via the Empty sub-pool counter) or by
+       allocation failure.  All caches are retired (publishing allocation
+       bits), dirty cards are cleaned under the snapshot protocol, all
+       stacks are rescanned, marking completes and the heap is swept —
+       all fully parallel across [gc_workers] threads.}}
+
+    In [Stw] mode the collector is the baseline: no write barrier, no
+    concurrent phase; allocation failure triggers a full parallel
+    stop-the-world mark-sweep. *)
+
+type t
+
+type phase = Idle | Marking | Finalizing
+
+exception Out_of_memory
+
+val create : Config.t -> sched:Cgc_sim.Sched.t -> heap:Cgc_heap.Heap.t -> t
+
+val config : t -> Config.t
+val heap : t -> Cgc_heap.Heap.t
+val machine : t -> Cgc_smp.Machine.t
+val stats : t -> Gstats.t
+val tracer : t -> Tracer.t
+val pool : t -> Cgc_packets.Pool.t
+val cleaner : t -> Card_clean.t
+val compactor : t -> Compact.t
+val phase : t -> phase
+val cycles : t -> int
+
+val register_mutator : t -> Cgc_sim.Sched.thread -> stack_slots:int -> Mctx.t
+(** Must be called from inside the thread being registered (the mutator's
+    store-buffer identity is its scheduler thread id). *)
+
+val start_background : t -> unit
+(** Spawn the [n_background] low-priority tracing threads. *)
+
+val alloc : t -> Mctx.t -> nrefs:int -> size:int -> int
+(** Allocate an object of [size] slots with [nrefs] leading reference
+    slots (all null).  Performs the incremental GC work mandated by the
+    progress formula on slow paths; may stop the world.
+    @raise Out_of_memory if a full collection cannot free enough space. *)
+
+val set_ref : t -> parent:int -> idx:int -> value:int -> unit
+(** Store a reference through the write barrier (store, then dirty the
+    parent's card; no fence — section 5.3). *)
+
+val get_ref : t -> parent:int -> idx:int -> int
+
+val global_set : t -> int -> int -> unit
+(** Store into the global-roots table.  Globals are rescanned during
+    every stop-the-world phase, so no card is needed. *)
+
+val global_get : t -> int -> int
+
+val n_globals : int
+
+val force_collect : t -> unit
+(** Run a full collection now (from inside a simulated thread). *)
+
+val checkpoint : t -> unit
+(** Spend any accumulated cycle debt (call between transactions). *)
+
+val check_reachable : t -> (int * int) list
+(** Host-side heap-integrity walk: follow every reference reachable from
+    the mutator roots and globals and return the (referrer, address)
+    pairs that no longer look like valid objects.  Empty on a sound
+    heap.  Used by the tests and by [CGC_VERIFY=1] (which runs it after
+    every collection and aborts on corruption). *)

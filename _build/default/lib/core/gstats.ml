@@ -1,0 +1,111 @@
+module Stats = Cgc_util.Stats
+module Cost = Cgc_smp.Cost
+
+type t = {
+  pause_ms : Stats.t;
+  mark_ms : Stats.t;
+  sweep_ms : Stats.t;
+  stw_cards : Stats.t;
+  conc_cards : Stats.t;
+  cc_ratio : Stats.t;
+  occupancy_end : Stats.t;
+  premature_free : Stats.t;
+  cards_left : Stats.t;
+  tracing_factor : Stats.t;
+  fairness : Stats.t;
+  cas_per_mb : Stats.t;
+  traced_conc_slots : Stats.t;
+  traced_stw_slots : Stats.t;
+  float_slots : Stats.t;
+  compact_ms : Stats.t;
+  evac_slots : Stats.t;
+  mutable cycles : int;
+  mutable premature_cycles : int;
+  mutable halted_cycles : int;
+  mutable overflow_events : int;
+  mutable preconc_slots : int;
+  mutable preconc_time : int;
+  mutable conc_slots : int;
+  mutable conc_time : int;
+  mutable total_alloc_slots : int;
+}
+
+let create () =
+  {
+    pause_ms = Stats.create ();
+    mark_ms = Stats.create ();
+    sweep_ms = Stats.create ();
+    stw_cards = Stats.create ();
+    conc_cards = Stats.create ();
+    cc_ratio = Stats.create ();
+    occupancy_end = Stats.create ();
+    premature_free = Stats.create ();
+    cards_left = Stats.create ();
+    tracing_factor = Stats.create ();
+    fairness = Stats.create ();
+    cas_per_mb = Stats.create ();
+    traced_conc_slots = Stats.create ();
+    traced_stw_slots = Stats.create ();
+    float_slots = Stats.create ();
+    compact_ms = Stats.create ();
+    evac_slots = Stats.create ();
+    cycles = 0;
+    premature_cycles = 0;
+    halted_cycles = 0;
+    overflow_events = 0;
+    preconc_slots = 0;
+    preconc_time = 0;
+    conc_slots = 0;
+    conc_time = 0;
+    total_alloc_slots = 0;
+  }
+
+let reset t =
+  Stats.clear t.pause_ms;
+  Stats.clear t.mark_ms;
+  Stats.clear t.sweep_ms;
+  Stats.clear t.stw_cards;
+  Stats.clear t.conc_cards;
+  Stats.clear t.cc_ratio;
+  Stats.clear t.occupancy_end;
+  Stats.clear t.premature_free;
+  Stats.clear t.cards_left;
+  Stats.clear t.tracing_factor;
+  Stats.clear t.fairness;
+  Stats.clear t.cas_per_mb;
+  Stats.clear t.traced_conc_slots;
+  Stats.clear t.traced_stw_slots;
+  Stats.clear t.float_slots;
+  Stats.clear t.compact_ms;
+  Stats.clear t.evac_slots;
+  t.cycles <- 0;
+  t.premature_cycles <- 0;
+  t.halted_cycles <- 0;
+  t.overflow_events <- 0;
+  t.preconc_slots <- 0;
+  t.preconc_time <- 0;
+  t.conc_slots <- 0;
+  t.conc_time <- 0;
+  t.total_alloc_slots <- 0
+
+let rate slots time cost =
+  if time <= 0 then 0.0
+  else
+    let kb = float_of_int (slots * 8) /. 1024.0 in
+    kb /. Cost.ms_of_cycles cost time
+
+let alloc_rate_preconc t ~cost = rate t.preconc_slots t.preconc_time cost
+let alloc_rate_conc t ~cost = rate t.conc_slots t.conc_time cost
+
+let utilization t =
+  let pre = t.preconc_slots and pt = t.preconc_time in
+  let con = t.conc_slots and ct = t.conc_time in
+  (* At tracing rate 1 there is (almost) no pre-concurrent phase, so the
+     baseline rate cannot be measured from this run (the paper hits the
+     same problem, footnote 6); report 0 and let callers substitute a
+     baseline from another run. *)
+  if pt <= 0 || ct <= 0 || pre <= 0 || pt * 10 < ct then 0.0
+  else
+    let pre_rate = float_of_int pre /. float_of_int pt in
+    let conc_rate = float_of_int con /. float_of_int ct in
+    conc_rate /. pre_rate

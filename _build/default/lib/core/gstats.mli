@@ -1,0 +1,54 @@
+(** Aggregate collector statistics — everything the paper's evaluation
+    section measures.
+
+    Pause components follow the paper's breakdown: the {e mark} component
+    of a stop-the-world pause covers final card cleaning, stack rescanning
+    and mark completion; the {e sweep} component is the parallel bitwise
+    sweep.  The metering criteria of Table 2 (CC Rate, premature-GC Free
+    Space, Cards Left) are recorded per cycle. *)
+
+module Stats = Cgc_util.Stats
+
+type t = {
+  pause_ms : Stats.t;  (** full stop-the-world pauses *)
+  mark_ms : Stats.t;  (** mark component of each pause *)
+  sweep_ms : Stats.t;  (** sweep component of each pause *)
+  stw_cards : Stats.t;  (** cards cleaned in the stop-the-world phase *)
+  conc_cards : Stats.t;  (** cards cleaned concurrently *)
+  cc_ratio : Stats.t;  (** stw cards / concurrent cards, per cycle *)
+  occupancy_end : Stats.t;  (** heap occupancy fraction after each cycle *)
+  premature_free : Stats.t;  (** free fraction when tracing finished early *)
+  cards_left : Stats.t;  (** registered cards left when halted by alloc failure *)
+  tracing_factor : Stats.t;  (** actual/assigned per mutator increment *)
+  fairness : Stats.t;  (** per-cycle stddev of tracing factors *)
+  cas_per_mb : Stats.t;  (** CAS ops per cycle, normalised by live MB *)
+  traced_conc_slots : Stats.t;  (** slots traced concurrently per cycle *)
+  traced_stw_slots : Stats.t;  (** slots traced inside the pause per cycle *)
+  float_slots : Stats.t;  (** live slots at end of cycle *)
+  compact_ms : Stats.t;  (** evacuation + fix-up component of each pause *)
+  evac_slots : Stats.t;  (** slots evacuated per cycle *)
+  mutable cycles : int;
+  mutable premature_cycles : int;  (** concurrent phase finished all work *)
+  mutable halted_cycles : int;  (** concurrent phase halted by alloc failure *)
+  mutable overflow_events : int;
+  (* Mutator-utilization accounting (Table 3) *)
+  mutable preconc_slots : int;  (** slots allocated between cycles *)
+  mutable preconc_time : int;  (** cycles of pre-concurrent wall time *)
+  mutable conc_slots : int;  (** slots allocated during concurrent phases *)
+  mutable conc_time : int;  (** cycles of concurrent-phase wall time *)
+  mutable total_alloc_slots : int;
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Zero everything — used to discard warm-up cycles before measuring. *)
+
+val utilization : t -> float
+(** Concurrent-phase allocation rate over pre-concurrent allocation rate
+    (the paper's mutator-utilization proxy); 0 if unmeasurable. *)
+
+val alloc_rate_preconc : t -> cost:Cgc_smp.Cost.t -> float
+(** KB per millisecond. *)
+
+val alloc_rate_conc : t -> cost:Cgc_smp.Cost.t -> float

@@ -1,0 +1,36 @@
+(** Work-stealing mark stacks — the load-balancing alternative the paper
+    compares work packets against (section 4.4, after Endo et al. and
+    Flood et al.).
+
+    Each stop-the-world worker owns a private mark stack whose push/pop
+    need no synchronisation, plus a public steal queue: when the private
+    stack grows past a threshold the worker exposes a batch of entries
+    (one CAS); starved workers steal a batch from the fullest victim
+    (one CAS per attempt).  Termination detection needs global work and
+    in-flight counters — the "principal synchronisation problem" the
+    paper's packet counters avoid.
+
+    Used only for the parallel stop-the-world mark of the baseline
+    collector; the incremental collector uses work packets. *)
+
+type t
+
+val create : Cgc_heap.Heap.t -> nworkers:int -> t
+
+val push_root : t -> worker:int -> int -> bool
+(** Conservatively validate, mark and push a root onto the worker's
+    private stack; true if pushed. *)
+
+val push_obj : t -> worker:int -> int -> unit
+(** Mark-and-push a known object address. *)
+
+val mark_worker : t -> worker:int -> unit
+(** Run the worker's mark loop to global termination: trace local work,
+    expose surplus, steal when starved, exit when no work exists anywhere
+    and no worker is mid-scan.  Must run inside a simulated thread. *)
+
+val marked_slots : t -> int
+(** Volume traced (for statistics parity with the packet tracer). *)
+
+val steals : t -> int
+val exposes : t -> int

@@ -1,0 +1,144 @@
+module Heap = Cgc_heap.Heap
+module Arena = Cgc_heap.Arena
+module Alloc_bits = Cgc_heap.Alloc_bits
+module Freelist = Cgc_heap.Freelist
+module Machine = Cgc_smp.Machine
+module Cost = Cgc_smp.Cost
+module Bitvec = Cgc_util.Bitvec
+
+type region = {
+  lo : int;
+  hi : int;
+  mutable gaps : (int * int) list; (* reversed (addr, len) *)
+  mutable first_mark : int; (* max_int when the region has no marks *)
+  mutable last_end : int; (* end of last live object; -1 when no marks *)
+  mutable live : int;
+}
+
+let charge_scan heap ~lo ~hi =
+  let mach = Heap.machine heap in
+  let words = ((hi - lo) / 62) + 1 in
+  Machine.charge mach (words * mach.Machine.cost.Cost.sweep_word)
+
+let sweep_region heap ~lo ~hi =
+  let r = { lo; hi; gaps = []; first_mark = max_int; last_end = -1; live = 0 } in
+  let mark = Heap.mark_bits heap in
+  let arena = Heap.arena heap in
+  charge_scan heap ~lo ~hi;
+  let m0 = Bitvec.next_set mark lo in
+  if m0 >= hi then r
+  else begin
+    r.first_mark <- m0;
+    let cur = ref m0 in
+    let continue = ref true in
+    while !continue do
+      let size = Arena.size_of arena !cur in
+      r.live <- r.live + size;
+      let e = !cur + size in
+      let nxt = Bitvec.next_set mark e in
+      if nxt < hi then begin
+        if nxt > e then r.gaps <- (e, nxt - e) :: r.gaps;
+        cur := nxt
+      end
+      else begin
+        r.last_end <- e;
+        continue := false
+      end
+    done;
+    Machine.flush (Heap.machine heap);
+    r
+  end
+
+let add_free heap ~addr ~size =
+  let mach = Heap.machine heap in
+  Machine.charge mach mach.Machine.cost.Cost.sweep_chunk;
+  Alloc_bits.clear_range (Heap.alloc_bits heap) addr size;
+  Freelist.add (Heap.freelist heap) ~addr ~size
+
+let merge heap regions =
+  let fl = Heap.freelist heap in
+  Freelist.clear fl;
+  let prev_end = ref 1 in
+  let live = ref 0 in
+  Array.iter
+    (fun r ->
+      if r.first_mark <> max_int then begin
+        if r.first_mark > !prev_end then
+          add_free heap ~addr:!prev_end ~size:(r.first_mark - !prev_end);
+        List.iter
+          (fun (addr, size) -> add_free heap ~addr ~size)
+          (List.rev r.gaps);
+        live := !live + r.live;
+        prev_end := max !prev_end r.last_end
+      end)
+    regions;
+  let n = Heap.nslots heap in
+  if n > !prev_end then add_free heap ~addr:!prev_end ~size:(n - !prev_end);
+  Machine.flush (Heap.machine heap);
+  !live
+
+let regions ~nslots ~workers =
+  let workers = max 1 workers in
+  let span = (nslots - 1 + workers - 1) / workers in
+  Array.init workers (fun i ->
+      let lo = 1 + (i * span) in
+      let hi = min nslots (lo + span) in
+      (lo, hi))
+
+type lazy_t = {
+  mutable pos : int;
+  mutable prev_end : int;
+  mutable llive : int;
+  mutable fin : bool;
+}
+
+let lazy_begin heap =
+  Freelist.clear (Heap.freelist heap);
+  { pos = 1; prev_end = 1; llive = 0; fin = false }
+
+let lazy_step heap lz ~max_slots =
+  if lz.fin then false
+  else begin
+    let n = Heap.nslots heap in
+    let hi = min n (lz.pos + max_slots) in
+    let mark = Heap.mark_bits heap in
+    let arena = Heap.arena heap in
+    charge_scan heap ~lo:lz.pos ~hi;
+    let continue = ref true in
+    while !continue do
+      let start = max lz.pos lz.prev_end in
+      let m = Bitvec.next_set mark start in
+      if m >= hi then begin
+        (* Emit the partial free run up to the window edge.  This may
+           split a long run across steps; the resulting chunks are still
+           usable and the fragmentation washes out at the next full
+           sweep. *)
+        if hi > lz.prev_end then
+          add_free heap ~addr:lz.prev_end ~size:(hi - lz.prev_end);
+        lz.prev_end <- max lz.prev_end hi;
+        lz.pos <- hi;
+        if hi >= n then lz.fin <- true;
+        continue := false
+      end
+      else begin
+        if m > lz.prev_end then
+          add_free heap ~addr:lz.prev_end ~size:(m - lz.prev_end);
+        let size = Arena.size_of arena m in
+        lz.llive <- lz.llive + size;
+        lz.prev_end <- m + size;
+        lz.pos <- m + size;
+        if lz.pos >= hi then continue := false
+      end
+    done;
+    Machine.flush (Heap.machine heap);
+    true
+  end
+
+let lazy_finished lz = lz.fin
+let lazy_pos lz = lz.pos
+let lazy_live lz = lz.llive
+
+let lazy_finish heap lz =
+  while not lz.fin do
+    ignore (lazy_step heap lz ~max_slots:65536)
+  done

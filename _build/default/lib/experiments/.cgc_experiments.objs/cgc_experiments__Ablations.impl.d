@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Cgc_core Cgc_heap Cgc_runtime Cgc_smp Cgc_util Cgc_workloads Common Float List Printf

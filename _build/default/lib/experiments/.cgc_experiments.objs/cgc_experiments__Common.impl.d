@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Cgc_core Cgc_heap Cgc_packets Cgc_runtime Cgc_sim Cgc_smp Cgc_util Cgc_workloads Printf String Sys

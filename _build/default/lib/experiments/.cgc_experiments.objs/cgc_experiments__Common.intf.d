@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Cgc_core Cgc_runtime

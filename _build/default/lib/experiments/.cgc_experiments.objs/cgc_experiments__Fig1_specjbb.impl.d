@@ -1,0 +1,1 @@
+lib/experiments/fig1_specjbb.ml: Cgc_core Cgc_util Common List Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig2_pbob.ml: Cgc_core Cgc_util Common Float List Printf

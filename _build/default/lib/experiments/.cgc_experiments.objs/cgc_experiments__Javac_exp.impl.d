@@ -1,0 +1,1 @@
+lib/experiments/javac_exp.ml: Cgc_core Cgc_runtime Cgc_util Cgc_workloads Common Float List Printf

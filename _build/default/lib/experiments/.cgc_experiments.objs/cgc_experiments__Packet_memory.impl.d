@@ -1,0 +1,1 @@
+lib/experiments/packet_memory.ml: Cgc_core Cgc_util Common Printf

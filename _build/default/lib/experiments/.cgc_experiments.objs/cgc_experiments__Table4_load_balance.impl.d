@@ -1,0 +1,1 @@
+lib/experiments/table4_load_balance.ml: Cgc_core Cgc_util Common List Printf

@@ -1,0 +1,1 @@
+lib/experiments/tables123.ml: Cgc_core Cgc_util Common Float List Printf

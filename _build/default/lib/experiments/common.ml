@@ -1,0 +1,117 @@
+module Vm = Cgc_runtime.Vm
+module Gstats = Cgc_core.Gstats
+module Collector = Cgc_core.Collector
+module Stats = Cgc_util.Stats
+module Machine = Cgc_smp.Machine
+module Fence = Cgc_smp.Fence
+module Pool = Cgc_packets.Pool
+module Sched = Cgc_sim.Sched
+
+type metrics = {
+  label : string;
+  throughput : float;
+  avg_pause : float;
+  max_pause : float;
+  avg_mark : float;
+  max_mark : float;
+  avg_sweep : float;
+  max_sweep : float;
+  occupancy : float;
+  conc_cards : float;
+  stw_cards : float;
+  cycles : int;
+  premature : int;
+  halted : int;
+  cc_fail_pct : float;
+  free_fail_pct : float;
+  cards_left_pct : float;
+  avg_cards_left : float;
+  pre_rate : float;
+  conc_rate : float;
+  utilization : float;
+  tracing_factor : float;
+  fairness : float;
+  cas_avg : float;
+  cas_max : float;
+  fences_total : int;
+  pkt_in_use_hw : int;
+  pkt_entries_hw : int;
+  heap_slots : int;
+  idle_frac : float;
+}
+
+let safe_max s = if Stats.count s = 0 then 0.0 else Stats.max s
+
+let pct_over samples threshold total =
+  if total = 0 then 0.0
+  else
+    let fails = Array.fold_left (fun n x -> if x > threshold then n + 1 else n) 0 samples in
+    100.0 *. float_of_int fails /. float_of_int total
+
+let collect ~label vm =
+  let st = Vm.gc_stats vm in
+  let mach = Vm.machine vm in
+  let cost = mach.Machine.cost in
+  let pl = Collector.pool (Vm.collector vm) in
+  let sc = Vm.sched vm in
+  let idle = Sched.idle_cycles sc and busy = Sched.busy_cycles sc in
+  {
+    label;
+    throughput = Vm.throughput vm;
+    avg_pause = Stats.mean st.Gstats.pause_ms;
+    max_pause = safe_max st.Gstats.pause_ms;
+    avg_mark = Stats.mean st.Gstats.mark_ms;
+    max_mark = safe_max st.Gstats.mark_ms;
+    avg_sweep = Stats.mean st.Gstats.sweep_ms;
+    max_sweep = safe_max st.Gstats.sweep_ms;
+    occupancy = Stats.mean st.Gstats.occupancy_end;
+    conc_cards = Stats.mean st.Gstats.conc_cards;
+    stw_cards = Stats.mean st.Gstats.stw_cards;
+    cycles = st.Gstats.cycles;
+    premature = st.Gstats.premature_cycles;
+    halted = st.Gstats.halted_cycles;
+    cc_fail_pct =
+      pct_over (Stats.samples st.Gstats.cc_ratio) 0.20 st.Gstats.cycles;
+    free_fail_pct =
+      pct_over (Stats.samples st.Gstats.premature_free) 0.05 st.Gstats.cycles;
+    cards_left_pct =
+      pct_over (Stats.samples st.Gstats.cards_left) 0.5 st.Gstats.cycles;
+    avg_cards_left = Stats.mean st.Gstats.cards_left;
+    pre_rate = Gstats.alloc_rate_preconc st ~cost;
+    conc_rate = Gstats.alloc_rate_conc st ~cost;
+    utilization = Gstats.utilization st;
+    tracing_factor = Stats.mean st.Gstats.tracing_factor;
+    fairness = Stats.mean st.Gstats.fairness;
+    cas_avg = Stats.mean st.Gstats.cas_per_mb;
+    cas_max = safe_max st.Gstats.cas_per_mb;
+    fences_total = Fence.total mach.Machine.fences;
+    pkt_in_use_hw = Pool.max_in_use pl;
+    pkt_entries_hw = Pool.max_entries pl;
+    heap_slots = Cgc_heap.Heap.nslots (Vm.heap vm);
+    idle_frac =
+      (if idle + busy = 0 then 0.0
+       else float_of_int idle /. float_of_int (idle + busy));
+  }
+
+let quick () =
+  match Sys.getenv_opt "CGC_BENCH_FAST" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let specjbb ~label ~gc ?(warehouses = 8) ?(heap_mb = 64.0) ?(warmup_ms = 1500.0)
+    ?(ms = 4000.0) ?(seed = 1) () =
+  let vm = Cgc_workloads.Specjbb.setup ~warehouses ~gc ~heap_mb ~seed () in
+  Vm.run_measured vm ~warmup_ms ~ms;
+  collect ~label vm
+
+let pbob ~label ~gc ~warehouses ?terminals ?(heap_mb = 96.0) ?think_mean
+    ?residency_at ?(warmup_ms = 1500.0) ?(ms = 5000.0) ?(seed = 1) () =
+  let vm =
+    Cgc_workloads.Pbob.setup ~warehouses ~gc ?terminals ~heap_mb ?think_mean
+      ?residency_at ~seed ()
+  in
+  Vm.run_measured vm ~warmup_ms ~ms;
+  collect ~label vm
+
+let hdr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

@@ -1,0 +1,75 @@
+(** Shared plumbing for the paper-reproduction experiments.
+
+    Every experiment runs one or more VMs with a warm-up window (so the
+    L/M/Best estimators have converged, as the paper's steady-state
+    measurements assume), extracts a {!metrics} record, and renders the
+    paper's tables/figures as text tables. *)
+
+type metrics = {
+  label : string;
+  throughput : float;  (** transactions per simulated second *)
+  avg_pause : float;  (** ms *)
+  max_pause : float;
+  avg_mark : float;
+  max_mark : float;
+  avg_sweep : float;
+  max_sweep : float;
+  occupancy : float;  (** mean heap occupancy after GC, fraction *)
+  conc_cards : float;  (** mean cards cleaned concurrently per cycle *)
+  stw_cards : float;
+  cycles : int;
+  premature : int;  (** cycles whose concurrent phase finished all work *)
+  halted : int;  (** cycles halted by allocation failure *)
+  cc_fail_pct : float;  (** % of cycles with stw/conc card ratio > 20% *)
+  free_fail_pct : float;  (** % of cycles finishing early with > 5% free *)
+  cards_left_pct : float;  (** % of cycles halted with cards left to clean *)
+  avg_cards_left : float;
+  pre_rate : float;  (** pre-concurrent allocation rate, KB/ms *)
+  conc_rate : float;  (** concurrent-phase allocation rate, KB/ms *)
+  utilization : float;  (** conc_rate / pre_rate *)
+  tracing_factor : float;  (** mean actual/assigned per increment *)
+  fairness : float;  (** mean per-cycle stddev of tracing factors *)
+  cas_avg : float;  (** mean CAS ops per cycle per live MB *)
+  cas_max : float;
+  fences_total : int;
+  pkt_in_use_hw : int;  (** high-water packets in use *)
+  pkt_entries_hw : int;  (** high-water entries across packets *)
+  heap_slots : int;
+  idle_frac : float;  (** processor idle fraction over the run *)
+}
+
+val collect : label:string -> Cgc_runtime.Vm.t -> metrics
+
+val quick : unit -> bool
+(** True when the CGC_BENCH_FAST environment variable is set: experiments
+    shrink their sweeps for a fast smoke run. *)
+
+val specjbb :
+  label:string ->
+  gc:Cgc_core.Config.t ->
+  ?warehouses:int ->
+  ?heap_mb:float ->
+  ?warmup_ms:float ->
+  ?ms:float ->
+  ?seed:int ->
+  unit ->
+  metrics
+(** Warm up and measure a SPECjbb-like run (defaults: 8 warehouses, 64 MB,
+    1500 ms warm-up, 4000 ms measured). *)
+
+val pbob :
+  label:string ->
+  gc:Cgc_core.Config.t ->
+  warehouses:int ->
+  ?terminals:int ->
+  ?heap_mb:float ->
+  ?think_mean:int ->
+  ?residency_at:int * float ->
+  ?warmup_ms:float ->
+  ?ms:float ->
+  ?seed:int ->
+  unit ->
+  metrics
+
+val hdr : string -> unit
+(** Print an experiment banner. *)

@@ -1,0 +1,53 @@
+(* Table 4 of the paper: the quality of work-packet load balancing as the
+   number of mutator threads grows — pBOB without CPU idle time and
+   without background threads, 1000 work packets, 25 terminals per
+   warehouse from 625 to 1000 threads.
+
+   Reported per thread count: the average tracing factor (actual/assigned
+   tracing per increment — stable means no starvation), fairness (the
+   stddev of tracing factors over a cycle — it plummets when threads
+   outnumber packets, since every tracer needs two), and the number of
+   compare-and-swap operations normalized by live MB (the real cost of
+   load balancing — it grows only moderately with thread count). *)
+
+module Table = Cgc_util.Table
+module Config = Cgc_core.Config
+
+let warehouse_counts () =
+  if Common.quick () then [ 25; 40 ] else [ 25; 30; 34; 36; 38; 40 ]
+
+let run () =
+  Common.hdr
+    "Table 4 — Quality of work-packet load balancing (pBOB, no idle time, no background threads, 1000 packets)";
+  let t =
+    Table.create ~title:"(48 MB heap standing in for the paper's 1.2 GB)"
+      ~header:
+        [ "warehouses"; "threads"; "avg tracing factor"; "fairness";
+          "avg CAS/MB"; "max CAS/MB" ]
+  in
+  let results = ref [] in
+  List.iter
+    (fun wh ->
+      let gc = { Config.default with Config.n_background = 0 } in
+      let ms = if Common.quick () then 1500.0 else 3000.0 in
+      let m =
+        Common.pbob
+          ~label:(Printf.sprintf "%d threads" (wh * 25))
+          ~gc ~warehouses:wh ~heap_mb:48.0 ~think_mean:0
+          ~residency_at:(40, 0.85) ~warmup_ms:1000.0 ~ms ()
+      in
+      results := (wh, m) :: !results;
+      Table.add_row t
+        [ string_of_int wh;
+          string_of_int (wh * 25);
+          Table.f3 m.Common.tracing_factor;
+          Table.f3 m.Common.fairness;
+          Printf.sprintf "%.0f" m.Common.cas_avg;
+          Printf.sprintf "%.0f" m.Common.cas_max ])
+    (warehouse_counts ());
+  Table.print t;
+  Printf.printf
+    "The paper finds the tracing factor stable (~0.95), fairness degrading sharply\n\
+     near 950+ threads (two packets per tracer exhausts the 1000-packet pool), and\n\
+     the normalized CAS cost growing only moderately with threads.\n";
+  List.rev !results

@@ -1,0 +1,1 @@
+lib/heap/alloc_bits.ml: Cgc_smp Cgc_util

@@ -1,0 +1,1 @@
+lib/heap/alloc_bits.mli: Cgc_smp

@@ -1,0 +1,1 @@
+lib/heap/arena.ml: Array Cgc_smp

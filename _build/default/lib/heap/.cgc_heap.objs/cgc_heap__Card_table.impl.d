@@ -1,0 +1,1 @@
+lib/heap/card_table.ml: Bytes Cgc_smp Char

@@ -1,0 +1,1 @@
+lib/heap/card_table.mli: Cgc_smp

@@ -1,0 +1,1 @@
+lib/heap/freelist.ml: Array List

@@ -1,0 +1,1 @@
+lib/heap/heap.ml: Alloc_bits Arena Card_table Cgc_smp Cgc_util Freelist List

@@ -1,0 +1,88 @@
+module Machine = Cgc_smp.Machine
+module Weakmem = Cgc_smp.Weakmem
+
+type t = {
+  mach : Machine.t;
+  data : int array;
+  n : int;
+  wm_base : int;
+}
+
+let slots_per_card = 64
+
+let create mach ~nslots =
+  if nslots < slots_per_card then invalid_arg "Arena.create: heap too small";
+  let wm_base = Weakmem.register mach.Machine.wm nslots in
+  { mach; data = Array.make nslots 0; n = nslots; wm_base }
+
+let machine t = t.mach
+let nslots t = t.n
+let ncards t = (t.n + slots_per_card - 1) / slots_per_card
+let card_of_addr addr = addr / slots_per_card
+
+let read_slot t i =
+  let wm = t.mach.Machine.wm in
+  match Weakmem.mode wm with
+  | Sc -> t.data.(i)
+  | Relaxed ->
+      Weakmem.read wm ~cpu:(Machine.cpu t.mach) ~now:(Machine.now t.mach)
+        ~key:(t.wm_base + i) ~current:t.data.(i)
+
+let write_slot t i v =
+  let wm = t.mach.Machine.wm in
+  (match Weakmem.mode wm with
+  | Sc -> ()
+  | Relaxed ->
+      Weakmem.store wm ~cpu:(Machine.cpu t.mach) ~now:(Machine.now t.mach)
+        ~key:(t.wm_base + i) ~prev:t.data.(i));
+  t.data.(i) <- v
+
+let read_slot_sc t i = t.data.(i)
+
+(* Header layout: size in the low 26 bits, nrefs in the next 26.  Bit 61
+   is a tag so that a header is distinguishable from a null slot. *)
+let size_bits = 26
+let size_mask = (1 lsl size_bits) - 1
+let tag = 1 lsl 61
+let max_size = size_mask
+
+let encode ~size ~nrefs = tag lor size lor (nrefs lsl size_bits)
+let decode_size h = h land size_mask
+let decode_nrefs h = (h lsr size_bits) land size_mask
+
+let write_header t addr ~size ~nrefs =
+  if size < 1 || size > max_size then invalid_arg "Arena.write_header: size";
+  if nrefs < 0 || nrefs > size - 1 then invalid_arg "Arena.write_header: nrefs";
+  write_slot t addr (encode ~size ~nrefs)
+
+let clear_fields t addr ~size ~nrefs =
+  ignore size;
+  for i = 1 to nrefs do
+    write_slot t (addr + i) 0
+  done
+
+let size_of t addr = decode_size (read_slot t addr)
+let nrefs_of t addr = decode_nrefs (read_slot t addr)
+
+let header_valid t addr =
+  let h = read_slot t addr in
+  h land tag <> 0
+  &&
+  let size = decode_size h and nrefs = decode_nrefs h in
+  size >= 1 && addr + size <= t.n && nrefs <= size - 1
+
+let header_valid_sc t addr =
+  let h = read_slot_sc t addr in
+  h land tag <> 0
+  &&
+  let size = decode_size h and nrefs = decode_nrefs h in
+  size >= 1 && addr + size <= t.n && nrefs <= size - 1
+
+let size_of_sc t addr = decode_size (read_slot_sc t addr)
+let nrefs_of_sc t addr = decode_nrefs (read_slot_sc t addr)
+let ref_get_sc t addr i = read_slot_sc t (addr + 1 + i)
+
+let ref_get t addr i = read_slot t (addr + 1 + i)
+let ref_set_raw t addr i v = write_slot t (addr + 1 + i) v
+
+let in_heap t addr = addr > 0 && addr < t.n

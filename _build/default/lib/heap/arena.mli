@@ -1,0 +1,86 @@
+(** The simulated heap arena and object model.
+
+    Memory is an array of 8-byte {e slots}; an {e address} is a slot
+    index.  An object occupies [size] contiguous slots: one header slot
+    followed by [nrefs] reference slots (each holding an object address,
+    [0] meaning null — address 0 is never handed out) and then scalar
+    slots.  The header packs [size] and [nrefs].
+
+    All slot accesses go through the {!Cgc_smp.Weakmem} system so the
+    weak-ordering races of section 5 are observable in [Relaxed] mode.
+    Freed memory keeps its old contents, as on real hardware — tracing a
+    dead or not-yet-published object reads stale garbage, which is exactly
+    what the allocation-bit protocol must guard against. *)
+
+type t
+
+val create : Cgc_smp.Machine.t -> nslots:int -> t
+(** A heap of [nslots] slots ([8 * nslots] simulated bytes).  Slot 0 is
+    reserved so that address 0 can mean null. *)
+
+val machine : t -> Cgc_smp.Machine.t
+val nslots : t -> int
+
+val slots_per_card : int
+(** 64 slots = the paper's 512-byte cards. *)
+
+val ncards : t -> int
+
+val card_of_addr : int -> int
+
+(** {2 Raw slot access (weak-memory aware)} *)
+
+val read_slot : t -> int -> int
+(** Read a slot as observed by the calling thread's processor. *)
+
+val write_slot : t -> int -> int -> unit
+
+val read_slot_sc : t -> int -> int
+(** Read the committed value directly, bypassing store-buffer masking.
+    Only for tests and diagnostics. *)
+
+(** {2 Object model} *)
+
+val max_size : int
+(** Largest encodable object size in slots. *)
+
+val write_header : t -> int -> size:int -> nrefs:int -> unit
+(** Store the header at [addr]; does {e not} clear the field slots. *)
+
+val clear_fields : t -> int -> size:int -> nrefs:int -> unit
+(** Null out the [nrefs] reference slots (a freshly allocated object must
+    never expose stale references as valid pointers to the program —
+    though an unfenced remote observer may still see stale memory). *)
+
+val size_of : t -> int -> int
+(** Decode the object size from the header at [addr]. *)
+
+val nrefs_of : t -> int -> int
+
+val header_valid : t -> int -> bool
+(** Whether the header at [addr] decodes to a plausible object (size
+    within the heap, nrefs <= size-1).  Used to detect the section 5.2
+    anomaly when the protocol is deliberately disabled in tests. *)
+
+(** {2 Committed-state accessors}
+
+    These bypass store-buffer masking and need no running simulated
+    thread; they are for host-side verifiers, sweeping (which runs after
+    a global synchronisation) and tests. *)
+
+val header_valid_sc : t -> int -> bool
+val size_of_sc : t -> int -> int
+val nrefs_of_sc : t -> int -> int
+val ref_get_sc : t -> int -> int -> int
+
+val ref_get : t -> int -> int -> int
+(** [ref_get t addr i] reads reference slot [i] of the object at [addr]. *)
+
+val ref_set_raw : t -> int -> int -> int -> unit
+(** Store into a reference slot {e without} any write barrier.  The
+    collector's write barrier lives in [Cgc_core.Collector]; mutators go
+    through that. *)
+
+val in_heap : t -> int -> bool
+(** Whether [addr] is a plausible object address (within bounds, not the
+    reserved slot). *)

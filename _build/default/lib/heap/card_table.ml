@@ -1,0 +1,59 @@
+module Machine = Cgc_smp.Machine
+module Weakmem = Cgc_smp.Weakmem
+module Cost = Cgc_smp.Cost
+
+type t = {
+  mach : Machine.t;
+  bytes : Bytes.t;
+  n : int;
+  wm_base : int;
+}
+
+let create mach ~ncards =
+  let wm_base = Weakmem.register mach.Machine.wm ncards in
+  { mach; bytes = Bytes.make ncards '\000'; n = ncards; wm_base }
+
+let ncards t = t.n
+
+let get_committed t i = Char.code (Bytes.get t.bytes i)
+
+let read t i =
+  let wm = t.mach.Machine.wm in
+  match Weakmem.mode wm with
+  | Sc -> get_committed t i
+  | Relaxed ->
+      Weakmem.read wm ~cpu:(Machine.cpu t.mach) ~now:(Machine.now t.mach)
+        ~key:(t.wm_base + i) ~current:(get_committed t i)
+
+let write t i v =
+  let wm = t.mach.Machine.wm in
+  (match Weakmem.mode wm with
+  | Sc -> ()
+  | Relaxed ->
+      Weakmem.store wm ~cpu:(Machine.cpu t.mach) ~now:(Machine.now t.mach)
+        ~key:(t.wm_base + i) ~prev:(get_committed t i));
+  Bytes.set t.bytes i (Char.chr v)
+
+let dirty t i = write t i 1
+let is_dirty t i = read t i <> 0
+let clear t i = write t i 0
+
+let clear_all t = Bytes.fill t.bytes 0 t.n '\000'
+
+let dirty_count t =
+  let c = ref 0 in
+  for i = 0 to t.n - 1 do
+    if get_committed t i <> 0 then incr c
+  done;
+  !c
+
+let snapshot t =
+  let acc = ref [] in
+  Machine.charge t.mach (t.n * t.mach.Machine.cost.Cost.card_probe);
+  for i = t.n - 1 downto 0 do
+    if read t i <> 0 then begin
+      clear t i;
+      acc := i :: !acc
+    end
+  done;
+  !acc

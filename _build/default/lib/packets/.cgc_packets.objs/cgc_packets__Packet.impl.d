@@ -1,0 +1,1 @@
+lib/packets/packet.ml: Array Cgc_smp

@@ -1,0 +1,1 @@
+lib/packets/packet.mli: Cgc_smp

@@ -1,0 +1,1 @@
+lib/packets/pool.ml: Array Buffer Cgc_smp List Packet Printf

@@ -1,0 +1,1 @@
+lib/packets/pool.mli: Cgc_smp Packet

@@ -1,0 +1,73 @@
+module Machine = Cgc_smp.Machine
+module Weakmem = Cgc_smp.Weakmem
+
+type t = {
+  mach : Machine.t;
+  pid : int;
+  data : int array;
+  mutable n : int;
+  wm_base : int;
+}
+
+let make mach ~id ~capacity =
+  let wm_base = Weakmem.register mach.Machine.wm capacity in
+  { mach; pid = id; data = Array.make capacity 0; n = 0; wm_base }
+
+let id t = t.pid
+let capacity t = Array.length t.data
+let count t = t.n
+let is_empty t = t.n = 0
+let is_full t = t.n = Array.length t.data
+
+let read t i =
+  let wm = t.mach.Machine.wm in
+  match Weakmem.mode wm with
+  | Sc -> t.data.(i)
+  | Relaxed ->
+      Weakmem.read wm ~cpu:(Machine.cpu t.mach) ~now:(Machine.now t.mach)
+        ~key:(t.wm_base + i) ~current:t.data.(i)
+
+let write t i v =
+  let wm = t.mach.Machine.wm in
+  (match Weakmem.mode wm with
+  | Sc -> ()
+  | Relaxed ->
+      Weakmem.store wm ~cpu:(Machine.cpu t.mach) ~now:(Machine.now t.mach)
+        ~key:(t.wm_base + i) ~prev:t.data.(i));
+  t.data.(i) <- v
+
+let push t v =
+  if is_full t then false
+  else begin
+    write t t.n v;
+    t.n <- t.n + 1;
+    true
+  end
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    t.n <- t.n - 1;
+    Some (read t t.n)
+  end
+
+let peek t = if t.n = 0 then None else Some (read t (t.n - 1))
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    f (read t i)
+  done
+
+let transfer_all src dst =
+  let moved = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if is_empty src || is_full dst then continue := false
+    else
+      match pop src with
+      | Some v ->
+          ignore (push dst v);
+          incr moved
+      | None -> continue := false
+  done;
+  !moved

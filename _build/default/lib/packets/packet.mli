@@ -1,0 +1,39 @@
+(** A work packet: a small bounded mark stack (the paper's packets hold up
+    to 493 entries).
+
+    Packet contents are written through the weak-memory system: a packet
+    filled on one processor and consumed on another is only safe if the
+    producer fenced before publishing it — that is the section 5.1
+    protocol, enforced by {!Pool.put}.  The consumer needs no fence thanks
+    to the data dependency on the packet pointer. *)
+
+type t
+
+val make : Cgc_smp.Machine.t -> id:int -> capacity:int -> t
+
+val id : t -> int
+val capacity : t -> int
+val count : t -> int
+
+val is_empty : t -> bool
+val is_full : t -> bool
+
+val push : t -> int -> bool
+(** [push p v] appends an entry; false if full. *)
+
+val pop : t -> int option
+(** Remove and return the newest entry, reading through the weak-memory
+    system (a stale masked value can be returned in [Relaxed] mode when
+    the producer failed to fence — that is the point). *)
+
+val peek : t -> int option
+(** The entry {!pop} would return, without removing it — work packets let
+    the tracer prefetch the next object because, unlike a mark stack's
+    top, it is always known. *)
+
+val iter : t -> (int -> unit) -> unit
+(** Iterate current entries (weak-memory aware reads), newest last. *)
+
+val transfer_all : t -> t -> int
+(** [transfer_all src dst] moves as many entries as fit; returns how many
+    moved. *)

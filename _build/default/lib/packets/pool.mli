@@ -1,0 +1,96 @@
+(** The global work-packet pool with occupancy-classified sub-pools.
+
+    Section 4 of the paper: the pool is split into an {e Empty} sub-pool,
+    a {e Non-empty} sub-pool (packets under 50% full) and an
+    {e Almost-full} sub-pool (50% and up, including full), plus the
+    {e Deferred} sub-pool added in section 5.2 for packets holding objects
+    whose allocation bits were not yet visible.
+
+    Key properties implemented here:
+    {ul
+    {- input and output packets are separate; threads compete for input
+       packets from the highest-occupancy sub-pool available, and take
+       output packets from the lowest, which is what load-balances;}
+    {- each sub-pool is a CAS-accessed list with an associated packet
+       counter, also CAS-updated; every successful get/put costs two
+       compare-and-swaps, which the Table 4 "cost" metric counts;}
+    {- termination is detected when the Empty sub-pool's counter equals
+       the total number of packets (section 4.3) — correct because getters
+       acquire input before output and replacers get-new-before-put-old;}
+    {- a fence is executed before a non-empty packet is returned to the
+       pool (section 5.1), so consumers on other processors see its
+       contents; consumers need no fence (address dependency).}} *)
+
+type t
+
+val create :
+  ?fence_on_put:bool ->
+  ?naive_mark_fence:bool ->
+  Cgc_smp.Machine.t ->
+  n_packets:int ->
+  capacity:int ->
+  t
+(** [fence_on_put] (default true) can be disabled to demonstrate the
+    section 5.1 race in relaxed-memory tests.  [naive_mark_fence] (default
+    false) instead fences on {e every} push, for the fence-batching
+    ablation. *)
+
+val machine : t -> Cgc_smp.Machine.t
+val total : t -> int
+val capacity : t -> int
+
+val get_input : t -> Packet.t option
+(** A packet with tracing work, from the fullest available sub-pool. *)
+
+val get_output : t -> Packet.t option
+(** A packet with room, preferring empty packets. *)
+
+val put : t -> Packet.t -> unit
+(** Return a packet to the sub-pool matching its occupancy, fencing first
+    if it is non-empty (per [fence_on_put]). *)
+
+val put_deferred : t -> Packet.t -> unit
+(** Park a packet of not-yet-safe objects in the Deferred sub-pool. *)
+
+val recycle_deferred : t -> int
+(** Move every deferred packet back to its occupancy sub-pool so its
+    objects get another chance to be traced; returns how many packets
+    moved. *)
+
+val deferred_count : t -> int
+
+val push : t -> Packet.t -> int -> bool
+(** Push through the pool so the ablation [naive_mark_fence] policy can
+    fence per entry and the entry watermark stays accurate.  Same result
+    as {!Packet.push}. *)
+
+val pop : t -> Packet.t -> int option
+(** Pop through the pool (keeps the entry watermark accurate). *)
+
+val terminated : t -> bool
+(** Empty-pool counter equals the total packet count: no tracing work
+    exists anywhere and no thread holds a non-empty packet. *)
+
+val counts : t -> int * int * int * int
+(** (empty, nonempty, almost_full, deferred) counter values. *)
+
+val in_use : t -> int
+(** Packets currently out of the Empty sub-pool (held or holding work). *)
+
+val max_in_use : t -> int
+(** High-water mark of {!in_use} — the paper's upper bound on packet
+    memory (section 6.3). *)
+
+val entries : t -> int
+val max_entries : t -> int
+(** High-water mark of total entries across all packets — the paper's
+    lower bound on packet memory. *)
+
+val get_ops : t -> int
+val put_ops : t -> int
+
+val reset_watermarks : t -> unit
+
+val debug_dump : t -> string
+(** Counters vs. actual list lengths per sub-pool, plus the ids and entry
+    counts of non-empty pooled packets (diagnostics). *)

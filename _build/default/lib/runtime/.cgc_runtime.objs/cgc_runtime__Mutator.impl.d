@@ -1,0 +1,1 @@
+lib/runtime/mutator.ml: Array Cgc_core Cgc_sim Cgc_util

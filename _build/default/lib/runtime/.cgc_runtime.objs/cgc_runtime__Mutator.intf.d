@@ -1,0 +1,1 @@
+lib/runtime/mutator.mli: Cgc_core Cgc_sim Cgc_util

@@ -1,0 +1,1 @@
+lib/runtime/vm.ml: Cgc_core Cgc_heap Cgc_packets Cgc_sim Cgc_smp Cgc_util Mutator Printf

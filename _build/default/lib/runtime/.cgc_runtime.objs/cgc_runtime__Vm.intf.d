@@ -1,0 +1,1 @@
+lib/runtime/vm.mli: Cgc_core Cgc_heap Cgc_sim Cgc_smp Mutator

@@ -1,0 +1,42 @@
+module Sched = Cgc_sim.Sched
+module Collector = Cgc_core.Collector
+module Mctx = Cgc_core.Mctx
+module Prng = Cgc_util.Prng
+
+type t = {
+  sched : Sched.t;
+  coll : Collector.t;
+  mc : Mctx.t;
+  prng : Prng.t;
+  on_tx : unit -> unit;
+  mutable txs : int;
+}
+
+let make ~vm_sched ~coll ~mctx ~rng ~on_tx =
+  { sched = vm_sched; coll; mc = mctx; prng = rng; on_tx; txs = 0 }
+
+let alloc t ~nrefs ~size = Collector.alloc t.coll t.mc ~nrefs ~size
+
+let set_ref t parent i child =
+  Collector.set_ref t.coll ~parent ~idx:i ~value:child
+
+let get_ref t parent i = Collector.get_ref t.coll ~parent ~idx:i
+
+let root_set t i v = Mctx.root_set t.mc i v
+let root_get t i = Mctx.root_get t.mc i
+let n_roots t = Array.length t.mc.Mctx.roots
+
+let work _t n = Sched.consume n
+let think _t n = Sched.sleep n
+
+let tx_done t =
+  t.txs <- t.txs + 1;
+  Collector.checkpoint t.coll;
+  t.on_tx ()
+
+let transactions t = t.txs
+let rng t = t.prng
+let stopped t = Sched.stop_requested t.sched
+let now_cycles t = Sched.now t.sched
+let collector t = t.coll
+let mctx t = t.mc

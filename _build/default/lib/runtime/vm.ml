@@ -1,0 +1,147 @@
+module Sched = Cgc_sim.Sched
+module Collector = Cgc_core.Collector
+module Config = Cgc_core.Config
+module Gstats = Cgc_core.Gstats
+module Heap = Cgc_heap.Heap
+module Machine = Cgc_smp.Machine
+module Weakmem = Cgc_smp.Weakmem
+module Fence = Cgc_smp.Fence
+module Cost = Cgc_smp.Cost
+module Pool = Cgc_packets.Pool
+module Prng = Cgc_util.Prng
+module Stats = Cgc_util.Stats
+
+type config = {
+  heap_mb : float;
+  ncpus : int;
+  seed : int;
+  gc : Config.t;
+  wm_mode : Weakmem.mode;
+  stack_slots : int;
+  quantum : int;
+  fence_policy : Heap.fence_policy;
+}
+
+let config ?(heap_mb = 64.0) ?(ncpus = 4) ?(seed = 1) ?(gc = Config.default)
+    ?(wm_mode = Weakmem.Sc) ?(stack_slots = 48) ?(quantum = 110_000)
+    ?(fence_policy = Heap.Batched) () =
+  { heap_mb; ncpus; seed; gc; wm_mode; stack_slots; quantum; fence_policy }
+
+type t = {
+  cfg : config;
+  sc : Sched.t;
+  hp : Heap.t;
+  coll : Collector.t;
+  rng : Prng.t;
+  mutable mutators : Mutator.t list;
+  mutable txs : int;
+  mutable ran_ms : float;
+}
+
+let create cfg =
+  let sc = Sched.create ~quantum:cfg.quantum ~ncpus:cfg.ncpus () in
+  let rng = Prng.create cfg.seed in
+  let wm = Weakmem.create ~mode:cfg.wm_mode ~rng:(Prng.split rng) () in
+  let mach =
+    Machine.create ~wm
+      ~now:(fun () -> Sched.now sc)
+      ~spend:Sched.consume
+      ~cpu:(fun () -> Sched.thread_id (Sched.current sc))
+      ~relinquish:Sched.yield ()
+  in
+  Sched.on_advance sc (fun now -> Weakmem.commit_due wm ~now);
+  let nslots = int_of_float (cfg.heap_mb *. 1024.0 *. 1024.0 /. 8.0) in
+  let hp = Heap.create ~fence_policy:cfg.fence_policy mach ~nslots in
+  let coll = Collector.create cfg.gc ~sched:sc ~heap:hp in
+  { cfg; sc; hp; coll; rng; mutators = []; txs = 0; ran_ms = 0.0 }
+
+let sched t = t.sc
+let collector t = t.coll
+let heap t = t.hp
+let machine t = Heap.machine t.hp
+let gc_stats t = Collector.stats t.coll
+let the_config t = t.cfg
+
+let spawn_mutator t ~name body =
+  let mrng = Prng.split t.rng in
+  ignore
+    (Sched.spawn t.sc ~name ~prio:Sched.Normal (fun () ->
+         let thread = Sched.current t.sc in
+         let mctx =
+           Collector.register_mutator t.coll thread
+             ~stack_slots:t.cfg.stack_slots
+         in
+         let m =
+           Mutator.make ~vm_sched:t.sc ~coll:t.coll ~mctx ~rng:mrng
+             ~on_tx:(fun () -> t.txs <- t.txs + 1)
+         in
+         t.mutators <- m :: t.mutators;
+         body m))
+
+let run t ~ms =
+  Collector.start_background t.coll;
+  let cost = (machine t).Machine.cost in
+  let until = Sched.now t.sc + Cost.cycles_of_ms cost ms in
+  Sched.run t.sc ~until;
+  t.ran_ms <- t.ran_ms +. ms
+
+let reset_stats t =
+  Gstats.reset (gc_stats t);
+  let mach = machine t in
+  Fence.reset mach.Machine.fences;
+  mach.Machine.cas_ops <- 0;
+  Pool.reset_watermarks (Collector.pool t.coll);
+  t.txs <- 0;
+  t.ran_ms <- 0.0
+
+let run_measured t ~warmup_ms ~ms =
+  run t ~ms:warmup_ms;
+  reset_stats t;
+  run t ~ms
+
+let now_ms t = Cost.ms_of_cycles (machine t).Machine.cost (Sched.now t.sc)
+
+let total_transactions t = t.txs
+
+let throughput t =
+  if t.ran_ms <= 0.0 then 0.0
+  else float_of_int t.txs /. (t.ran_ms /. 1000.0)
+
+let print_report t =
+  let st = gc_stats t in
+  let mach = machine t in
+  let p label stats =
+    Printf.printf "  %-24s avg %8.2f ms   max %8.2f ms   (n=%d)\n" label
+      (Stats.mean stats)
+      (if Stats.count stats = 0 then 0.0 else Stats.max stats)
+      (Stats.count stats)
+  in
+  Printf.printf "=== VM report (%.0f MB heap, %d cpus, %s) ===\n" t.cfg.heap_mb
+    t.cfg.ncpus
+    (match t.cfg.gc.Config.mode with Config.Cgc -> "CGC" | Config.Stw -> "STW");
+  Printf.printf "simulated time: %.1f ms; transactions: %d (%.1f tx/s)\n"
+    (now_ms t) t.txs (throughput t);
+  Printf.printf "GC cycles: %d (%d finished concurrently, %d halted by allocation failure)\n"
+    st.Gstats.cycles st.Gstats.premature_cycles st.Gstats.halted_cycles;
+  p "pause" st.Gstats.pause_ms;
+  p "  mark component" st.Gstats.mark_ms;
+  p "  sweep component" st.Gstats.sweep_ms;
+  Printf.printf "  avg occupancy after GC: %.1f%%\n"
+    (100.0 *. Stats.mean st.Gstats.occupancy_end);
+  Printf.printf "  cards cleaned: concurrent avg %.0f, stop-the-world avg %.0f\n"
+    (Stats.mean st.Gstats.conc_cards)
+    (Stats.mean st.Gstats.stw_cards);
+  Printf.printf "  mutator utilization during concurrent phase: %.0f%%\n"
+    (100.0 *. Gstats.utilization st);
+  Printf.printf "  traced slots/cycle: concurrent avg %.0f, stop-the-world avg %.0f\n"
+    (Stats.mean st.Gstats.traced_conc_slots)
+    (Stats.mean st.Gstats.traced_stw_slots);
+  let f = mach.Machine.fences in
+  Printf.printf "fences: total %d (alloc-batch %d, packet %d, defer %d, card %d)\n"
+    (Fence.total f) (Fence.get f Fence.Alloc_batch)
+    (Fence.get f Fence.Packet_return) (Fence.get f Fence.Packet_defer)
+    (Fence.get f Fence.Card_snapshot);
+  let pl = Collector.pool t.coll in
+  Printf.printf "packets: high-water %d of %d in use, %d entries; CAS ops %d\n"
+    (Pool.max_in_use pl) (Pool.total pl) (Pool.max_entries pl)
+    mach.Machine.cas_ops

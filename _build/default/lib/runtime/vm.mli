@@ -1,0 +1,88 @@
+(** The virtual-machine facade: the public entry point of the library.
+
+    A [Vm.t] bundles a simulated multiprocessor, a heap, and a collector
+    (either the paper's CGC or the stop-the-world baseline).  Mutator
+    threads are spawned with {!spawn_mutator} and interact with the heap
+    exclusively through the {!Mutator} API; {!run} drives the simulation
+    for a given number of simulated milliseconds.
+
+    {[
+      let vm = Vm.create (Vm.config ~heap_mb:64.0 ~ncpus:4 ()) in
+      Vm.spawn_mutator vm ~name:"worker" (fun m ->
+          while not (Mutator.stopped m) do
+            let obj = Mutator.alloc m ~nrefs:1 ~size:8 in
+            Mutator.root_set m 0 obj;
+            Mutator.work m 5_000;
+            Mutator.tx_done m
+          done);
+      Vm.run vm ~ms:1_000.0;
+      Vm.print_report vm
+    ]} *)
+
+type t
+
+type config = {
+  heap_mb : float;  (** simulated heap size in megabytes *)
+  ncpus : int;
+  seed : int;
+  gc : Cgc_core.Config.t;
+  wm_mode : Cgc_smp.Weakmem.mode;
+  stack_slots : int;  (** root-array ("stack") slots per mutator *)
+  quantum : int;  (** scheduler preemption slice, cycles *)
+  fence_policy : Cgc_heap.Heap.fence_policy;
+      (** [Batched] (the paper's protocols) or [Naive] (one fence per
+          object / per mark) for the fence-batching ablation *)
+}
+
+val config :
+  ?heap_mb:float ->
+  ?ncpus:int ->
+  ?seed:int ->
+  ?gc:Cgc_core.Config.t ->
+  ?wm_mode:Cgc_smp.Weakmem.mode ->
+  ?stack_slots:int ->
+  ?quantum:int ->
+  ?fence_policy:Cgc_heap.Heap.fence_policy ->
+  unit ->
+  config
+(** Defaults: 64 MB heap, 4 CPUs, seed 1, CGC with paper parameters,
+    sequentially-consistent memory (fence costs still charged), 48 stack
+    slots, 110k-cycle (0.2 ms) quantum. *)
+
+val create : config -> t
+
+val sched : t -> Cgc_sim.Sched.t
+val collector : t -> Cgc_core.Collector.t
+val heap : t -> Cgc_heap.Heap.t
+val machine : t -> Cgc_smp.Machine.t
+val gc_stats : t -> Cgc_core.Gstats.t
+val the_config : t -> config
+
+val spawn_mutator : t -> name:string -> (Mutator.t -> unit) -> unit
+(** Create a mutator thread.  The body receives its {!Mutator.t} handle
+    once the thread starts executing inside the simulation. *)
+
+val run : t -> ms:float -> unit
+(** Start the background GC threads and run the simulation for [ms]
+    simulated milliseconds (or until every thread finishes). *)
+
+val run_measured : t -> warmup_ms:float -> ms:float -> unit
+(** Run for [warmup_ms], discard all statistics gathered so far (GC
+    stats, fence and CAS counters, packet watermarks, transaction
+    counts), then run for [ms] more.  This is how the experiments skip
+    the cycles during which the metering estimators are still
+    converging. *)
+
+val reset_stats : t -> unit
+
+val now_ms : t -> float
+
+val total_transactions : t -> int
+(** Sum of {!Mutator.tx_done} counts across all mutators. *)
+
+val throughput : t -> float
+(** Transactions per simulated second over the whole run. *)
+
+val print_report : t -> unit
+(** Human-readable summary of pauses, components, throughput and fence /
+    packet statistics. *)

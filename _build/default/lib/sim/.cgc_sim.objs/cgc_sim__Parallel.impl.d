@@ -1,0 +1,1 @@
+lib/sim/parallel.ml: Printf Sched

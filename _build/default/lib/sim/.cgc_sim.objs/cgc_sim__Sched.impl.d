@@ -1,0 +1,1 @@
+lib/sim/sched.ml: Array Cgc_smp Effect Printexc Printf Queue

@@ -1,0 +1,14 @@
+let run sched ~workers f =
+  if workers <= 0 then invalid_arg "Parallel.run: workers";
+  let remaining = ref (workers - 1) in
+  for i = 1 to workers - 1 do
+    ignore
+      (Sched.spawn sched ~name:(Printf.sprintf "gc-worker-%d" i) ~prio:High
+         (fun () ->
+           f i;
+           decr remaining))
+  done;
+  f 0;
+  while !remaining > 0 do
+    Sched.yield ()
+  done

@@ -1,0 +1,13 @@
+(** Fork-join helper for the parallel GC phases.
+
+    The stop-the-world phases (final card cleaning, mark completion,
+    bitwise sweep) are {e fully parallel} in the paper: the initiating
+    thread plus [workers - 1] helper threads all run the phase body and
+    meet at a barrier.  The helpers are spawned at [High] priority so they
+    are schedulable while the world is stopped. *)
+
+val run : Sched.t -> workers:int -> (int -> unit) -> unit
+(** [run sched ~workers f] executes [f 0 .. f (workers-1)] with the
+    calling simulated thread acting as worker [0] and [workers - 1]
+    freshly spawned high-priority threads as the rest, returning when all
+    have finished.  Must be called from inside a simulated thread. *)

@@ -1,0 +1,414 @@
+type prio = High | Normal | Low
+
+type outcome = Finished | Preempted | Slept of int | Yielded
+
+type cont = C : (unit, outcome) Effect.Deep.continuation -> cont
+
+type state = Runnable | Running | Sleeping | Dead
+
+type thread = {
+  id : int;
+  name : string;
+  mutable prio : prio;
+  mutable st : state;
+  mutable wake_at : int;
+  mutable ready_at : int;
+      (* a thread may not be dispatched before this time: it is the end of
+         its previous quantum, so a thread can never run on a lagging CPU
+         "before" work it has already done on another *)
+  mutable k : cont option;
+  mutable body : (unit -> unit) option;
+  mutable cycles : int;
+}
+
+type _ Effect.t +=
+  | Consume : int -> unit Effect.t
+  | Sleep : int -> unit Effect.t
+  | Yield : unit Effect.t
+
+(* Min-heap of sleeping threads keyed by wake time. *)
+module Sleepq = struct
+  type t = { mutable a : thread array; mutable n : int }
+
+  let create dummy = { a = Array.make 32 dummy; n = 0 }
+
+  let is_empty h = h.n = 0
+
+  let push h th =
+    if h.n = Array.length h.a then begin
+      let bigger = Array.make (2 * h.n) h.a.(0) in
+      Array.blit h.a 0 bigger 0 h.n;
+      h.a <- bigger
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- th;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if h.a.(p).wake_at > h.a.(!i).wake_at then begin
+        let tmp = h.a.(p) in
+        h.a.(p) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := p
+      end
+      else continue := false
+    done
+
+  let peek h = if h.n = 0 then None else Some h.a.(0)
+
+  let pop h =
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < h.n && h.a.(l).wake_at < h.a.(!s).wake_at then s := l;
+      if r < h.n && h.a.(r).wake_at < h.a.(!s).wake_at then s := r;
+      if !s <> !i then begin
+        let tmp = h.a.(!s) in
+        h.a.(!s) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !s
+      end
+      else continue := false
+    done;
+    top
+end
+
+type t = {
+  n_cpus : int;
+  quantum : int;
+  dispatch : int;
+  clock : int array;
+  runq_high : thread Queue.t;
+  runq_normal : thread Queue.t;
+  runq_low : thread Queue.t;
+  sleepers : Sleepq.t;
+  mutable live : int;
+  mutable stopped : bool;
+  mutable stop_at : int;
+  mutable initiator : (thread * prio) option;
+  mutable cur : thread option;
+  mutable run_base : int;
+  mutable used : int;
+  mutable next_id : int;
+  mutable finished : bool;
+  mutable stop_flag : bool;
+  mutable idle : int;
+  mutable busy : int;
+  mutable low_skips : int;
+      (* priority aging: after this many dispatches in which a ready
+         low-priority thread was passed over, it gets one slice.  Without
+         this a machine saturated with normal-priority mutators would
+         starve the background GC threads *absolutely* — unlike a real
+         OS — and a preempted background thread could sit on work packets
+         for a whole cycle, blocking termination detection. *)
+  mutable hook : (int -> unit) option;
+}
+
+let low_boost_every = 64
+
+let dummy_thread =
+  { id = -1; name = "<dummy>"; prio = Low; st = Dead; wake_at = 0;
+    ready_at = 0; k = None; body = None; cycles = 0 }
+
+let create ?(quantum = 110_000) ?(dispatch = Cgc_smp.Cost.default.dispatch)
+    ~ncpus () =
+  if ncpus <= 0 then invalid_arg "Sched.create: ncpus";
+  {
+    n_cpus = ncpus;
+    quantum;
+    dispatch;
+    clock = Array.make ncpus 0;
+    runq_high = Queue.create ();
+    runq_normal = Queue.create ();
+    runq_low = Queue.create ();
+    sleepers = Sleepq.create dummy_thread;
+    live = 0;
+    stopped = false;
+    stop_at = 0;
+    initiator = None;
+    cur = None;
+    run_base = 0;
+    used = 0;
+    next_id = 0;
+    finished = false;
+    stop_flag = false;
+    idle = 0;
+    busy = 0;
+    low_skips = 0;
+    hook = None;
+  }
+
+let ncpus t = t.n_cpus
+
+let now t = t.run_base + t.used
+
+let enqueue t th =
+  match th.prio with
+  | High -> Queue.push th t.runq_high
+  | Normal -> Queue.push th t.runq_normal
+  | Low -> Queue.push th t.runq_low
+
+let spawn t ~name ~prio body =
+  let th =
+    { id = t.next_id; name; prio; st = Runnable; wake_at = 0;
+      ready_at = now t; k = None; body = Some body; cycles = 0 }
+  in
+  t.next_id <- t.next_id + 1;
+  t.live <- t.live + 1;
+  enqueue t th;
+  th
+
+let consume n = if n > 0 then Effect.perform (Consume n)
+let sleep n = if n > 0 then Effect.perform (Sleep n) else Effect.perform Yield
+let yield () = Effect.perform Yield
+
+let current t =
+  match t.cur with
+  | Some th -> th
+  | None -> invalid_arg "Sched.current: no thread is running"
+
+let world_stopped t = t.stopped
+
+let stop_the_world t =
+  if t.stopped then invalid_arg "Sched.stop_the_world: already stopped";
+  t.stopped <- true;
+  t.stop_at <- now t;
+  (* The initiating thread must remain schedulable while the world is
+     stopped: it drives the collection.  Boost it to High for the
+     duration. *)
+  match t.cur with
+  | Some th ->
+      t.initiator <- Some (th, th.prio);
+      th.prio <- High
+  | None -> t.initiator <- None
+
+let restart_world t =
+  if not t.stopped then invalid_arg "Sched.restart_world: not stopped";
+  t.stopped <- false;
+  let pause = now t - t.stop_at in
+  (match t.initiator with
+  | Some (th, p) -> th.prio <- p
+  | None -> ());
+  t.initiator <- None;
+  pause
+
+let set_prio t th p =
+  ignore t;
+  (* If the thread is queued under its old priority we would have to move
+     it; priority changes are only performed on the currently-running
+     thread (GC helpers promote themselves), so the queues stay
+     consistent: the thread is re-enqueued under the new priority when it
+     next suspends. *)
+  th.prio <- p
+
+let thread_name th = th.name
+let thread_id th = th.id
+let thread_cycles th = th.cycles
+
+let terminated t = t.finished
+let request_stop t = t.stop_flag <- true
+let stop_requested t = t.stop_flag
+
+let idle_cycles t = t.idle
+let busy_cycles t = t.busy
+
+let on_advance t f = t.hook <- Some f
+
+let handler t th : (unit, outcome) Effect.Deep.handler =
+  {
+    retc = (fun () -> Finished);
+    exnc =
+      (fun e ->
+        Printf.eprintf "simulated thread %s died: %s\n%s\n%!" th.name
+          (Printexc.to_string e)
+          (Printexc.get_backtrace ());
+        raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Consume n ->
+            Some
+              (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                t.used <- t.used + n;
+                th.cycles <- th.cycles + n;
+                if t.used < t.quantum then Effect.Deep.continue k ()
+                else begin
+                  th.k <- Some (C k);
+                  Preempted
+                end)
+        | Sleep n ->
+            Some
+              (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                th.k <- Some (C k);
+                Slept n)
+        | Yield ->
+            Some
+              (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                th.k <- Some (C k);
+                Yielded)
+        | _ -> None);
+  }
+
+let exec t th =
+  match th.k with
+  | Some (C k) ->
+      th.k <- None;
+      Effect.Deep.continue k ()
+  | None -> (
+      match th.body with
+      | Some body ->
+          th.body <- None;
+          Effect.Deep.match_with body () (handler t th)
+      | None -> assert false)
+
+(* Take the first thread in the queue that is allowed to run at time
+   [tm]; threads inspected before it keep their relative order. *)
+let take_ready q tm =
+  let n = Queue.length q in
+  let rec go i =
+    if i >= n then None
+    else
+      let th = Queue.pop q in
+      if th.ready_at <= tm then Some th
+      else begin
+        Queue.push th q;
+        go (i + 1)
+      end
+  in
+  go 0
+
+let pick t tm =
+  if t.stopped then take_ready t.runq_high tm
+  else
+    match take_ready t.runq_high tm with
+    | Some th -> Some th
+    | None ->
+        let boost =
+          t.low_skips >= low_boost_every
+          && not (Queue.is_empty t.runq_low)
+        in
+        if boost then begin
+          match take_ready t.runq_low tm with
+          | Some th ->
+              t.low_skips <- 0;
+              Some th
+          | None -> take_ready t.runq_normal tm
+        end
+        else begin
+          match take_ready t.runq_normal tm with
+          | Some th ->
+              if not (Queue.is_empty t.runq_low) then
+                t.low_skips <- t.low_skips + 1;
+              Some th
+          | None -> take_ready t.runq_low tm
+        end
+
+let min_ready_at t =
+  let best = ref max_int in
+  let scan q = Queue.iter (fun th -> if th.ready_at < !best then best := th.ready_at) q in
+  scan t.runq_high;
+  if not t.stopped then begin
+    scan t.runq_normal;
+    scan t.runq_low
+  end;
+  !best
+
+let min_cpu t =
+  let c = ref 0 in
+  for i = 1 to t.n_cpus - 1 do
+    if t.clock.(i) < t.clock.(!c) then c := i
+  done;
+  !c
+
+let wake_due t tm =
+  let continue = ref true in
+  while !continue do
+    match Sleepq.peek t.sleepers with
+    | Some th when th.wake_at <= tm ->
+        let th = Sleepq.pop t.sleepers in
+        if th.st = Sleeping then begin
+          th.st <- Runnable;
+          enqueue t th
+        end
+    | _ -> continue := false
+  done
+
+let run t ~until =
+  if t.cur <> None then invalid_arg "Sched.run: reentrant call";
+  t.finished <- false;
+  let continue = ref true in
+  while !continue do
+    if t.live = 0 then continue := false
+    else begin
+      let c = min_cpu t in
+      let tm = t.clock.(c) in
+      if tm > until then continue := false
+      else begin
+        wake_due t tm;
+        (match t.hook with Some f -> f tm | None -> ());
+        match pick t tm with
+        | Some th ->
+            t.run_base <- tm;
+            t.used <- 0;
+            t.cur <- Some th;
+            th.st <- Running;
+            let outcome = exec t th in
+            t.cur <- None;
+            t.busy <- t.busy + t.used;
+            let fin = tm + t.used + t.dispatch in
+            t.clock.(c) <- fin;
+            (match outcome with
+            | Finished ->
+                th.st <- Dead;
+                t.live <- t.live - 1
+            | Preempted | Yielded ->
+                th.st <- Runnable;
+                th.ready_at <- fin;
+                enqueue t th
+            | Slept n ->
+                th.st <- Sleeping;
+                th.wake_at <- tm + t.used + n;
+                th.ready_at <- th.wake_at;
+                Sleepq.push t.sleepers th)
+        | None ->
+            (* This CPU is idle.  Advance it to the next time anything can
+               change: the earliest queued thread's ready time, the
+               earliest sleeper wake-up, bounded above by a quantum so a
+               stopped world is re-polled cheaply. *)
+            let next_queued = min_ready_at t in
+            let next_sleep =
+              match Sleepq.peek t.sleepers with
+              | Some th -> th.wake_at
+              | None -> max_int
+            in
+            let next = min next_queued next_sleep in
+            let next =
+              if next = max_int then
+                if
+                  Queue.is_empty t.runq_high
+                  && Queue.is_empty t.runq_normal
+                  && Queue.is_empty t.runq_low
+                  && Sleepq.is_empty t.sleepers
+                then (
+                  (* Nothing runnable and nothing will wake: no progress
+                     is possible. *)
+                  continue := false;
+                  tm)
+                else tm + t.quantum
+              else max (tm + 1) (min next (tm + t.quantum))
+            in
+            t.idle <- t.idle + (next - tm);
+            t.clock.(c) <- next
+      end
+    end
+  done;
+  (* Note: the cooperative stop flag is NOT raised here — [run] may be
+     called again to continue the same simulation (warm-up followed by a
+     measured window).  Threads parked at effect points simply resume. *)
+  t.finished <- true

@@ -1,0 +1,98 @@
+(** Discrete-event simulation of an N-way shared-memory multiprocessor.
+
+    Simulated threads are OCaml 5 effect-handler coroutines multiplexed
+    over [ncpus] simulated processors.  Each processor has its own clock;
+    the scheduler always advances the processor that is furthest behind,
+    so cross-processor interleaving happens at (at most) quantum
+    granularity.  A thread expresses the passage of time by performing
+    {!consume} (burn CPU cycles), {!sleep} (block without using a CPU —
+    think time / IO) and {!yield}.
+
+    Three priority levels implement the paper's thread taxonomy:
+    - [High]: stop-the-world GC worker threads,
+    - [Normal]: mutators (and the incremental tracing they perform
+      during allocation, charged to their own CPU time),
+    - [Low]: the concurrent collector's background tracing threads, which
+      only run when a processor would otherwise be idle.
+
+    {!stop_the_world} suspends scheduling of [Normal] and [Low] threads;
+    only [High] threads run until {!restart_world}.  The elapsed simulated
+    time between stop and restart is recorded as a pause. *)
+
+type t
+
+type prio = High | Normal | Low
+
+type thread
+(** Handle on a simulated thread. *)
+
+val create : ?quantum:int -> ?dispatch:int -> ncpus:int -> unit -> t
+(** [quantum] is the preemption slice in cycles (default 110_000 — about
+    0.2 ms at 550 MHz, a compromise between OS realism and interleaving
+    granularity); [dispatch] the context-switch cost (default
+    {!Cgc_smp.Cost.default.dispatch}). *)
+
+val ncpus : t -> int
+
+val spawn : t -> name:string -> prio:prio -> (unit -> unit) -> thread
+(** Create a thread; it becomes runnable immediately.  The body runs
+    inside the simulation and may use {!consume}/{!sleep}/{!yield} and
+    spawn further threads. *)
+
+val run : t -> until:int -> unit
+(** Drive the simulation until the clock passes [until] cycles or no
+    thread remains alive or runnable.  Must not be called from inside a
+    simulated thread. *)
+
+(** {2 Operations usable only from inside a simulated thread} *)
+
+val consume : int -> unit
+(** Burn simulated CPU cycles; may be preempted part-way. *)
+
+val sleep : int -> unit
+(** Block for the given number of cycles without occupying a CPU. *)
+
+val yield : unit -> unit
+(** Relinquish the CPU; the thread stays runnable. *)
+
+val now : t -> int
+(** Current simulated time in cycles (usable from inside or outside). *)
+
+val current : t -> thread
+(** The thread performing the call. *)
+
+val stop_the_world : t -> unit
+(** Request that only [High]-priority threads be scheduled.  Records the
+    pause start.  The calling thread keeps running regardless of its
+    priority (it is the collector's initiator). *)
+
+val restart_world : t -> int
+(** End the stop-the-world window; returns the pause length in cycles. *)
+
+val world_stopped : t -> bool
+
+val set_prio : t -> thread -> prio -> unit
+
+val thread_name : thread -> string
+val thread_id : thread -> int
+val thread_cycles : thread -> int
+(** Total CPU cycles this thread has consumed. *)
+
+val terminated : t -> bool
+(** True once [run] has returned: threads should wind down. *)
+
+val request_stop : t -> unit
+(** Cooperative shutdown flag for long-running threads (read it with
+    {!stop_requested}). *)
+
+val stop_requested : t -> bool
+
+val idle_cycles : t -> int
+(** Total processor-idle cycles accumulated so far (all CPUs). *)
+
+val busy_cycles : t -> int
+(** Total cycles consumed by threads (all CPUs). *)
+
+val on_advance : t -> (int -> unit) -> unit
+(** Install a hook called with the current time each time a processor is
+    dispatched — used to drain due weak-memory stores. *)

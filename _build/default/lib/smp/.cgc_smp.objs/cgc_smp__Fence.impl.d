@@ -1,0 +1,1 @@
+lib/smp/fence.ml: Array

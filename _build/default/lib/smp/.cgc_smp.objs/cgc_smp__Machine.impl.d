@@ -1,0 +1,1 @@
+lib/smp/machine.ml: Cgc_util Cost Fence Weakmem

@@ -1,0 +1,1 @@
+lib/smp/weakmem.ml: Array Cgc_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/smp/weakmem.mli: Cgc_util

@@ -1,0 +1,41 @@
+type t = {
+  cycles_per_ms : int;
+  fence : int;
+  cas : int;
+  dispatch : int;
+  alloc_obj : int;
+  alloc_slot : int;
+  cache_refill : int;
+  trace_obj : int;
+  trace_slot : int;
+  sweep_word : int;
+  sweep_chunk : int;
+  card_scan : int;
+  card_probe : int;
+  stack_slot : int;
+  write_barrier : int;
+  packet_op : int;
+}
+
+let default =
+  {
+    cycles_per_ms = 550_000;
+    fence = 120;
+    cas = 40;
+    dispatch = 400;
+    alloc_obj = 12;
+    alloc_slot = 2;
+    cache_refill = 300;
+    trace_obj = 100;
+    trace_slot = 12;
+    sweep_word = 40;
+    sweep_chunk = 200;
+    card_scan = 300;
+    card_probe = 2;
+    stack_slot = 6;
+    write_barrier = 8;
+    packet_op = 25;
+  }
+
+let ms_of_cycles t c = float_of_int c /. float_of_int t.cycles_per_ms
+let cycles_of_ms t ms = int_of_float (ms *. float_of_int t.cycles_per_ms)

@@ -1,0 +1,192 @@
+module Prng = Cgc_util.Prng
+
+type mode = Sc | Relaxed
+
+type entry = {
+  key : int;
+  cpu : int;
+  deadline : int;
+  prev : int;
+  mutable dead : bool;
+}
+
+(* Binary min-heap of entries keyed by deadline. *)
+module Heap = struct
+  type t = { mutable a : entry array; mutable n : int }
+
+  let dummy =
+    { key = 0; cpu = 0; deadline = 0; prev = 0; dead = true }
+
+  let create () = { a = Array.make 64 dummy; n = 0 }
+
+  let push h e =
+    if h.n = Array.length h.a then begin
+      let bigger = Array.make (2 * h.n) dummy in
+      Array.blit h.a 0 bigger 0 h.n;
+      h.a <- bigger
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- e;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if h.a.(parent).deadline > h.a.(!i).deadline then begin
+        let tmp = h.a.(parent) in
+        h.a.(parent) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let peek h = if h.n = 0 then None else Some h.a.(0)
+
+  let pop h =
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.n && h.a.(l).deadline < h.a.(!smallest).deadline then smallest := l;
+      if r < h.n && h.a.(r).deadline < h.a.(!smallest).deadline then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.a.(!smallest) in
+        h.a.(!smallest) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    top
+end
+
+type t = {
+  md : mode;
+  rng : Prng.t;
+  max_delay : int;
+  pending : Heap.t;
+  by_key : (int, entry list ref) Hashtbl.t; (* live entries, oldest first *)
+  last_deadline : (int, int) Hashtbl.t;     (* per-key coherence ordering *)
+  mutable next_key : int;
+  mutable live : int;
+}
+
+let create ?(max_delay = 5000) ~mode ~rng () =
+  {
+    md = mode;
+    rng;
+    max_delay;
+    pending = Heap.create ();
+    by_key = Hashtbl.create 256;
+    last_deadline = Hashtbl.create 256;
+    next_key = 0;
+    live = 0;
+  }
+
+let mode t = t.md
+
+let register t n =
+  let base = t.next_key in
+  t.next_key <- base + n;
+  base
+
+(* Make [e] globally visible.  Per-location coherence: every pending
+   store to the same location that is OLDER than [e] (the by_key lists
+   are kept in coherence order) becomes visible too — once a newer store
+   to a cache line is globally visible, reads can never again return
+   values from before it, no matter which processor's buffer the older
+   stores sat in. *)
+let kill t e =
+  if not e.dead then begin
+    match Hashtbl.find_opt t.by_key e.key with
+    | None ->
+        e.dead <- true;
+        t.live <- t.live - 1
+    | Some l ->
+        let rec drop_upto = function
+          | [] -> []
+          | x :: rest ->
+              x.dead <- true;
+              t.live <- t.live - 1;
+              if x == e then rest else drop_upto rest
+        in
+        l := drop_upto !l;
+        if !l = [] then Hashtbl.remove t.by_key e.key
+  end
+
+let store t ~cpu ~now ~key ~prev =
+  match t.md with
+  | Sc -> ()
+  | Relaxed ->
+      let d = now + 1 + Prng.int t.rng t.max_delay in
+      let d =
+        match Hashtbl.find_opt t.last_deadline key with
+        | Some last when last >= d -> last + 1
+        | _ -> d
+      in
+      Hashtbl.replace t.last_deadline key d;
+      let e = { key; cpu; deadline = d; prev; dead = false } in
+      Heap.push t.pending e;
+      t.live <- t.live + 1;
+      (match Hashtbl.find_opt t.by_key key with
+      | Some l -> l := !l @ [ e ]
+      | None -> Hashtbl.replace t.by_key key (ref [ e ]))
+
+let commit_due t ~now =
+  match t.md with
+  | Sc -> ()
+  | Relaxed ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.pending with
+        | Some e when e.dead -> ignore (Heap.pop t.pending)
+        | Some e when e.deadline <= now ->
+            ignore (Heap.pop t.pending);
+            kill t e
+        | _ -> continue := false
+      done
+
+let read t ~cpu ~now ~key ~current =
+  match t.md with
+  | Sc -> current
+  | Relaxed -> (
+      commit_due t ~now;
+      match Hashtbl.find_opt t.by_key key with
+      | None -> current
+      | Some l -> (
+          match !l with
+          | [] -> current
+          | entries ->
+              (* A processor always sees its own latest store.  If the
+                 newest pending entry is ours, the backing value is what we
+                 wrote.  Otherwise remote readers are still masked by the
+                 oldest pending store. *)
+              let newest = List.nth entries (List.length entries - 1) in
+              if newest.cpu = cpu then current
+              else
+                let oldest = List.hd entries in
+                if oldest.cpu = cpu then current else oldest.prev))
+
+let fence t ~cpu ~now:_ =
+  match t.md with
+  | Sc -> ()
+  | Relaxed ->
+      let to_kill = ref [] in
+      Hashtbl.iter
+        (fun _ l -> List.iter (fun e -> if e.cpu = cpu then to_kill := e :: !to_kill) !l)
+        t.by_key;
+      List.iter (kill t) !to_kill
+
+let fence_all t =
+  match t.md with
+  | Sc -> ()
+  | Relaxed ->
+      let to_kill = ref [] in
+      Hashtbl.iter (fun _ l -> List.iter (fun e -> to_kill := e :: !to_kill) !l) t.by_key;
+      List.iter (kill t) !to_kill
+
+let pending_count t = t.live

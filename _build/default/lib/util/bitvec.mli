@@ -1,0 +1,49 @@
+(** Dense bit vectors with run-finding primitives.
+
+    The collector keeps three per-heap bit vectors at one bit per 8-byte
+    slot, exactly as in the paper: the {e mark bit vector} (live objects),
+    the {e allocation bit vector} (valid object starts, also the basis of
+    the batched-fence protocol of section 5.2) and, indirectly, the card
+    table.  Bitwise sweep walks the mark bit vector looking for runs of
+    clear bits, so this module exposes fast next-set/next-clear scans. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-clear vector of [n] bits. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+val test_and_set : t -> int -> bool
+(** [test_and_set t i] sets bit [i] and returns [true] iff it was
+    previously clear (i.e. the caller "won").  This is the mark-bit
+    idiom used to avoid pushing an object twice. *)
+
+val clear_all : t -> unit
+
+val set_range : t -> int -> int -> unit
+(** [set_range t pos len] sets [len] bits starting at [pos]. *)
+
+val clear_range : t -> int -> int -> unit
+
+val next_set : t -> int -> int
+(** [next_set t i] is the index of the first set bit at or after [i], or
+    [length t] if none. *)
+
+val next_clear : t -> int -> int
+(** First clear bit at or after [i], or [length t]. *)
+
+val prev_set : t -> int -> int
+(** [prev_set t i] is the index of the last set bit at or before [i], or
+    [-1] if none.  Used by card cleaning to find the object spanning a
+    card boundary. *)
+
+val count : t -> int
+(** Population count of the whole vector. *)
+
+val count_range : t -> int -> int -> int
+(** [count_range t pos len] is the population count of [\[pos, pos+len)]. *)

@@ -1,0 +1,12 @@
+type t = { alpha : float; mutable v : float; mutable n : int }
+
+let create ?(alpha = 0.5) ~init () =
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Ewma.create: alpha in (0,1]";
+  { alpha; v = init; n = 0 }
+
+let observe t x =
+  t.v <- (t.alpha *. x) +. ((1.0 -. t.alpha) *. t.v);
+  t.n <- t.n + 1
+
+let value t = t.v
+let samples t = t.n

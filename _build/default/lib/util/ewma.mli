@@ -1,0 +1,22 @@
+(** Exponential smoothing average.
+
+    Section 3 of the paper estimates the live-trace volume [L], the
+    dirty-card volume [M] and the background tracing rate [Best] by
+    exponentially smoothing observations from previous collection cycles
+    (or measurement windows).  This module is that estimator. *)
+
+type t
+
+val create : ?alpha:float -> init:float -> unit -> t
+(** [create ~alpha ~init ()] makes an estimator whose first value is
+    [init].  [alpha] (default 0.5) is the weight given to each new
+    observation. *)
+
+val observe : t -> float -> unit
+(** Feed one observation. *)
+
+val value : t -> float
+(** Current smoothed estimate. *)
+
+val samples : t -> int
+(** Number of observations folded in so far (excluding [init]). *)

@@ -1,0 +1,64 @@
+type t = {
+  mutable data : float array;
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () =
+  { data = Array.make 16 0.0; n = 0; sum = 0.0; sumsq = 0.0;
+    mn = infinity; mx = neg_infinity }
+
+let add t x =
+  if t.n = Array.length t.data then begin
+    let bigger = Array.make (2 * t.n) 0.0 in
+    Array.blit t.data 0 bigger 0 t.n;
+    t.data <- bigger
+  end;
+  t.data.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x
+
+let count t = t.n
+let sum t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.0
+  else
+    let m = mean t in
+    let v = (t.sumsq /. float_of_int t.n) -. (m *. m) in
+    if v <= 0.0 then 0.0 else sqrt v
+
+let min t = t.mn
+let max t = t.mx
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let sorted = Array.sub t.data 0 t.n in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+    let idx = Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)) in
+    sorted.(idx)
+  end
+
+let samples t = Array.sub t.data 0 t.n
+
+let merge a b =
+  let t = create () in
+  Array.iter (add t) (samples a);
+  Array.iter (add t) (samples b);
+  t
+
+let clear t =
+  t.n <- 0;
+  t.sum <- 0.0;
+  t.sumsq <- 0.0;
+  t.mn <- infinity;
+  t.mx <- neg_infinity

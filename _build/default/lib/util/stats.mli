@@ -1,0 +1,36 @@
+(** Streaming descriptive statistics.
+
+    Used throughout the experiment harness for pause times, tracing
+    factors, allocation rates, etc.  Keeps all samples so that maxima and
+    percentiles (needed for the paper's "Max Pause Time" rows) are exact. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** 0 when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation; 0 when fewer than two samples. *)
+
+val min : t -> float
+(** +inf when empty. *)
+
+val max : t -> float
+(** -inf when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0,100]; nearest-rank. 0 when empty. *)
+
+val samples : t -> float array
+(** A copy of the samples in insertion order. *)
+
+val merge : t -> t -> t
+(** Combined statistics over both sample sets. *)
+
+val clear : t -> unit

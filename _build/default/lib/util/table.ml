@@ -1,0 +1,51 @@
+type t = {
+  title : string;
+  header : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~header = { title; header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad c s =
+    let w = List.nth widths c in
+    let n = w - String.length s in
+    if n <= 0 then s else String.make n ' ' ^ s
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let fms x = Printf.sprintf "%.1f" x
+let fpct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x

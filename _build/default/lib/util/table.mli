@@ -1,0 +1,32 @@
+(** Aligned plain-text table rendering for the experiment reports.
+
+    Every table and figure of the paper is re-emitted by the benchmark
+    harness as a text table; this module does the column alignment. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+
+val add_row : t -> string list -> unit
+
+val render : t -> string
+(** The table as a string, title first, columns padded, with a rule under
+    the header. *)
+
+val print : t -> unit
+(** [render] followed by a newline on stdout. *)
+
+val fms : float -> string
+(** Format a float as milliseconds with one decimal, e.g. ["266.3"]. *)
+
+val fpct : float -> string
+(** Format a fraction as a percentage, e.g. [0.142] -> ["14.2%"]. *)
+
+val f1 : float -> string
+(** One decimal place. *)
+
+val f2 : float -> string
+(** Two decimal places. *)
+
+val f3 : float -> string
+(** Three decimal places. *)

@@ -1,0 +1,1 @@
+lib/workloads/javac.mli: Cgc_core Cgc_runtime

@@ -1,0 +1,1 @@
+lib/workloads/objgraph.ml: Cgc_core Cgc_heap Cgc_runtime

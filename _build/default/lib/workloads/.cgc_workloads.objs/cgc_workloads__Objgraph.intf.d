@@ -1,0 +1,1 @@
+lib/workloads/objgraph.mli: Cgc_runtime

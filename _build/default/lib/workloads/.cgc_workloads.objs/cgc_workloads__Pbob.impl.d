@@ -1,0 +1,1 @@
+lib/workloads/pbob.ml: Cgc_core Cgc_heap Cgc_runtime Printf Txmix

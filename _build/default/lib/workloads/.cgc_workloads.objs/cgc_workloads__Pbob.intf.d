@@ -1,0 +1,1 @@
+lib/workloads/pbob.mli: Cgc_core Cgc_runtime Txmix

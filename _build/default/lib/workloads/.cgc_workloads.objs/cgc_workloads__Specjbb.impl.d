@@ -1,0 +1,1 @@
+lib/workloads/specjbb.ml: Cgc_heap Cgc_runtime Printf Txmix

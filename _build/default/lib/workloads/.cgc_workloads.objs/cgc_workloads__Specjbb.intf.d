@@ -1,0 +1,1 @@
+lib/workloads/specjbb.mli: Cgc_core Cgc_runtime Txmix

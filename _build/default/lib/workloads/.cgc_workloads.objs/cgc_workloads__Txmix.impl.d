@@ -1,0 +1,1 @@
+lib/workloads/txmix.ml: Cgc_core Cgc_runtime Cgc_util

@@ -1,0 +1,1 @@
+lib/workloads/txmix.mli: Cgc_runtime

@@ -1,0 +1,64 @@
+module Mutator = Cgc_runtime.Mutator
+
+let build_list m ~len ~node_slots =
+  let head = ref 0 in
+  for _ = 1 to len do
+    let n = Mutator.alloc m ~nrefs:1 ~size:node_slots in
+    if !head <> 0 then Mutator.set_ref m n 0 !head;
+    head := n;
+    (* Keep the partial list rooted across the next allocation (which may
+       run a GC increment or stop the world). *)
+    Mutator.root_set m (Mutator.n_roots m - 1) n
+  done;
+  Mutator.root_set m (Mutator.n_roots m - 1) 0;
+  !head
+
+let rec build_tree_rooted m ~depth ~fanout ~node_slots ~root_slot =
+  if depth = 0 then Mutator.alloc m ~nrefs:0 ~size:node_slots
+  else begin
+    let n = Mutator.alloc m ~nrefs:fanout ~size:(max node_slots (fanout + 1)) in
+    Mutator.root_set m root_slot n;
+    for i = 0 to fanout - 1 do
+      let child =
+        build_tree_rooted m ~depth:(depth - 1) ~fanout ~node_slots
+          ~root_slot:(root_slot - 1)
+      in
+      Mutator.set_ref m n i child;
+      Mutator.root_set m root_slot n
+    done;
+    n
+  end
+
+let build_tree m ~depth ~fanout ~node_slots =
+  if depth > 8 then invalid_arg "Objgraph.build_tree: depth too deep for root slots";
+  let root_slot = Mutator.n_roots m - 1 in
+  let n = build_tree_rooted m ~depth ~fanout ~node_slots ~root_slot in
+  for i = root_slot - depth to root_slot do
+    if i >= 0 then Mutator.root_set m i 0
+  done;
+  n
+
+let list_length m head =
+  let n = ref 0 in
+  let cur = ref head in
+  while !cur <> 0 do
+    incr n;
+    cur := Mutator.get_ref m !cur 0
+  done;
+  !n
+
+let rec count_tree m node =
+  if node = 0 then 0
+  else begin
+    let coll = Mutator.collector m in
+    let nrefs =
+      Cgc_heap.Arena.nrefs_of
+        (Cgc_heap.Heap.arena (Cgc_core.Collector.heap coll))
+        node
+    in
+    let total = ref 1 in
+    for i = 0 to nrefs - 1 do
+      total := !total + count_tree m (Mutator.get_ref m node i)
+    done;
+    !total
+  end

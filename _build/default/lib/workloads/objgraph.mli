@@ -1,0 +1,20 @@
+(** Helpers for building heap object graphs through the mutator API. *)
+
+val build_list : Cgc_runtime.Mutator.t -> len:int -> node_slots:int -> int
+(** A singly linked list of [len] nodes, each [node_slots] big with its
+    [next] pointer in reference slot 0.  Returns the head address (0 when
+    [len = 0]).  The list under construction is kept reachable through
+    stack-root slot usage by the caller; during construction the partial
+    list is rooted via the nodes' links from the most recent allocation,
+    so the caller must hold the returned head in a root promptly. *)
+
+val build_tree :
+  Cgc_runtime.Mutator.t -> depth:int -> fanout:int -> node_slots:int -> int
+(** A complete tree of the given depth (depth 0 = single leaf).  Uses
+    stack-root slot [n_roots - 1] as a temporary during construction. *)
+
+val list_length : Cgc_runtime.Mutator.t -> int -> int
+(** Walk a list built by {!build_list}. *)
+
+val count_tree : Cgc_runtime.Mutator.t -> int -> int
+(** Number of nodes in a tree built by {!build_tree}. *)

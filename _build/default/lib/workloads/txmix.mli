@@ -1,0 +1,55 @@
+(** The generic transaction-mix workload engine.
+
+    All three of the paper's benchmarks (SPECjbb2000, pBOB, javac) are
+    modelled as parameterisations of the same observable behaviour — which
+    is all a tracing collector can see of an application:
+    {ul
+    {- a {e resident set}: per-worker linked structures built at startup
+       (the warehouse "database"), sized to hit the paper's heap
+       residency;}
+    {- {e transient allocation}: short-lived objects allocated per
+       transaction and dropped at its end;}
+    {- {e pointer mutation}: replacing list heads in the resident set,
+       which dirties cards, creates garbage, and (during a concurrent
+       phase) creates floating garbage;}
+    {- {e compute} ([work]) and {e think time} ([think]) — the latter is
+       what gives pBOB its processor idle time;}
+    {- occasional {e large objects} that bypass the allocation cache.}} *)
+
+type profile = {
+  live_lists : int;  (** resident lists per worker *)
+  list_len : int;
+  node_slots : int;  (** node size (slots, incl. header) *)
+  leaf_fanout : int;
+      (** leaf objects hung off every list node (order lines): they make
+          the object graph bushy, which is what lets tracing parallelise *)
+  leaf_slots : int;
+  transient_objs : int;  (** per transaction *)
+  transient_slots : int;
+  mutations : int;  (** list-head replacements per transaction *)
+  tx_work : int;  (** compute cycles per transaction *)
+  think_mean : int;  (** mean think-time cycles (exponential); 0 = none *)
+  large_every : int;  (** a large object every N transactions; 0 = never *)
+  large_slots : int;
+  junk_roots : bool;  (** store non-pointer ints into stack roots *)
+}
+
+val resident_slots : profile -> int
+(** Slots of resident data one worker builds. *)
+
+val scale_residency : profile -> target_slots:int -> profile
+(** Adjust [list_len] so the resident set is close to [target_slots]. *)
+
+val body : profile -> Cgc_runtime.Mutator.t -> unit
+(** A worker owning a private resident set: builds it, then loops
+    transactions until the simulation stops. *)
+
+val shared_body :
+  profile -> global_slot:int -> builder:bool -> Cgc_runtime.Mutator.t -> unit
+(** pBOB-style worker: [builder] terminals build the warehouse resident
+    set and publish it in the collector's global-roots table at
+    [global_slot]; the others transact against the shared set. *)
+
+val transaction : profile -> Cgc_runtime.Mutator.t -> dir:int -> unit
+(** One transaction against the directory object [dir] (exposed for
+    tests). *)

@@ -1,0 +1,1 @@
+test/test_cardclean.ml: Alcotest Cgc_core Cgc_heap Cgc_packets Cgc_smp

@@ -1,0 +1,1 @@
+test/test_compact.ml: Alcotest Array Cgc_core Cgc_heap Cgc_runtime Cgc_smp Cgc_util Cgc_workloads Printf

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Cgc_heap Cgc_smp Cgc_util Gen Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_packets.ml: Alcotest Cgc_packets Cgc_smp Gen List QCheck QCheck_alcotest

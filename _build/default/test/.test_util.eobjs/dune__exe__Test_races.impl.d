@@ -1,0 +1,1 @@
+test/test_races.ml: Alcotest Cgc_core Cgc_heap Cgc_packets Cgc_runtime Cgc_smp Cgc_workloads List Printf

@@ -1,0 +1,1 @@
+test/test_smp.ml: Alcotest Cgc_smp Cgc_util List String

@@ -1,0 +1,1 @@
+test/test_stealing.ml: Alcotest Cgc_core Cgc_heap Cgc_runtime Cgc_sim Cgc_smp Cgc_util Cgc_workloads List

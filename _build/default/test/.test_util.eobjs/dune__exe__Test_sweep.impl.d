@@ -1,0 +1,1 @@
+test/test_sweep.ml: Alcotest Array Cgc_core Cgc_heap Cgc_smp Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tracer.ml: Alcotest Array Cgc_core Cgc_heap Cgc_packets Cgc_smp List

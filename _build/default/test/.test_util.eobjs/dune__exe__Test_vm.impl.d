@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Cgc_core Cgc_heap Cgc_packets Cgc_runtime Cgc_smp Cgc_util Gen List QCheck QCheck_alcotest

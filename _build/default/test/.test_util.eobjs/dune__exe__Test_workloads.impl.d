@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cgc_core Cgc_runtime Cgc_sim Cgc_util Cgc_workloads Printf

@@ -1,0 +1,284 @@
+(* Tests for the discrete-event scheduler: effect-based threads, cycle
+   accounting, priorities, preemption, sleep, stop-the-world and the
+   fork-join helper. *)
+
+module Sched = Cgc_sim.Sched
+module Parallel = Cgc_sim.Parallel
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let test_single_thread_consumes () =
+  let s = Sched.create ~ncpus:1 () in
+  let done_at = ref (-1) in
+  ignore
+    (Sched.spawn s ~name:"t" ~prio:Sched.Normal (fun () ->
+         Sched.consume 1000;
+         done_at := Sched.now s));
+  Sched.run s ~until:1_000_000;
+  check ci "consumed 1000 cycles" 1000 !done_at
+
+let test_threads_finish () =
+  let s = Sched.create ~ncpus:2 () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    ignore
+      (Sched.spawn s ~name:"w" ~prio:Sched.Normal (fun () ->
+           Sched.consume 500;
+           incr count))
+  done;
+  Sched.run s ~until:1_000_000;
+  check ci "all threads ran" 10 !count
+
+let test_parallel_speedup () =
+  (* 4 threads of equal work on 4 CPUs should finish in about the time of
+     one, not four. *)
+  let run ncpus =
+    let s = Sched.create ~ncpus () in
+    let finish = ref 0 in
+    for _ = 1 to 4 do
+      ignore
+        (Sched.spawn s ~name:"w" ~prio:Sched.Normal (fun () ->
+             Sched.consume 100_000;
+             if Sched.now s > !finish then finish := Sched.now s))
+    done;
+    Sched.run s ~until:10_000_000;
+    !finish
+  in
+  let t1 = run 1 and t4 = run 4 in
+  check cb "4 cpus at least 3x faster" true (t1 > 3 * t4)
+
+let test_sleep_wakes () =
+  let s = Sched.create ~ncpus:1 () in
+  let woke_at = ref (-1) in
+  ignore
+    (Sched.spawn s ~name:"sleeper" ~prio:Sched.Normal (fun () ->
+         Sched.sleep 5000;
+         woke_at := Sched.now s));
+  Sched.run s ~until:1_000_000;
+  check cb "woke after 5000" true (!woke_at >= 5000)
+
+let test_sleep_frees_cpu () =
+  (* While one thread sleeps, another runs; total elapsed ~ sleep time,
+     not sleep + work. *)
+  let s = Sched.create ~ncpus:1 () in
+  let worked = ref 0 in
+  ignore
+    (Sched.spawn s ~name:"sleeper" ~prio:Sched.Normal (fun () ->
+         Sched.sleep 100_000));
+  ignore
+    (Sched.spawn s ~name:"worker" ~prio:Sched.Normal (fun () ->
+         for _ = 1 to 10 do
+           Sched.consume 5_000;
+           worked := !worked + 5_000
+         done));
+  Sched.run s ~until:10_000_000;
+  check ci "worker did all its work" 50_000 !worked;
+  check cb "busy cycles counted" true (Sched.busy_cycles s >= 50_000)
+
+let test_low_priority_starves_under_load () =
+  (* Low-priority threads are heavily deprioritised under load, but
+     priority aging gives them an occasional slice (one per
+     [low_boost_every] dispatches) so they never starve absolutely. *)
+  let s = Sched.create ~ncpus:1 ~quantum:1000 () in
+  let low_ran = ref 0 in
+  let normal_done = ref false in
+  ignore
+    (Sched.spawn s ~name:"normal" ~prio:Sched.Normal (fun () ->
+         for _ = 1 to 100 do
+           Sched.consume 1000
+         done;
+         normal_done := true));
+  ignore
+    (Sched.spawn s ~name:"low" ~prio:Sched.Low (fun () ->
+         Sched.consume 10;
+         low_ran := Sched.now s));
+  Sched.run s ~until:10_000_000;
+  check cb "normal finished" true !normal_done;
+  (* The low thread waited for many normal quanta (the aging threshold)
+     before getting its first slice. *)
+  check cb "low heavily deprioritised" true (!low_ran >= 50 * 1000)
+
+let test_low_priority_uses_idle () =
+  (* When the normal thread sleeps, the low-priority thread soaks the
+     idle processor. *)
+  let s = Sched.create ~ncpus:1 () in
+  let low_progress = ref 0 in
+  ignore
+    (Sched.spawn s ~name:"normal" ~prio:Sched.Normal (fun () ->
+         for _ = 1 to 5 do
+           Sched.consume 1_000;
+           Sched.sleep 50_000
+         done));
+  ignore
+    (Sched.spawn s ~name:"low" ~prio:Sched.Low (fun () ->
+         for _ = 1 to 100 do
+           Sched.consume 1_000;
+           incr low_progress;
+           Sched.yield ()
+         done));
+  Sched.run s ~until:1_000_000;
+  check cb "low made progress during sleeps" true (!low_progress >= 100)
+
+let test_preemption_interleaves () =
+  (* With a small quantum two equal threads on one CPU should interleave,
+     so neither finishes drastically before the other. *)
+  let s = Sched.create ~ncpus:1 ~quantum:1_000 () in
+  let first_done = ref "" in
+  let spawn name =
+    ignore
+      (Sched.spawn s ~name ~prio:Sched.Normal (fun () ->
+           for _ = 1 to 50 do
+             Sched.consume 1_000
+           done;
+           if !first_done = "" then first_done := name))
+  in
+  spawn "a";
+  spawn "b";
+  Sched.run s ~until:10_000_000;
+  (* both consumed 50k; with round-robin the first finisher ends within
+     ~one quantum of the second *)
+  check cb "someone finished" true (!first_done <> "")
+
+let test_stop_the_world () =
+  let s = Sched.create ~ncpus:2 ~quantum:500 () in
+  let mutator_progress = ref 0 in
+  let during_stop = ref (-1) in
+  let after_stop = ref (-1) in
+  ignore
+    (Sched.spawn s ~name:"mutator" ~prio:Sched.Normal (fun () ->
+         for _ = 1 to 1000 do
+           Sched.consume 100;
+           incr mutator_progress
+         done));
+  ignore
+    (Sched.spawn s ~name:"gc" ~prio:Sched.Normal (fun () ->
+         Sched.consume 2_000;
+         Sched.stop_the_world s;
+         let p0 = !mutator_progress in
+         (* burn a long time; the mutator must not advance *)
+         for _ = 1 to 100 do
+           Sched.consume 1_000
+         done;
+         during_stop := !mutator_progress - p0;
+         let pause = Sched.restart_world s in
+         after_stop := pause));
+  Sched.run s ~until:10_000_000;
+  check ci "mutator frozen during stop" 0 !during_stop;
+  check cb "pause measured" true (!after_stop >= 100_000);
+  check ci "mutator finished after restart" 1000 !mutator_progress
+
+let test_high_prio_runs_during_stop () =
+  let s = Sched.create ~ncpus:2 ~quantum:500 () in
+  let helper_ran = ref false in
+  ignore
+    (Sched.spawn s ~name:"gc" ~prio:Sched.Normal (fun () ->
+         Sched.stop_the_world s;
+         ignore
+           (Sched.spawn s ~name:"helper" ~prio:Sched.High (fun () ->
+                Sched.consume 100;
+                helper_ran := true));
+         (* wait for helper *)
+         while not !helper_ran do
+           Sched.yield ()
+         done;
+         ignore (Sched.restart_world s)));
+  Sched.run s ~until:10_000_000;
+  check cb "helper ran while world stopped" true !helper_ran
+
+let test_parallel_join () =
+  let s = Sched.create ~ncpus:4 () in
+  let hits = Array.make 4 false in
+  let after = ref false in
+  ignore
+    (Sched.spawn s ~name:"main" ~prio:Sched.Normal (fun () ->
+         Parallel.run s ~workers:4 (fun i ->
+             Sched.consume (1000 * (i + 1));
+             hits.(i) <- true);
+         after := Array.for_all (fun x -> x) hits));
+  Sched.run s ~until:10_000_000;
+  check cb "all workers ran before join returned" true !after
+
+let test_determinism () =
+  let run () =
+    let s = Sched.create ~ncpus:3 ~quantum:700 () in
+    let log = Buffer.create 64 in
+    for i = 1 to 5 do
+      ignore
+        (Sched.spawn s
+           ~name:(Printf.sprintf "t%d" i)
+           ~prio:Sched.Normal
+           (fun () ->
+             for _ = 1 to 10 do
+               Sched.consume (100 * i);
+               Buffer.add_string log (string_of_int i)
+             done))
+    done;
+    Sched.run s ~until:1_000_000;
+    Buffer.contents log
+  in
+  check Alcotest.string "two identical runs interleave identically" (run ())
+    (run ())
+
+let test_run_until_bounds () =
+  let s = Sched.create ~ncpus:1 ~quantum:10_000 () in
+  ignore
+    (Sched.spawn s ~name:"inf" ~prio:Sched.Normal (fun () ->
+         while true do
+           Sched.consume 1_000
+         done));
+  Sched.run s ~until:50_000;
+  check cb "stopped near the bound" true (Sched.now s <= 80_000);
+  (* the cooperative stop flag is only raised by request_stop, so that
+     [run] can be called again to continue the simulation *)
+  check cb "stop flag untouched" false (Sched.stop_requested s);
+  Sched.request_stop s;
+  check cb "request_stop raises it" true (Sched.stop_requested s)
+
+let test_idle_accounting () =
+  let s = Sched.create ~ncpus:4 ~quantum:10_000 () in
+  ignore
+    (Sched.spawn s ~name:"lone" ~prio:Sched.Normal (fun () ->
+         Sched.consume 100_000));
+  Sched.run s ~until:1_000_000;
+  check cb "idle cycles recorded on the other cpus" true
+    (Sched.idle_cycles s > 0)
+
+let test_thread_cycles () =
+  let s = Sched.create ~ncpus:1 () in
+  let th = ref None in
+  ignore
+    (Sched.spawn s ~name:"t" ~prio:Sched.Normal (fun () ->
+         th := Some (Sched.current s);
+         Sched.consume 12_345));
+  Sched.run s ~until:1_000_000;
+  match !th with
+  | Some th -> check ci "cycles attributed" 12_345 (Sched.thread_cycles th)
+  | None -> Alcotest.fail "thread never ran"
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "sched",
+        [
+          Alcotest.test_case "single thread" `Quick test_single_thread_consumes;
+          Alcotest.test_case "threads finish" `Quick test_threads_finish;
+          Alcotest.test_case "parallel speedup" `Quick test_parallel_speedup;
+          Alcotest.test_case "sleep wakes" `Quick test_sleep_wakes;
+          Alcotest.test_case "sleep frees cpu" `Quick test_sleep_frees_cpu;
+          Alcotest.test_case "low prio starves under load" `Quick
+            test_low_priority_starves_under_load;
+          Alcotest.test_case "low prio soaks idle" `Quick
+            test_low_priority_uses_idle;
+          Alcotest.test_case "preemption" `Quick test_preemption_interleaves;
+          Alcotest.test_case "stop the world" `Quick test_stop_the_world;
+          Alcotest.test_case "high prio during stop" `Quick
+            test_high_prio_runs_during_stop;
+          Alcotest.test_case "parallel join" `Quick test_parallel_join;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "run until bound" `Quick test_run_until_bounds;
+          Alcotest.test_case "idle accounting" `Quick test_idle_accounting;
+          Alcotest.test_case "thread cycles" `Quick test_thread_cycles;
+        ] );
+    ]

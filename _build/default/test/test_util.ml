@@ -1,0 +1,371 @@
+(* Unit and property tests for the utility substrate: PRNG, exponential
+   smoothing, streaming statistics, bit vectors and table rendering. *)
+
+module Prng = Cgc_util.Prng
+module Ewma = Cgc_util.Ewma
+module Stats = Cgc_util.Stats
+module Bitvec = Cgc_util.Bitvec
+module Table = Cgc_util.Table
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cf = Alcotest.(float 1e-9)
+
+(* ------------------------------ PRNG ------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  check cb "different seeds diverge" true (Prng.next a <> Prng.next b)
+
+let test_prng_int_nonnegative () =
+  (* Regression: Int64.to_int used to wrap to negative ints, producing
+     negative indices roughly a quarter of the time. *)
+  let r = Prng.create 7 in
+  for _ = 1 to 100_000 do
+    let x = Prng.int r 40 in
+    if x < 0 || x >= 40 then Alcotest.failf "out of range: %d" x
+  done
+
+let test_prng_int_covers_range () =
+  let r = Prng.create 3 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10_000 do
+    seen.(Prng.int r 10) <- true
+  done;
+  Array.iteri (fun i s -> check cb (Printf.sprintf "bucket %d hit" i) true s) seen
+
+let test_prng_int_in () =
+  let r = Prng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int_in r 5 9 in
+    if x < 5 || x > 9 then Alcotest.failf "int_in out of range: %d" x
+  done
+
+let test_prng_float_range () =
+  let r = Prng.create 11 in
+  for _ = 1 to 10_000 do
+    let x = Prng.float r 2.5 in
+    if x < 0.0 || x >= 2.5 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_prng_chance_extremes () =
+  let r = Prng.create 13 in
+  for _ = 1 to 100 do
+    check cb "p=1 always true" true (Prng.chance r 1.0)
+  done;
+  for _ = 1 to 100 do
+    check cb "p=0 always false" false (Prng.chance r 0.0)
+  done
+
+let test_prng_exponential_mean () =
+  let r = Prng.create 17 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.exponential r 10.0 in
+    check cb "exponential positive" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  check cb "mean near 10" true (abs_float (mean -. 10.0) < 0.5)
+
+let test_prng_split_independent () =
+  let root = Prng.create 23 in
+  let a = Prng.split root in
+  let b = Prng.split root in
+  check cb "split streams differ" true (Prng.next a <> Prng.next b)
+
+let test_prng_shuffle_permutation () =
+  let r = Prng.create 29 in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check cb "shuffle is a permutation" true (sorted = Array.init 100 (fun i -> i));
+  check cb "shuffle moved something" true (a <> Array.init 100 (fun i -> i))
+
+(* ------------------------------ EWMA ------------------------------ *)
+
+let test_ewma_init () =
+  let e = Ewma.create ~init:5.0 () in
+  check cf "initial value" 5.0 (Ewma.value e);
+  check ci "no samples yet" 0 (Ewma.samples e)
+
+let test_ewma_converges () =
+  let e = Ewma.create ~alpha:0.5 ~init:0.0 () in
+  for _ = 1 to 60 do
+    Ewma.observe e 100.0
+  done;
+  check cb "converged to 100" true (abs_float (Ewma.value e -. 100.0) < 1e-6);
+  check ci "sample count" 60 (Ewma.samples e)
+
+let test_ewma_single_step () =
+  let e = Ewma.create ~alpha:0.25 ~init:0.0 () in
+  Ewma.observe e 8.0;
+  check cf "0.25 * 8" 2.0 (Ewma.value e)
+
+let test_ewma_bad_alpha () =
+  Alcotest.check_raises "alpha 0 rejected"
+    (Invalid_argument "Ewma.create: alpha in (0,1]") (fun () ->
+      ignore (Ewma.create ~alpha:0.0 ~init:0.0 ()))
+
+(* ------------------------------ Stats ------------------------------ *)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check ci "count" 0 (Stats.count s);
+  check cf "mean of empty" 0.0 (Stats.mean s);
+  check cf "stddev of empty" 0.0 (Stats.stddev s)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check cf "mean" 2.5 (Stats.mean s);
+  check cf "min" 1.0 (Stats.min s);
+  check cf "max" 4.0 (Stats.max s);
+  check cf "sum" 10.0 (Stats.sum s);
+  check cb "stddev" true (abs_float (Stats.stddev s -. 1.118033988) < 1e-6)
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  check cf "p50" 50.0 (Stats.percentile s 50.0);
+  check cf "p100" 100.0 (Stats.percentile s 100.0);
+  check cf "p1" 1.0 (Stats.percentile s 1.0)
+
+let test_stats_growth () =
+  (* exercise the internal array doubling *)
+  let s = Stats.create () in
+  for i = 1 to 10_000 do
+    Stats.add s (float_of_int i)
+  done;
+  check ci "count" 10_000 (Stats.count s);
+  check cf "mean" 5000.5 (Stats.mean s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.0; 2.0 ];
+  List.iter (Stats.add b) [ 3.0; 4.0 ];
+  let m = Stats.merge a b in
+  check ci "merged count" 4 (Stats.count m);
+  check cf "merged mean" 2.5 (Stats.mean m)
+
+let test_stats_clear () =
+  let s = Stats.create () in
+  Stats.add s 7.0;
+  Stats.clear s;
+  check ci "count after clear" 0 (Stats.count s);
+  Stats.add s 3.0;
+  check cf "reusable after clear" 3.0 (Stats.mean s)
+
+(* ------------------------------ Bitvec ------------------------------ *)
+
+let test_bitvec_set_get () =
+  let v = Bitvec.create 200 in
+  check cb "initially clear" false (Bitvec.get v 0);
+  Bitvec.set v 0;
+  Bitvec.set v 61;
+  Bitvec.set v 62;
+  Bitvec.set v 199;
+  check cb "bit 0" true (Bitvec.get v 0);
+  check cb "bit 61 (word edge)" true (Bitvec.get v 61);
+  check cb "bit 62 (next word)" true (Bitvec.get v 62);
+  check cb "bit 199" true (Bitvec.get v 199);
+  check cb "bit 100 clear" false (Bitvec.get v 100);
+  Bitvec.clear v 61;
+  check cb "cleared" false (Bitvec.get v 61)
+
+let test_bitvec_test_and_set () =
+  let v = Bitvec.create 10 in
+  check cb "first wins" true (Bitvec.test_and_set v 3);
+  check cb "second loses" false (Bitvec.test_and_set v 3);
+  check cb "bit is set" true (Bitvec.get v 3)
+
+let test_bitvec_ranges () =
+  let v = Bitvec.create 500 in
+  Bitvec.set_range v 50 200;
+  check ci "count after set_range" 200 (Bitvec.count v);
+  check cb "edge low" true (Bitvec.get v 50);
+  check cb "edge high" true (Bitvec.get v 249);
+  check cb "outside low" false (Bitvec.get v 49);
+  check cb "outside high" false (Bitvec.get v 250);
+  Bitvec.clear_range v 100 50;
+  check ci "count after clear_range" 150 (Bitvec.count v);
+  check cb "cleared interior" false (Bitvec.get v 120)
+
+let test_bitvec_next_set () =
+  let v = Bitvec.create 300 in
+  Bitvec.set v 5;
+  Bitvec.set v 130;
+  check ci "next_set from 0" 5 (Bitvec.next_set v 0);
+  check ci "next_set from 5" 5 (Bitvec.next_set v 5);
+  check ci "next_set from 6" 130 (Bitvec.next_set v 6);
+  check ci "next_set from 131 = len" 300 (Bitvec.next_set v 131)
+
+let test_bitvec_next_clear () =
+  let v = Bitvec.create 200 in
+  Bitvec.set_range v 0 150;
+  check ci "next_clear" 150 (Bitvec.next_clear v 0);
+  check ci "next_clear from 150" 150 (Bitvec.next_clear v 150);
+  Bitvec.set_range v 0 200;
+  check ci "all set -> len" 200 (Bitvec.next_clear v 0)
+
+let test_bitvec_prev_set () =
+  let v = Bitvec.create 300 in
+  Bitvec.set v 5;
+  Bitvec.set v 130;
+  check ci "prev_set from 299" 130 (Bitvec.prev_set v 299);
+  check ci "prev_set from 130" 130 (Bitvec.prev_set v 130);
+  check ci "prev_set from 129" 5 (Bitvec.prev_set v 129);
+  check ci "prev_set from 4 = -1" (-1) (Bitvec.prev_set v 4)
+
+let test_bitvec_count_range () =
+  let v = Bitvec.create 400 in
+  Bitvec.set v 10;
+  Bitvec.set v 20;
+  Bitvec.set v 390;
+  check ci "count_range middle" 2 (Bitvec.count_range v 5 20);
+  check ci "count_range all" 3 (Bitvec.count_range v 0 400)
+
+(* Property tests: the bit vector against a reference bool array. *)
+
+let bitvec_model_test =
+  QCheck.Test.make ~name:"bitvec matches bool-array model" ~count:200
+    QCheck.(
+      pair (int_bound 500)
+        (list (pair (int_bound 2) (int_bound 499))))
+    (fun (n, ops) ->
+      let n = n + 1 in
+      let v = Bitvec.create n in
+      let model = Array.make n false in
+      List.iter
+        (fun (op, i) ->
+          let i = i mod n in
+          match op with
+          | 0 ->
+              Bitvec.set v i;
+              model.(i) <- true
+          | 1 ->
+              Bitvec.clear v i;
+              model.(i) <- false
+          | _ ->
+              let won = Bitvec.test_and_set v i in
+              if won <> not model.(i) then failwith "test_and_set mismatch";
+              model.(i) <- true)
+        ops;
+      Array.iteri
+        (fun i b -> if Bitvec.get v i <> b then failwith "get mismatch")
+        model;
+      (* next_set agrees with the model *)
+      let rec model_next i =
+        if i >= n then n else if model.(i) then i else model_next (i + 1)
+      in
+      for i = 0 to n - 1 do
+        if Bitvec.next_set v i <> model_next i then failwith "next_set mismatch"
+      done;
+      true)
+
+let bitvec_range_test =
+  QCheck.Test.make ~name:"set_range/clear_range match model" ~count:200
+    QCheck.(quad (int_bound 300) (int_bound 300) (int_bound 300) bool)
+    (fun (n, pos, len, do_clear) ->
+      let n = n + 10 in
+      let pos = pos mod n in
+      let len = min len (n - pos) in
+      let v = Bitvec.create n in
+      if do_clear then Bitvec.set_range v 0 n;
+      (if do_clear then Bitvec.clear_range v pos len
+       else Bitvec.set_range v pos len);
+      let expected_in = not do_clear and expected_out = do_clear in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let inside = i >= pos && i < pos + len in
+        let want = if inside then expected_in else expected_out in
+        if Bitvec.get v i <> want then ok := false
+      done;
+      !ok)
+
+(* ------------------------------ Table ------------------------------ *)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.render t in
+  check cb "has title" true (String.length s > 0 && s.[0] = 'T');
+  check cb "rows present" true
+    (String.split_on_char '\n' s |> List.length >= 5)
+
+let test_table_arity () =
+  let t = Table.create ~title:"T" ~header:[ "a"; "b" ] in
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Table.add_row: wrong arity")
+    (fun () -> Table.add_row t [ "1" ])
+
+let test_table_formats () =
+  check Alcotest.string "fms" "12.3" (Table.fms 12.34);
+  check Alcotest.string "fpct" "14.2%" (Table.fpct 0.142);
+  check Alcotest.string "f2" "0.04" (Table.f2 0.0449);
+  check Alcotest.string "f3" "0.045" (Table.f3 0.0449)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "int nonnegative (regression)" `Quick
+            test_prng_int_nonnegative;
+          Alcotest.test_case "int covers range" `Quick test_prng_int_covers_range;
+          Alcotest.test_case "int_in range" `Quick test_prng_int_in;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "chance extremes" `Quick test_prng_chance_extremes;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_prng_shuffle_permutation;
+        ] );
+      ( "ewma",
+        [
+          Alcotest.test_case "init" `Quick test_ewma_init;
+          Alcotest.test_case "converges" `Quick test_ewma_converges;
+          Alcotest.test_case "single step" `Quick test_ewma_single_step;
+          Alcotest.test_case "bad alpha" `Quick test_ewma_bad_alpha;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "growth" `Quick test_stats_growth;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "clear" `Quick test_stats_clear;
+        ] );
+      ( "bitvec",
+        [
+          Alcotest.test_case "set/get" `Quick test_bitvec_set_get;
+          Alcotest.test_case "test_and_set" `Quick test_bitvec_test_and_set;
+          Alcotest.test_case "ranges" `Quick test_bitvec_ranges;
+          Alcotest.test_case "next_set" `Quick test_bitvec_next_set;
+          Alcotest.test_case "next_clear" `Quick test_bitvec_next_clear;
+          Alcotest.test_case "prev_set" `Quick test_bitvec_prev_set;
+          Alcotest.test_case "count_range" `Quick test_bitvec_count_range;
+          QCheck_alcotest.to_alcotest bitvec_model_test;
+          QCheck_alcotest.to_alcotest bitvec_range_test;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+    ]

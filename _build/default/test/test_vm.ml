@@ -1,0 +1,181 @@
+(* Tests for the Vm facade: configuration, measurement windows,
+   throughput accounting, report rendering, and a qcheck property that
+   packet-based tracing marks exactly the reachable set of random object
+   graphs. *)
+
+module Vm = Cgc_runtime.Vm
+module Mutator = Cgc_runtime.Mutator
+module Collector = Cgc_core.Collector
+module Config = Cgc_core.Config
+module Gstats = Cgc_core.Gstats
+module Stats = Cgc_util.Stats
+module Machine = Cgc_smp.Machine
+module Heap = Cgc_heap.Heap
+module Arena = Cgc_heap.Arena
+module Pool = Cgc_packets.Pool
+module Tracer = Cgc_core.Tracer
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let spin_worker m =
+  while not (Mutator.stopped m) do
+    let o = Mutator.alloc m ~nrefs:1 ~size:8 in
+    Mutator.root_set m 0 o;
+    Mutator.work m 5_000;
+    Mutator.tx_done m
+  done
+
+let test_defaults () =
+  let cfg = Vm.config () in
+  check (Alcotest.float 0.001) "heap" 64.0 cfg.Vm.heap_mb;
+  check ci "cpus" 4 cfg.Vm.ncpus;
+  check cb "cgc default" true (cfg.Vm.gc.Config.mode = Config.Cgc)
+
+let test_run_duration () =
+  let vm = Vm.create (Vm.config ~heap_mb:4.0 ~ncpus:2 ()) in
+  Vm.spawn_mutator vm ~name:"w" spin_worker;
+  Vm.run vm ~ms:100.0;
+  check cb "clock advanced ~100ms" true
+    (Vm.now_ms vm >= 99.0 && Vm.now_ms vm < 110.0)
+
+let test_throughput_accounting () =
+  let vm = Vm.create (Vm.config ~heap_mb:4.0 ~ncpus:1 ()) in
+  Vm.spawn_mutator vm ~name:"w" spin_worker;
+  Vm.run vm ~ms:200.0;
+  let tx = Vm.total_transactions vm in
+  check cb "transactions counted" true (tx > 10);
+  check cb "throughput consistent" true
+    (abs_float (Vm.throughput vm -. (float_of_int tx /. 0.2)) < 1.0)
+
+let test_run_measured_resets () =
+  let vm = Vm.create (Vm.config ~heap_mb:4.0 ~ncpus:2 ()) in
+  Vm.spawn_mutator vm ~name:"w" spin_worker;
+  Vm.run vm ~ms:100.0;
+  let tx_warm = Vm.total_transactions vm in
+  check cb "warm-up transacted" true (tx_warm > 0);
+  Vm.reset_stats vm;
+  check ci "tx reset" 0 (Vm.total_transactions vm);
+  check ci "fences reset" 0
+    (Cgc_smp.Fence.total (Vm.machine vm).Machine.fences);
+  Vm.run vm ~ms:100.0;
+  check cb "threads continued after reset" true (Vm.total_transactions vm > 0)
+
+let test_multiple_run_windows_continuous () =
+  let vm = Vm.create (Vm.config ~heap_mb:4.0 ~ncpus:1 ()) in
+  Vm.spawn_mutator vm ~name:"w" spin_worker;
+  Vm.run vm ~ms:50.0;
+  let t1 = Vm.now_ms vm in
+  Vm.run vm ~ms:50.0;
+  check cb "second window continues the clock" true (Vm.now_ms vm > t1 +. 40.0)
+
+let test_report_renders () =
+  let vm = Vm.create (Vm.config ~heap_mb:4.0 ~ncpus:1 ()) in
+  Vm.spawn_mutator vm ~name:"w" spin_worker;
+  Vm.run vm ~ms:50.0;
+  (* smoke: must not raise *)
+  Vm.print_report vm
+
+let test_seed_changes_schedule () =
+  let run seed =
+    let vm = Vm.create (Vm.config ~heap_mb:4.0 ~ncpus:2 ~seed ()) in
+    Vm.spawn_mutator vm ~name:"w" (fun m ->
+        let rng = Mutator.rng m in
+        while not (Mutator.stopped m) do
+          let o = Mutator.alloc m ~nrefs:0 ~size:(4 + Cgc_util.Prng.int rng 12) in
+          Mutator.root_set m 0 o;
+          Mutator.work m 3_000;
+          Mutator.tx_done m
+        done);
+    Vm.run vm ~ms:150.0;
+    Vm.total_transactions vm
+  in
+  check cb "different seeds give different runs" true (run 1 <> run 99)
+
+(* Property: for random object graphs, packet tracing marks exactly the
+   set reachable from the chosen roots. *)
+let trace_random_graph =
+  QCheck.Test.make ~name:"tracing marks exactly the reachable set" ~count:60
+    QCheck.(
+      triple (int_range 2 60) (* nodes *)
+        (list_of_size (Gen.int_range 0 120) (pair (int_bound 59) (int_bound 59)))
+        (list_of_size (Gen.int_range 1 5) (int_bound 59)))
+    (fun (n, edges, root_idx) ->
+      let mach = Machine.testing () in
+      let heap = Heap.create mach ~nslots:65536 in
+      let pool = Pool.create mach ~n_packets:8 ~capacity:8 in
+      let tracer = Tracer.create Config.default heap pool in
+      let nrefs = 6 in
+      let nodes =
+        Array.init n (fun _ ->
+            match Heap.alloc_large heap ~size:8 ~nrefs ~mark_new:false with
+            | Some a -> a
+            | None -> failwith "heap full")
+      in
+      let slot_used = Array.make n 0 in
+      let adj = Array.make n [] in
+      List.iter
+        (fun (a, b) ->
+          let a = a mod n and b = b mod n in
+          if slot_used.(a) < nrefs then begin
+            Arena.ref_set_raw (Heap.arena heap) nodes.(a) slot_used.(a)
+              nodes.(b);
+            slot_used.(a) <- slot_used.(a) + 1;
+            adj.(a) <- b :: adj.(a)
+          end)
+        edges;
+      let roots = List.map (fun i -> i mod n) root_idx in
+      (* reference reachability *)
+      let reach = Array.make n false in
+      let rec visit i =
+        if not reach.(i) then begin
+          reach.(i) <- true;
+          List.iter visit adj.(i)
+        end
+      in
+      List.iter visit roots;
+      (* trace *)
+      let s = Tracer.new_session tracer in
+      List.iter (fun i -> Tracer.push_obj tracer s nodes.(i)) roots;
+      let rec go () =
+        if Tracer.trace_until tracer s ~budget:max_int > 0 then go ()
+      in
+      go ();
+      Tracer.release tracer s;
+      let rec settle () =
+        if Pool.deferred_count pool > 0 && Pool.recycle_deferred pool > 0 then begin
+          let s = Tracer.new_session tracer in
+          let rec go () =
+            if Tracer.trace_until tracer s ~budget:max_int > 0 then go ()
+          in
+          go ();
+          Tracer.release tracer s;
+          settle ()
+        end
+      in
+      settle ();
+      let ok = ref true in
+      Array.iteri
+        (fun i a -> if Heap.is_marked heap a <> reach.(i) then ok := false)
+        nodes;
+      !ok && Pool.terminated pool)
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "vm",
+        [
+          Alcotest.test_case "config defaults" `Quick test_defaults;
+          Alcotest.test_case "run duration" `Quick test_run_duration;
+          Alcotest.test_case "throughput accounting" `Quick
+            test_throughput_accounting;
+          Alcotest.test_case "run_measured resets" `Quick
+            test_run_measured_resets;
+          Alcotest.test_case "continuous windows" `Quick
+            test_multiple_run_windows_continuous;
+          Alcotest.test_case "report renders" `Quick test_report_renders;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_schedule;
+          QCheck_alcotest.to_alcotest trace_random_graph;
+        ] );
+    ]
