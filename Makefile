@@ -1,0 +1,36 @@
+# Tier-1 verification: everything `make verify` runs must stay green.
+#
+# The doc and formatting gates only run when the corresponding tool is
+# installed (odoc / ocamlformat are not part of the minimal toolchain);
+# when present they are part of the tier-1 bar.
+
+.PHONY: all build test doc fmt-check verify clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Build the API docs if odoc is available; no-op (with a note) otherwise.
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+	  dune build @doc; \
+	else \
+	  echo "odoc not installed — skipping dune build @doc"; \
+	fi
+
+# Check formatting if ocamlformat is available; no-op otherwise.
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed — skipping dune fmt --check"; \
+	fi
+
+verify: build test doc fmt-check
+
+clean:
+	dune clean

@@ -15,6 +15,14 @@ open Cmdliner
 module Vm = Cgc_runtime.Vm
 module Config = Cgc_core.Config
 
+(* Turn an unwritable output path into a clean CLI error instead of an
+   uncaught Sys_error. *)
+let write_or_die what write file =
+  try write file
+  with Sys_error msg ->
+    Printf.eprintf "cgcsim: cannot write %s: %s\n" what msg;
+    exit 1
+
 let run_cmd =
   let workload =
     let doc = "Workload: specjbb, pbob or javac." in
@@ -53,8 +61,21 @@ let run_cmd =
     Arg.(value & opt int 1 & info [ "card-passes" ] ~doc:"Concurrent card-cleaning passes.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let trace_out =
+    let doc =
+      "Write a Chrome trace-event JSON file (load in Perfetto or \
+       chrome://tracing).  Arms the event-tracing sink for the run."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_out =
+    let doc = "Write per-GC-cycle metrics to $(docv) as CSV." in
+    Arg.(
+      value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
   let exec workload collector warehouses heap_mb ncpus ms tracing_rate
-      n_background packets lazy_sweep compaction card_passes seed =
+      n_background packets lazy_sweep compaction card_passes seed trace_out
+      metrics_out =
     let gc =
       {
         (if collector = "stw" then Config.stw else Config.default) with
@@ -66,18 +87,32 @@ let run_cmd =
         card_passes;
       }
     in
+    let trace = trace_out <> None in
     let vm =
       match workload with
       | "specjbb" ->
-          Cgc_workloads.Specjbb.run ~warehouses ~gc ~heap_mb ~ncpus ~seed ~ms ()
+          Cgc_workloads.Specjbb.run ~warehouses ~gc ~heap_mb ~ncpus ~seed
+            ~trace ~ms ()
       | "pbob" ->
-          Cgc_workloads.Pbob.run ~warehouses ~gc ~heap_mb ~ncpus ~seed ~ms ()
-      | "javac" -> Cgc_workloads.Javac.run ~gc ~heap_mb ~ncpus ~seed ~ms ()
+          Cgc_workloads.Pbob.run ~warehouses ~gc ~heap_mb ~ncpus ~seed ~trace
+            ~ms ()
+      | "javac" ->
+          Cgc_workloads.Javac.run ~gc ~heap_mb ~ncpus ~seed ~trace ~ms ()
       | w ->
           Printf.eprintf "unknown workload %s (specjbb|pbob|javac)\n" w;
           exit 1
     in
-    Vm.print_report vm
+    Vm.print_report vm;
+    (match trace_out with
+    | Some file ->
+        write_or_die "trace" (Vm.write_trace vm) file;
+        Printf.printf "trace written to %s\n" file
+    | None -> ());
+    match metrics_out with
+    | Some file ->
+        write_or_die "metrics" (Vm.write_metrics vm) file;
+        Printf.printf "per-cycle metrics written to %s\n" file
+    | None -> ()
   in
   let info =
     Cmd.info "run" ~doc:"Run a workload under the simulated collector."
@@ -86,7 +121,7 @@ let run_cmd =
     Term.(
       const exec $ workload $ collector $ warehouses $ heap_mb $ ncpus $ ms
       $ tracing_rate $ n_background $ packets $ lazy_sweep $ compaction
-      $ card_passes $ seed)
+      $ card_passes $ seed $ trace_out $ metrics_out)
 
 let experiment_cmd =
   let which =
@@ -96,9 +131,18 @@ let experiment_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
   in
-  let exec which =
+  let metrics_out =
+    let doc =
+      "Write every per-run metrics record the experiment measured to $(docv) \
+       as CSV."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let exec which metrics_out =
     let module E = Cgc_experiments in
-    match which with
+    E.Common.reset_recorded ();
+    (match which with
     | "fig1" -> ignore (E.Fig1_specjbb.run ())
     | "fig2" -> ignore (E.Fig2_pbob.run ())
     | "table1" | "table2" | "table3" -> ignore (E.Tables123.run ())
@@ -107,10 +151,16 @@ let experiment_cmd =
     | "packetmem" -> ignore (E.Packet_memory.run ())
     | n ->
         Printf.eprintf "unknown experiment %s\n" n;
-        exit 1
+        exit 1);
+    match metrics_out with
+    | Some file ->
+        write_or_die "metrics" E.Common.write_metrics_csv file;
+        Printf.printf "metrics written to %s (%d runs)\n" file
+          (List.length (E.Common.recorded ()))
+    | None -> ()
   in
   let info = Cmd.info "experiment" ~doc:"Run a paper-reproduction experiment." in
-  Cmd.v info Term.(const exec $ which)
+  Cmd.v info Term.(const exec $ which $ metrics_out)
 
 let () =
   let info =

@@ -72,7 +72,7 @@ let run label gc =
   Printf.printf
     "%-16s largest allocatable block: %7d slots (of %7d free) | avg pause %5.2f ms | evacuated %7d objs, %7d fixups\n"
     label (largest_block fl) (Freelist.free_slots fl)
-    (Stats.mean st.Cgc_core.Gstats.pause_ms)
+    (Cgc_util.Histogram.mean st.Cgc_core.Gstats.pause_ms)
     (Compact.evacuated_objects (Collector.compactor coll))
     (Compact.fixups (Collector.compactor coll))
 

@@ -14,6 +14,7 @@ module Vm = Cgc_runtime.Vm
 module Config = Cgc_core.Config
 module Gstats = Cgc_core.Gstats
 module Stats = Cgc_util.Stats
+module Hist = Cgc_util.Histogram
 module Table = Cgc_util.Table
 
 let measure k0 =
@@ -39,10 +40,10 @@ let () =
         [ Printf.sprintf "%.0f" k0;
           Printf.sprintf "%.0f" (Vm.throughput vm);
           Table.fpct (Stats.mean st.Gstats.occupancy_end);
-          Table.fms (Stats.mean st.Gstats.pause_ms);
+          Table.fms (Hist.mean st.Gstats.pause_ms);
           Table.fms
-            (if Stats.count st.Gstats.pause_ms = 0 then 0.0
-             else Stats.max st.Gstats.pause_ms);
+            (if Hist.count st.Gstats.pause_ms = 0 then 0.0
+             else Hist.max st.Gstats.pause_ms);
           Table.fpct (Gstats.utilization st);
           string_of_int st.Gstats.cycles ])
     [ 1.0; 4.0; 8.0; 10.0 ];

@@ -80,9 +80,9 @@ let serve name gc =
     (Stats.percentile latencies 50.0)
     (Stats.percentile latencies 99.9)
     (Stats.max latencies)
-    (Stats.mean st.Cgc_core.Gstats.pause_ms)
-    (if Stats.count st.Cgc_core.Gstats.pause_ms = 0 then 0.0
-     else Stats.max st.Cgc_core.Gstats.pause_ms)
+    (Cgc_util.Histogram.mean st.Cgc_core.Gstats.pause_ms)
+    (if Cgc_util.Histogram.count st.Cgc_core.Gstats.pause_ms = 0 then 0.0
+     else Cgc_util.Histogram.max st.Cgc_core.Gstats.pause_ms)
 
 let () =
   Printf.printf

@@ -3,6 +3,8 @@ module Card_table = Cgc_heap.Card_table
 module Alloc_bits = Cgc_heap.Alloc_bits
 module Machine = Cgc_smp.Machine
 module Cost = Cgc_smp.Cost
+module Obs = Cgc_obs.Obs
+module Obs_event = Cgc_obs.Event
 
 type t = {
   heap : Heap.t;
@@ -43,8 +45,10 @@ let start_pass t ~force_fences =
   t.passes <- t.passes + 1;
   let cards = Card_table.snapshot (Heap.cards t.heap) in
   force_fences ();
+  let ncards = List.length cards in
   t.queue <- t.queue @ cards;
-  t.qlen <- t.qlen + List.length cards;
+  t.qlen <- t.qlen + ncards;
+  Obs.instant t.mach.Machine.obs ~arg:ncards Obs_event.Card_pass;
   Machine.flush t.mach
 
 let queue_len t = t.qlen
@@ -70,6 +74,8 @@ let clean_one t tracer session ~stw =
         t.redirty <- t.redirty + 1
       end;
       if stw then t.stw <- t.stw + 1 else t.conc <- t.conc + 1;
+      Obs.instant t.mach.Machine.obs ~arg:!scanned
+        (if stw then Obs_event.Card_clean_stw else Obs_event.Card_clean_conc);
       Machine.flush t.mach;
       Some !scanned
 

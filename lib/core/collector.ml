@@ -9,6 +9,8 @@ module Cost = Cgc_smp.Cost
 module Sched = Cgc_sim.Sched
 module Parallel = Cgc_sim.Parallel
 module Stats = Cgc_util.Stats
+module Obs = Cgc_obs.Obs
+module Obs_event = Cgc_obs.Event
 
 type phase = Idle | Marking | Finalizing
 
@@ -261,6 +263,7 @@ let start_cycle t =
   | _ -> ());
   t.lazy_state <- None;
   t.cycle_no <- t.cycle_no + 1;
+  Obs.instant t.mach.Machine.obs ~arg:t.cycle_no Obs_event.Cycle_start;
   if t.cfg.Config.compaction then begin
     Compact.choose_area t.cp ~cycle:t.cycle_no
       ~fraction:t.cfg.Config.evac_fraction;
@@ -437,6 +440,11 @@ let finalize t reason =
     t.st.Gstats.conc_time <- t.st.Gstats.conc_time + (now - t.conc_start);
     let mark_t0 = now in
     let marked_before_stw = Tracer.marked_slots t.tr in
+    (match t.cfg.Config.mode with
+    | Config.Cgc ->
+        Obs.span t.mach.Machine.obs ~arg:marked_before_stw ~start:t.conc_start
+          Obs_event.Conc_mark
+    | Config.Stw -> ());
     (* Any thread suspended mid-increment holds packets; reclaim them so
        termination detection stays sound.  The threads notice their
        poisoned sessions at their next safe point. *)
@@ -503,18 +511,19 @@ let finalize t reason =
     let sweep_t1 = Machine.now t.mach in
     (* Incremental compaction: evacuate the chosen area and fix up the
        remembered in-pointers, still inside the pause (section 2.3). *)
-    (if t.cfg.Config.compaction && Compact.active t.cp then begin
-       let moved = Compact.evacuate t.cp ~globals:t.globals in
-       Machine.flush t.mach;
-       Stats.add t.st.Gstats.evac_slots (float_of_int moved)
-     end);
+    let moved =
+      if t.cfg.Config.compaction && Compact.active t.cp then begin
+        let moved = Compact.evacuate t.cp ~globals:t.globals in
+        Machine.flush t.mach;
+        Stats.add t.st.Gstats.evac_slots (float_of_int moved);
+        moved
+      end
+      else 0
+    in
     let compact_t1 = Machine.now t.mach in
-    Stats.add t.st.Gstats.compact_ms (Cost.ms_of_cycles t.mach.Machine.cost (compact_t1 - sweep_t1));
     (* Statistics. *)
     let cost = t.mach.Machine.cost in
     let st = t.st in
-    Stats.add st.Gstats.mark_ms (Cost.ms_of_cycles cost (mark_t1 - mark_t0));
-    Stats.add st.Gstats.sweep_ms (Cost.ms_of_cycles cost (sweep_t1 - mark_t1));
     Stats.add st.Gstats.stw_cards (float_of_int (Card_clean.stw_cleaned t.cl));
     Stats.add st.Gstats.conc_cards (float_of_int (Card_clean.conc_cleaned t.cl));
     Stats.add st.Gstats.cc_ratio
@@ -541,9 +550,32 @@ let finalize t reason =
         * Arena.slots_per_card);
     if verify then verify_reachable t;
     let pause = Sched.restart_world t.sched in
-    Stats.add st.Gstats.pause_ms (Cost.ms_of_cycles cost pause);
+    let pause_end = Machine.now t.mach in
+    let obs = t.mach.Machine.obs in
+    Obs.span_at obs ~ts:(pause_end - pause) ~dur:pause Obs_event.Stw_pause;
+    Obs.span_at obs ~ts:mark_t0 ~dur:(mark_t1 - mark_t0) Obs_event.Stw_mark;
+    Obs.span_at obs ~ts:mark_t1 ~dur:(sweep_t1 - mark_t1) Obs_event.Stw_sweep;
+    if moved > 0 then
+      Obs.span_at obs ~ts:sweep_t1 ~dur:(compact_t1 - sweep_t1)
+        Obs_event.Stw_compact;
+    Obs.instant obs ~arg:t.cycle_no Obs_event.Cycle_end;
+    Gstats.note_cycle st
+      {
+        Gstats.cycle = t.cycle_no;
+        end_ms = Cost.ms_of_cycles cost pause_end;
+        pause_ms = Cost.ms_of_cycles cost pause;
+        mark_ms = Cost.ms_of_cycles cost (mark_t1 - mark_t0);
+        sweep_ms = Cost.ms_of_cycles cost (sweep_t1 - mark_t1);
+        compact_ms = Cost.ms_of_cycles cost (compact_t1 - sweep_t1);
+        conc_cards = Card_clean.conc_cleaned t.cl;
+        stw_cards = Card_clean.stw_cleaned t.cl;
+        traced_conc = marked_before_stw;
+        traced_stw = Tracer.marked_slots t.tr - marked_before_stw;
+        evac_slots = moved;
+        occupancy = float_of_int live /. float_of_int (Heap.nslots t.hp);
+      };
     t.ph <- Idle;
-    t.preconc_start <- Machine.now t.mach
+    t.preconc_start <- pause_end
   end
 
 (* A full stop-the-world collection in baseline mode (or a degenerate CGC
@@ -562,6 +594,7 @@ let force_collect t = full_collect t Forced
 
 let do_increment t (m : Mctx.t) ~alloc =
   if t.ph = Marking then begin
+    let incr_t0 = Machine.now t.mach in
     m.Mctx.incr_count <- m.Mctx.incr_count + 1;
     (* Occasionally refresh the background-rate estimate Best. *)
     if t.alloc_window >= 8192 then begin
@@ -627,6 +660,9 @@ let do_increment t (m : Mctx.t) ~alloc =
       Stats.add t.st.Gstats.tracing_factor f;
       Stats.add t.cycle_factors f
     end;
+    if work > 0 then
+      Obs.span t.mach.Machine.obs ~arg:!traced ~start:incr_t0
+        Obs_event.Mut_increment;
     if complete then finalize t Completed
   end
 
@@ -682,6 +718,7 @@ let pre_alloc_hook t m ~request =
       | Finalizing -> ())
 
 let handle_alloc_failure t =
+  Obs.instant t.mach.Machine.obs Obs_event.Alloc_failure;
   match (t.cfg.Config.mode, t.ph) with
   | _, Marking -> finalize t Halted
   | Config.Cgc, Idle -> full_collect t Degenerate
@@ -741,6 +778,7 @@ let background_body t () =
       Machine.flush t.mach;
       if n > 0 then begin
         t.bg_window_traced <- t.bg_window_traced + n;
+        Obs.instant t.mach.Machine.obs ~arg:n Obs_event.Bg_chunk;
         if trace_complete t then finalize t Completed;
         Sched.yield ()
       end

@@ -1,10 +1,27 @@
 module Stats = Cgc_util.Stats
+module Histogram = Cgc_util.Histogram
 module Cost = Cgc_smp.Cost
 
+type cycle_row = {
+  cycle : int;
+  end_ms : float;
+  pause_ms : float;
+  mark_ms : float;
+  sweep_ms : float;
+  compact_ms : float;
+  conc_cards : int;
+  stw_cards : int;
+  traced_conc : int;
+  traced_stw : int;
+  evac_slots : int;
+  occupancy : float;
+}
+
 type t = {
-  pause_ms : Stats.t;
-  mark_ms : Stats.t;
-  sweep_ms : Stats.t;
+  pause_ms : Histogram.t;
+  mark_ms : Histogram.t;
+  sweep_ms : Histogram.t;
+  compact_ms : Histogram.t;
   stw_cards : Stats.t;
   conc_cards : Stats.t;
   cc_ratio : Stats.t;
@@ -17,8 +34,8 @@ type t = {
   traced_conc_slots : Stats.t;
   traced_stw_slots : Stats.t;
   float_slots : Stats.t;
-  compact_ms : Stats.t;
   evac_slots : Stats.t;
+  mutable cycle_log : cycle_row list;
   mutable cycles : int;
   mutable premature_cycles : int;
   mutable halted_cycles : int;
@@ -32,9 +49,10 @@ type t = {
 
 let create () =
   {
-    pause_ms = Stats.create ();
-    mark_ms = Stats.create ();
-    sweep_ms = Stats.create ();
+    pause_ms = Histogram.create ();
+    mark_ms = Histogram.create ();
+    sweep_ms = Histogram.create ();
+    compact_ms = Histogram.create ();
     stw_cards = Stats.create ();
     conc_cards = Stats.create ();
     cc_ratio = Stats.create ();
@@ -47,8 +65,8 @@ let create () =
     traced_conc_slots = Stats.create ();
     traced_stw_slots = Stats.create ();
     float_slots = Stats.create ();
-    compact_ms = Stats.create ();
     evac_slots = Stats.create ();
+    cycle_log = [];
     cycles = 0;
     premature_cycles = 0;
     halted_cycles = 0;
@@ -61,9 +79,10 @@ let create () =
   }
 
 let reset t =
-  Stats.clear t.pause_ms;
-  Stats.clear t.mark_ms;
-  Stats.clear t.sweep_ms;
+  Histogram.clear t.pause_ms;
+  Histogram.clear t.mark_ms;
+  Histogram.clear t.sweep_ms;
+  Histogram.clear t.compact_ms;
   Stats.clear t.stw_cards;
   Stats.clear t.conc_cards;
   Stats.clear t.cc_ratio;
@@ -76,8 +95,8 @@ let reset t =
   Stats.clear t.traced_conc_slots;
   Stats.clear t.traced_stw_slots;
   Stats.clear t.float_slots;
-  Stats.clear t.compact_ms;
   Stats.clear t.evac_slots;
+  t.cycle_log <- [];
   t.cycles <- 0;
   t.premature_cycles <- 0;
   t.halted_cycles <- 0;
@@ -87,6 +106,41 @@ let reset t =
   t.conc_slots <- 0;
   t.conc_time <- 0;
   t.total_alloc_slots <- 0
+
+let note_cycle t row =
+  t.cycle_log <- row :: t.cycle_log;
+  Histogram.add t.pause_ms row.pause_ms;
+  Histogram.add t.mark_ms row.mark_ms;
+  Histogram.add t.sweep_ms row.sweep_ms;
+  Histogram.add t.compact_ms row.compact_ms
+
+let cycle_rows t = List.rev t.cycle_log
+
+let csv_header =
+  [
+    "cycle"; "end_ms"; "pause_ms"; "mark_ms"; "sweep_ms"; "compact_ms";
+    "conc_cards"; "stw_cards"; "traced_conc_slots"; "traced_stw_slots";
+    "evac_slots"; "occupancy";
+  ]
+
+let csv_rows t =
+  List.map
+    (fun r ->
+      [
+        string_of_int r.cycle;
+        Printf.sprintf "%.3f" r.end_ms;
+        Printf.sprintf "%.4f" r.pause_ms;
+        Printf.sprintf "%.4f" r.mark_ms;
+        Printf.sprintf "%.4f" r.sweep_ms;
+        Printf.sprintf "%.4f" r.compact_ms;
+        string_of_int r.conc_cards;
+        string_of_int r.stw_cards;
+        string_of_int r.traced_conc;
+        string_of_int r.traced_stw;
+        string_of_int r.evac_slots;
+        Printf.sprintf "%.4f" r.occupancy;
+      ])
+    (cycle_rows t)
 
 let rate slots time cost =
   if time <= 0 then 0.0

@@ -5,14 +5,41 @@
     of a stop-the-world pause covers final card cleaning, stack rescanning
     and mark completion; the {e sweep} component is the parallel bitwise
     sweep.  The metering criteria of Table 2 (CC Rate, premature-GC Free
-    Space, Cards Left) are recorded per cycle. *)
+    Space, Cards Left) are recorded per cycle.
+
+    Since the observability rework, the four latency aggregates
+    ([pause_ms], [mark_ms], [sweep_ms], [compact_ms]) are bounded
+    log-scale {!Cgc_util.Histogram}s — the VM report derives its
+    p50/p90/p99/max pause figures from them — and each completed GC cycle
+    additionally appends one {!cycle_row} to an in-order log, which is
+    what the [--metrics-out] CSV exporter serialises.  Everything is fed
+    at cycle finalisation through {!note_cycle}; the remaining fields are
+    unchanged {!Cgc_util.Stats} sample sets and plain counters. *)
 
 module Stats = Cgc_util.Stats
+module Histogram = Cgc_util.Histogram
+
+type cycle_row = {
+  cycle : int;  (** 1-based GC cycle number *)
+  end_ms : float;  (** simulated time when the cycle's pause ended *)
+  pause_ms : float;  (** full stop-the-world pause *)
+  mark_ms : float;  (** mark component of the pause *)
+  sweep_ms : float;  (** sweep component of the pause *)
+  compact_ms : float;  (** evacuation + fix-up component of the pause *)
+  conc_cards : int;  (** cards cleaned concurrently this cycle *)
+  stw_cards : int;  (** cards cleaned inside the pause *)
+  traced_conc : int;  (** slots traced concurrently *)
+  traced_stw : int;  (** slots traced inside the pause *)
+  evac_slots : int;  (** slots evacuated (0 without compaction) *)
+  occupancy : float;  (** heap occupancy fraction after the cycle *)
+}
+(** One completed GC cycle, as the per-cycle metrics CSV reports it. *)
 
 type t = {
-  pause_ms : Stats.t;  (** full stop-the-world pauses *)
-  mark_ms : Stats.t;  (** mark component of each pause *)
-  sweep_ms : Stats.t;  (** sweep component of each pause *)
+  pause_ms : Histogram.t;  (** full stop-the-world pauses *)
+  mark_ms : Histogram.t;  (** mark component of each pause *)
+  sweep_ms : Histogram.t;  (** sweep component of each pause *)
+  compact_ms : Histogram.t;  (** evacuation + fix-up component of each pause *)
   stw_cards : Stats.t;  (** cards cleaned in the stop-the-world phase *)
   conc_cards : Stats.t;  (** cards cleaned concurrently *)
   cc_ratio : Stats.t;  (** stw cards / concurrent cards, per cycle *)
@@ -25,8 +52,8 @@ type t = {
   traced_conc_slots : Stats.t;  (** slots traced concurrently per cycle *)
   traced_stw_slots : Stats.t;  (** slots traced inside the pause per cycle *)
   float_slots : Stats.t;  (** live slots at end of cycle *)
-  compact_ms : Stats.t;  (** evacuation + fix-up component of each pause *)
   evac_slots : Stats.t;  (** slots evacuated per cycle *)
+  mutable cycle_log : cycle_row list;  (** newest first; see {!cycle_rows} *)
   mutable cycles : int;
   mutable premature_cycles : int;  (** concurrent phase finished all work *)
   mutable halted_cycles : int;  (** concurrent phase halted by alloc failure *)
@@ -44,11 +71,28 @@ val create : unit -> t
 val reset : t -> unit
 (** Zero everything — used to discard warm-up cycles before measuring. *)
 
+val note_cycle : t -> cycle_row -> unit
+(** Record one finished GC cycle: appends the row to the cycle log and
+    feeds the four latency histograms.  The collector calls this exactly
+    once per cycle, after the world restarts. *)
+
+val cycle_rows : t -> cycle_row list
+(** The per-cycle log in chronological order. *)
+
+val csv_header : string list
+(** Column names of the per-cycle metrics CSV, aligned with
+    {!csv_rows}. *)
+
+val csv_rows : t -> string list list
+(** {!cycle_rows} rendered for {!Cgc_obs.Export.csv}: fixed-precision
+    decimal formatting, so equal-seed runs serialise identically. *)
+
 val utilization : t -> float
 (** Concurrent-phase allocation rate over pre-concurrent allocation rate
     (the paper's mutator-utilization proxy); 0 if unmeasurable. *)
 
 val alloc_rate_preconc : t -> cost:Cgc_smp.Cost.t -> float
-(** KB per millisecond. *)
+(** KB per millisecond of allocation between cycles. *)
 
 val alloc_rate_conc : t -> cost:Cgc_smp.Cost.t -> float
+(** KB per millisecond of allocation during concurrent phases. *)

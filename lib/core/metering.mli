@@ -18,13 +18,21 @@
        [K + (K - K0) * C].}} *)
 
 type t
+(** Mutable metering state for one collector: the L, M and Best
+    exponential-smoothing estimators plus the {!Config.t} policy knobs
+    (K0, the corrective constant C, Kmax). *)
 
 val create : Config.t -> heap_slots:int -> t
+(** Fresh estimators.  Before any cycle has completed, L is seeded with
+    half the heap and M with zero, so the first kickoff errs early
+    (starting a cycle too soon is safe; too late risks an allocation
+    failure). *)
 
 val kickoff_threshold : t -> float
 (** Free-slot threshold that triggers a new concurrent cycle. *)
 
 val should_start : t -> free:int -> bool
+(** [free < kickoff_threshold], i.e. time to start a concurrent cycle. *)
 
 val increment_rate : t -> traced:int -> free:int -> float
 (** The effective mutator tracing rate K for an increment, after
@@ -38,9 +46,14 @@ val observe_background : t -> bg_traced:int -> mutator_alloc:int -> unit
 (** Fold one measurement window into Best ([B = bg / alloc]). *)
 
 val best : t -> float
+(** Current smoothed background tracing rate Best (slots traced by the
+    background threads per slot allocated by mutators). *)
 
 val l_estimate : t -> float
+(** Predicted live (to-be-traced) volume for the current cycle, slots. *)
+
 val m_estimate : t -> float
+(** Predicted dirty-card rescan volume for the current cycle, slots. *)
 
 val end_cycle : t -> l_observed:int -> m_observed:int -> unit
 (** Update the L and M estimators with this cycle's actual values. *)

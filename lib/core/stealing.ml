@@ -4,6 +4,8 @@ module Alloc_bits = Cgc_heap.Alloc_bits
 module Machine = Cgc_smp.Machine
 module Cost = Cgc_smp.Cost
 module Sched = Cgc_sim.Sched
+module Obs = Cgc_obs.Obs
+module Obs_event = Cgc_obs.Event
 
 type stack = { mutable data : int array; mutable n : int }
 
@@ -118,6 +120,7 @@ let try_steal t ~worker =
           stack_push t.priv.(worker) v
       | None -> ()
     done;
+    Obs.instant t.mach.Machine.obs ~arg:take Obs_event.Packet_steal;
     true
   end
 

@@ -5,6 +5,8 @@ module Freelist = Cgc_heap.Freelist
 module Machine = Cgc_smp.Machine
 module Cost = Cgc_smp.Cost
 module Bitvec = Cgc_util.Bitvec
+module Obs = Cgc_obs.Obs
+module Obs_event = Cgc_obs.Event
 
 type region = {
   lo : int;
@@ -21,12 +23,21 @@ let charge_scan heap ~lo ~hi =
   Machine.charge mach (words * mach.Machine.cost.Cost.sweep_word)
 
 let sweep_region heap ~lo ~hi =
+  let mach = Heap.machine heap in
+  let t0 = Machine.now mach in
+  let finish r =
+    Obs.span mach.Machine.obs ~arg:r.live ~start:t0 Obs_event.Sweep_chunk;
+    r
+  in
   let r = { lo; hi; gaps = []; first_mark = max_int; last_end = -1; live = 0 } in
   let mark = Heap.mark_bits heap in
   let arena = Heap.arena heap in
   charge_scan heap ~lo ~hi;
   let m0 = Bitvec.next_set mark lo in
-  if m0 >= hi then r
+  if m0 >= hi then begin
+    Machine.flush mach;
+    finish r
+  end
   else begin
     r.first_mark <- m0;
     let cur = ref m0 in
@@ -45,8 +56,8 @@ let sweep_region heap ~lo ~hi =
         continue := false
       end
     done;
-    Machine.flush (Heap.machine heap);
-    r
+    Machine.flush mach;
+    finish r
   end
 
 let add_free heap ~addr ~size =
@@ -100,6 +111,7 @@ let lazy_step heap lz ~max_slots =
   if lz.fin then false
   else begin
     let n = Heap.nslots heap in
+    let pos0 = lz.pos in
     let hi = min n (lz.pos + max_slots) in
     let mark = Heap.mark_bits heap in
     let arena = Heap.arena heap in
@@ -131,6 +143,9 @@ let lazy_step heap lz ~max_slots =
       end
     done;
     Machine.flush (Heap.machine heap);
+    Obs.instant
+      (Heap.machine heap).Machine.obs
+      ~arg:(lz.pos - pos0) Obs_event.Sweep_chunk;
     true
   end
 

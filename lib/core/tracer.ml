@@ -336,6 +336,7 @@ let scan_roots t s roots =
       if push_root t s v then incr n;
       Machine.flush t.mach)
     roots;
+  Cgc_obs.Obs.instant t.mach.Machine.obs ~arg:!n Cgc_obs.Event.Root_scan;
   !n
 
 let marked_slots t = t.marked

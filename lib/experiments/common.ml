@@ -2,6 +2,7 @@ module Vm = Cgc_runtime.Vm
 module Gstats = Cgc_core.Gstats
 module Collector = Cgc_core.Collector
 module Stats = Cgc_util.Stats
+module Hist = Cgc_util.Histogram
 module Machine = Cgc_smp.Machine
 module Fence = Cgc_smp.Fence
 module Pool = Cgc_packets.Pool
@@ -41,6 +42,39 @@ type metrics = {
 }
 
 let safe_max s = if Stats.count s = 0 then 0.0 else Stats.max s
+let safe_hmax h = if Hist.count h = 0 then 0.0 else Hist.max h
+
+(* Every metrics record extracted by [collect] is also appended here, so
+   the driver can dump a whole experiment's results as CSV afterwards
+   (cgcsim experiment NAME --metrics-out FILE). *)
+let recorded_rev : metrics list ref = ref []
+let record m = recorded_rev := m :: !recorded_rev
+let recorded () = List.rev !recorded_rev
+let reset_recorded () = recorded_rev := []
+
+let metrics_csv_header =
+  [ "label"; "throughput"; "avg_pause_ms"; "max_pause_ms"; "avg_mark_ms";
+    "max_mark_ms"; "avg_sweep_ms"; "max_sweep_ms"; "occupancy"; "conc_cards";
+    "stw_cards"; "cycles"; "premature"; "halted"; "cc_fail_pct";
+    "free_fail_pct"; "cards_left_pct"; "avg_cards_left"; "pre_rate_kb_ms";
+    "conc_rate_kb_ms"; "utilization"; "tracing_factor"; "fairness";
+    "cas_avg"; "cas_max"; "fences_total"; "pkt_in_use_hw"; "pkt_entries_hw";
+    "heap_slots"; "idle_frac" ]
+
+let metrics_csv_row m =
+  let f x = Printf.sprintf "%.4f" x and i = string_of_int in
+  [ m.label; f m.throughput; f m.avg_pause; f m.max_pause; f m.avg_mark;
+    f m.max_mark; f m.avg_sweep; f m.max_sweep; f m.occupancy; f m.conc_cards;
+    f m.stw_cards; i m.cycles; i m.premature; i m.halted; f m.cc_fail_pct;
+    f m.free_fail_pct; f m.cards_left_pct; f m.avg_cards_left; f m.pre_rate;
+    f m.conc_rate; f m.utilization; f m.tracing_factor; f m.fairness;
+    f m.cas_avg; f m.cas_max; i m.fences_total; i m.pkt_in_use_hw;
+    i m.pkt_entries_hw; i m.heap_slots; f m.idle_frac ]
+
+let write_metrics_csv path =
+  let rows = List.map metrics_csv_row (recorded ()) in
+  Cgc_obs.Export.write_file path
+    (Cgc_obs.Export.csv ~header:metrics_csv_header ~rows)
 
 let pct_over samples threshold total =
   if total = 0 then 0.0
@@ -50,6 +84,7 @@ let pct_over samples threshold total =
 
 let collect ~label vm =
   let st = Vm.gc_stats vm in
+  let m =
   let mach = Vm.machine vm in
   let cost = mach.Machine.cost in
   let pl = Collector.pool (Vm.collector vm) in
@@ -58,12 +93,12 @@ let collect ~label vm =
   {
     label;
     throughput = Vm.throughput vm;
-    avg_pause = Stats.mean st.Gstats.pause_ms;
-    max_pause = safe_max st.Gstats.pause_ms;
-    avg_mark = Stats.mean st.Gstats.mark_ms;
-    max_mark = safe_max st.Gstats.mark_ms;
-    avg_sweep = Stats.mean st.Gstats.sweep_ms;
-    max_sweep = safe_max st.Gstats.sweep_ms;
+    avg_pause = Hist.mean st.Gstats.pause_ms;
+    max_pause = safe_hmax st.Gstats.pause_ms;
+    avg_mark = Hist.mean st.Gstats.mark_ms;
+    max_mark = safe_hmax st.Gstats.mark_ms;
+    avg_sweep = Hist.mean st.Gstats.sweep_ms;
+    max_sweep = safe_hmax st.Gstats.sweep_ms;
     occupancy = Stats.mean st.Gstats.occupancy_end;
     conc_cards = Stats.mean st.Gstats.conc_cards;
     stw_cards = Stats.mean st.Gstats.stw_cards;
@@ -88,10 +123,13 @@ let collect ~label vm =
     pkt_in_use_hw = Pool.max_in_use pl;
     pkt_entries_hw = Pool.max_entries pl;
     heap_slots = Cgc_heap.Heap.nslots (Vm.heap vm);
-    idle_frac =
-      (if idle + busy = 0 then 0.0
-       else float_of_int idle /. float_of_int (idle + busy));
-  }
+      idle_frac =
+        (if idle + busy = 0 then 0.0
+         else float_of_int idle /. float_of_int (idle + busy));
+    }
+  in
+  record m;
+  m
 
 let quick () =
   match Sys.getenv_opt "CGC_BENCH_FAST" with

@@ -39,6 +39,24 @@ type metrics = {
 }
 
 val collect : label:string -> Cgc_runtime.Vm.t -> metrics
+(** Extract a {!metrics} record from a finished VM run.  Every record is
+    also appended to the session registry (see {!recorded}), so the CLI
+    driver can dump everything an experiment measured as CSV. *)
+
+val recorded : unit -> metrics list
+(** All metrics collected since start-up (or {!reset_recorded}), in
+    collection order. *)
+
+val reset_recorded : unit -> unit
+
+val metrics_csv_header : string list
+(** Column names for {!metrics_csv_row} / {!write_metrics_csv}. *)
+
+val metrics_csv_row : metrics -> string list
+
+val write_metrics_csv : string -> unit
+(** Write every recorded metrics record to [path] as CSV
+    (implements [cgcsim experiment NAME --metrics-out FILE]). *)
 
 val quick : unit -> bool
 (** True when the CGC_BENCH_FAST environment variable is set: experiments

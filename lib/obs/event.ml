@@ -1,0 +1,86 @@
+type code =
+  | Cycle_start
+  | Cycle_end
+  | Conc_mark
+  | Stw_pause
+  | Stw_mark
+  | Stw_sweep
+  | Stw_compact
+  | Mut_increment
+  | Bg_chunk
+  | Root_scan
+  | Card_pass
+  | Card_clean_conc
+  | Card_clean_stw
+  | Packet_get
+  | Packet_put
+  | Packet_defer
+  | Packet_recycle
+  | Packet_steal
+  | Sweep_chunk
+  | Fence_flush
+  | Alloc_failure
+
+type t = { ts : int; dur : int; tid : int; code : code; arg : int }
+
+let instant e = e.dur < 0
+
+let name = function
+  | Cycle_start -> "cycle-start"
+  | Cycle_end -> "cycle-end"
+  | Conc_mark -> "concurrent-mark"
+  | Stw_pause -> "stw-pause"
+  | Stw_mark -> "stw-mark"
+  | Stw_sweep -> "stw-sweep"
+  | Stw_compact -> "stw-compact"
+  | Mut_increment -> "mutator-increment"
+  | Bg_chunk -> "background-chunk"
+  | Root_scan -> "root-scan"
+  | Card_pass -> "card-pass"
+  | Card_clean_conc -> "card-clean-concurrent"
+  | Card_clean_stw -> "card-clean-stw"
+  | Packet_get -> "packet-get"
+  | Packet_put -> "packet-put"
+  | Packet_defer -> "packet-defer"
+  | Packet_recycle -> "packet-recycle"
+  | Packet_steal -> "packet-steal"
+  | Sweep_chunk -> "sweep-chunk"
+  | Fence_flush -> "fence-flush"
+  | Alloc_failure -> "alloc-failure"
+
+let cat = function
+  | Cycle_start | Cycle_end -> "cycle"
+  | Conc_mark | Mut_increment | Bg_chunk -> "phase"
+  | Stw_pause | Stw_mark | Stw_sweep | Stw_compact -> "pause"
+  | Root_scan -> "root"
+  | Card_pass | Card_clean_conc | Card_clean_stw -> "card"
+  | Packet_get | Packet_put | Packet_defer | Packet_recycle | Packet_steal ->
+      "packet"
+  | Sweep_chunk -> "sweep"
+  | Fence_flush -> "fence"
+  | Alloc_failure -> "cycle"
+
+let all_codes =
+  [
+    Cycle_start;
+    Cycle_end;
+    Conc_mark;
+    Stw_pause;
+    Stw_mark;
+    Stw_sweep;
+    Stw_compact;
+    Mut_increment;
+    Bg_chunk;
+    Root_scan;
+    Card_pass;
+    Card_clean_conc;
+    Card_clean_stw;
+    Packet_get;
+    Packet_put;
+    Packet_defer;
+    Packet_recycle;
+    Packet_steal;
+    Sweep_chunk;
+    Fence_flush;
+    Alloc_failure;
+  ]

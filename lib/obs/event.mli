@@ -1,0 +1,67 @@
+(** Typed trace events.
+
+    Every paper-relevant action of the collector emits one of these codes
+    (see [docs/OBSERVABILITY.md] for the full catalogue and the mapping
+    to the paper's figures and tables).  An event is either a {e span}
+    ([dur >= 0], a phase with extent in simulated time) or an {e instant}
+    ([dur < 0], a point occurrence); both carry the emitting simulated
+    thread id and one integer payload whose meaning depends on the
+    code. *)
+
+type code =
+  | Cycle_start  (** instant; arg = cycle number *)
+  | Cycle_end  (** instant; arg = cycle number *)
+  | Conc_mark
+      (** span: the whole concurrent marking phase, kickoff to world-stop;
+          arg = slots marked concurrently *)
+  | Stw_pause  (** span: the full stop-the-world pause *)
+  | Stw_mark  (** span: mark completion inside the pause *)
+  | Stw_sweep  (** span: parallel bitwise sweep inside the pause *)
+  | Stw_compact  (** span: evacuation + fix-up inside the pause *)
+  | Mut_increment
+      (** span: one mutator tracing increment (section 3);
+          arg = slots traced *)
+  | Bg_chunk  (** instant: a background-thread tracing chunk; arg = slots *)
+  | Root_scan  (** instant: a stack or global-area scan; arg = roots pushed *)
+  | Card_pass
+      (** instant: a card-cleaning pass snapshot was taken;
+          arg = cards captured *)
+  | Card_clean_conc  (** instant: one card cleaned concurrently; arg = slots *)
+  | Card_clean_stw  (** instant: one card cleaned inside the pause *)
+  | Packet_get  (** instant: input work packet acquired; arg = entries *)
+  | Packet_put  (** instant: packet returned to the pool; arg = entries *)
+  | Packet_defer
+      (** instant: packet parked in the Deferred sub-pool (section 5.2);
+          arg = entries *)
+  | Packet_recycle  (** instant: deferred packets recycled; arg = packets *)
+  | Packet_steal
+      (** instant: a work-stealing transfer (section 4.4 ablation);
+          arg = entries stolen *)
+  | Sweep_chunk
+      (** span (eager region) or instant (lazy-sweep step);
+          arg = live slots found *)
+  | Fence_flush  (** instant: a memory fence executed; arg = fence-site id *)
+  | Alloc_failure  (** instant: allocation failed, forcing a collection *)
+
+type t = {
+  ts : int;  (** simulated cycles at the event (span: at its start) *)
+  dur : int;  (** span length in cycles; negative for instants *)
+  tid : int;  (** simulated thread id of the emitter *)
+  code : code;
+  arg : int;
+}
+
+val instant : t -> bool
+
+val name : code -> string
+(** Stable lowercase-dashed name, e.g. ["stw-pause"] — the [name] field
+    of the Chrome trace event. *)
+
+val cat : code -> string
+(** Coarse grouping (["phase"], ["pause"], ["packet"], ["card"],
+    ["sweep"], ["root"], ["fence"], ["cycle"]) — the [cat] field used by
+    trace-viewer filtering. *)
+
+val all_codes : code list
+(** Every code, in declaration order — lets docs and tests enumerate the
+    catalogue without chasing the variant. *)

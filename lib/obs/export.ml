@@ -1,0 +1,56 @@
+let us ~cycles_per_us cycles = float_of_int cycles /. cycles_per_us
+
+let chrome_json ~cycles_per_us events =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i (e : Event.t) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n{\"name\":\"";
+      Buffer.add_string b (Event.name e.code);
+      Buffer.add_string b "\",\"cat\":\"";
+      Buffer.add_string b (Event.cat e.code);
+      if Event.instant e then
+        (* Thread-scoped instant event. *)
+        Buffer.add_string b "\",\"ph\":\"i\",\"s\":\"t\""
+      else begin
+        Buffer.add_string b "\",\"ph\":\"X\",\"dur\":";
+        Buffer.add_string b (Printf.sprintf "%.3f" (us ~cycles_per_us e.dur))
+      end;
+      Buffer.add_string b
+        (Printf.sprintf ",\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"v\":%d}}"
+           (us ~cycles_per_us e.ts) e.tid e.arg))
+    events;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let csv_field f =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') f then begin
+    let b = Buffer.create (String.length f + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      f;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else f
+
+let csv ~header ~rows =
+  let b = Buffer.create 4096 in
+  let row r = Buffer.add_string b (String.concat "," (List.map csv_field r)) in
+  row header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      row r;
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

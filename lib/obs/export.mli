@@ -1,0 +1,27 @@
+(** Trace and metrics serialisation.
+
+    Two formats, both deterministic (stable event order from
+    {!Obs.events}, fixed-precision number formatting, no host clock):
+
+    {ul
+    {- {b Chrome [trace_event] JSON} — load the file in
+       [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.  Spans
+       become complete (["ph":"X"]) events, instants thread-scoped
+       instant (["ph":"i"]) events; the simulated thread id becomes the
+       viewer row, and the integer payload is exposed as [args.v].}
+    {- {b CSV} — one row per GC cycle, produced by {!Cgc_core.Gstats};
+       this module only provides the generic writer.}} *)
+
+val chrome_json : cycles_per_us:float -> Event.t list -> string
+(** Serialise (already-ordered) events, converting cycle timestamps to
+    microseconds — the unit the trace-event spec mandates — at
+    [cycles_per_us] simulated cycles per microsecond. *)
+
+val csv : header:string list -> rows:string list list -> string
+(** RFC-4180-enough CSV: comma-separated, ["\n"] line ends, fields
+    containing commas or quotes are double-quoted. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — plain [open_out]/[output_string], binary
+    mode so the bytes written are exactly the bytes compared by the
+    determinism tests. *)

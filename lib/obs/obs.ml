@@ -1,0 +1,74 @@
+type armed = {
+  cap : int;
+  now : unit -> int;
+  tid : unit -> int;
+  rings : (int, Ring.t) Hashtbl.t;
+  mutable count : int;
+}
+
+type t = Null | On of armed
+
+let null = Null
+
+let create ?(ring_capacity = 65536) ~now ~tid () =
+  On { cap = ring_capacity; now; tid; rings = Hashtbl.create 16; count = 0 }
+
+let enabled = function Null -> false | On _ -> true
+
+let ring_of a tid =
+  match Hashtbl.find_opt a.rings tid with
+  | Some r -> r
+  | None ->
+      let r = Ring.create ~capacity:a.cap in
+      Hashtbl.add a.rings tid r;
+      r
+
+let push a (e : Event.t) =
+  a.count <- a.count + 1;
+  Ring.add (ring_of a e.tid) e
+
+let instant t ?(arg = 0) code =
+  match t with
+  | Null -> ()
+  | On a -> push a { Event.ts = a.now (); dur = -1; tid = a.tid (); code; arg }
+
+let span t ?(arg = 0) ~start code =
+  match t with
+  | Null -> ()
+  | On a ->
+      let now = a.now () in
+      push a
+        { Event.ts = start; dur = max 0 (now - start); tid = a.tid (); code; arg }
+
+let span_at t ?(arg = 0) ~ts ~dur code =
+  match t with
+  | Null -> ()
+  | On a -> push a { Event.ts; dur = max 0 dur; tid = a.tid (); code; arg }
+
+let emitted = function Null -> 0 | On a -> a.count
+
+let dropped = function
+  | Null -> 0
+  | On a -> Hashtbl.fold (fun _ r acc -> acc + Ring.dropped r) a.rings 0
+
+let events t =
+  match t with
+  | Null -> []
+  | On a ->
+      let tids =
+        List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) a.rings [])
+      in
+      let per_thread =
+        List.concat_map (fun tid -> Ring.to_list (Hashtbl.find a.rings tid)) tids
+      in
+      (* Stable: equal timestamps keep the (tid, emission order) order the
+         concatenation established, so the listing is reproducible. *)
+      List.stable_sort
+        (fun (x : Event.t) (y : Event.t) -> compare x.ts y.ts)
+        per_thread
+
+let clear = function
+  | Null -> ()
+  | On a ->
+      Hashtbl.iter (fun _ r -> Ring.clear r) a.rings;
+      a.count <- 0

@@ -1,0 +1,49 @@
+(** The event sink threaded through the simulator.
+
+    A sink is either {!null} — every emit is a single pattern match and a
+    return, so tracing is zero-cost when off — or armed, in which case
+    events are appended to a bounded {!Ring} per emitting simulated
+    thread.  Timestamps come from the [now] closure (the simulated
+    per-CPU clock, never the host clock) and thread ids from the [tid]
+    closure, so an armed sink is fully deterministic: two runs with the
+    same seed produce identical event sequences, and {!events} orders
+    them by simulated time with a stable (thread id, emission order)
+    tie-break. *)
+
+type t
+
+val null : t
+(** The no-op sink: {!enabled} is [false], emits do nothing, {!events}
+    is empty. *)
+
+val create : ?ring_capacity:int -> now:(unit -> int) -> tid:(unit -> int) -> unit -> t
+(** An armed sink.  [ring_capacity] (default [65536]) bounds each
+    per-thread ring; overflow drops the oldest events and is reported by
+    {!dropped}.  [now] and [tid] must only be called from contexts where
+    they are valid — in practice, from inside simulated threads. *)
+
+val enabled : t -> bool
+
+val instant : t -> ?arg:int -> Event.code -> unit
+(** Record a point event at the current simulated time. *)
+
+val span : t -> ?arg:int -> start:int -> Event.code -> unit
+(** Record a span from simulated time [start] to now. *)
+
+val span_at : t -> ?arg:int -> ts:int -> dur:int -> Event.code -> unit
+(** Record a span with an explicit extent — for callers that learn the
+    bounds after the fact (e.g. the pause length returned by
+    [Sched.restart_world]). *)
+
+val emitted : t -> int
+(** Total events emitted (including any later overwritten). *)
+
+val dropped : t -> int
+(** Events lost to ring overflow, across all threads. *)
+
+val events : t -> Event.t list
+(** Every surviving event, sorted by timestamp; ties broken by thread id
+    then emission order, so the result is deterministic. *)
+
+val clear : t -> unit
+(** Drop all recorded events (e.g. after a warm-up window). *)

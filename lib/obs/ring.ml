@@ -1,0 +1,46 @@
+type t = {
+  buf : Event.t array;
+  mutable start : int; (* index of the oldest event *)
+  mutable len : int;
+  mutable lost : int;
+}
+
+let dummy =
+  { Event.ts = 0; dur = -1; tid = 0; code = Event.Cycle_start; arg = 0 }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity dummy; start = 0; len = 0; lost = 0 }
+
+let capacity t = Array.length t.buf
+
+let add t e =
+  let cap = capacity t in
+  if t.len < cap then begin
+    t.buf.((t.start + t.len) mod cap) <- e;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.buf.(t.start) <- e;
+    t.start <- (t.start + 1) mod cap;
+    t.lost <- t.lost + 1
+  end
+
+let length t = t.len
+let dropped t = t.lost
+
+let iter t f =
+  let cap = capacity t in
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.start + i) mod cap)
+  done
+
+let to_list t =
+  let out = ref [] in
+  iter t (fun e -> out := e :: !out);
+  List.rev !out
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.lost <- 0

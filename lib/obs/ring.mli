@@ -1,0 +1,31 @@
+(** Bounded per-worker event ring.
+
+    Each simulated thread that emits trace events gets one of these.  The
+    capacity is fixed at creation; once full, the {e oldest} event is
+    overwritten so that the tail of a run — where the interesting
+    behaviour usually is — survives, and a drop counter records how much
+    history was lost.  Appends are O(1) and allocation-free, so an armed
+    sink stays cheap on the collector's hot paths; {!iter} yields the
+    surviving events oldest-first. *)
+
+type t
+
+val create : capacity:int -> t
+(** [Invalid_argument] unless [capacity > 0]. *)
+
+val capacity : t -> int
+
+val add : t -> Event.t -> unit
+
+val length : t -> int
+(** Events currently held (at most [capacity]). *)
+
+val dropped : t -> int
+(** Events overwritten since creation (or the last {!clear}). *)
+
+val iter : t -> (Event.t -> unit) -> unit
+(** Oldest surviving event first. *)
+
+val to_list : t -> Event.t list
+
+val clear : t -> unit

@@ -1,4 +1,6 @@
 module Machine = Cgc_smp.Machine
+module Obs = Cgc_obs.Obs
+module Obs_event = Cgc_obs.Event
 module Fence = Cgc_smp.Fence
 module Cost = Cgc_smp.Cost
 
@@ -80,9 +82,16 @@ let take_from t sp =
       Some p
 
 let get_input t =
-  match take_from t sp_almost with
-  | Some p -> Some p
-  | None -> take_from t sp_nonempty
+  let got =
+    match take_from t sp_almost with
+    | Some p -> Some p
+    | None -> take_from t sp_nonempty
+  in
+  (match got with
+  | Some p ->
+      Obs.instant t.mach.Machine.obs ~arg:(Packet.count p) Obs_event.Packet_get
+  | None -> ());
+  got
 
 let get_output t =
   match take_from t sp_empty with
@@ -106,11 +115,13 @@ let put_into t sp p =
 let put t p =
   if t.fence_on_put && not (Packet.is_empty p) && not t.naive_mark_fence then
     Machine.fence t.mach Fence.Packet_return;
+  Obs.instant t.mach.Machine.obs ~arg:(Packet.count p) Obs_event.Packet_put;
   put_into t (classify t p) p
 
 let put_deferred t p =
   if t.fence_on_put && not (Packet.is_empty p) && not t.naive_mark_fence then
     Machine.fence t.mach Fence.Packet_return;
+  Obs.instant t.mach.Machine.obs ~arg:(Packet.count p) Obs_event.Packet_defer;
   put_into t sp_deferred p
 
 let recycle_deferred t =
@@ -127,6 +138,8 @@ let recycle_deferred t =
         go ()
   in
   go ();
+  if !moved > 0 then
+    Obs.instant t.mach.Machine.obs ~arg:!moved Obs_event.Packet_recycle;
   !moved
 
 let deferred_count t = t.counters.(sp_deferred)

@@ -10,6 +10,9 @@ module Cost = Cgc_smp.Cost
 module Pool = Cgc_packets.Pool
 module Prng = Cgc_util.Prng
 module Stats = Cgc_util.Stats
+module Histogram = Cgc_util.Histogram
+module Obs = Cgc_obs.Obs
+module Export = Cgc_obs.Export
 
 type config = {
   heap_mb : float;
@@ -20,12 +23,14 @@ type config = {
   stack_slots : int;
   quantum : int;
   fence_policy : Heap.fence_policy;
+  trace : bool;
 }
 
 let config ?(heap_mb = 64.0) ?(ncpus = 4) ?(seed = 1) ?(gc = Config.default)
     ?(wm_mode = Weakmem.Sc) ?(stack_slots = 48) ?(quantum = 110_000)
-    ?(fence_policy = Heap.Batched) () =
-  { heap_mb; ncpus; seed; gc; wm_mode; stack_slots; quantum; fence_policy }
+    ?(fence_policy = Heap.Batched) ?(trace = false) () =
+  { heap_mb; ncpus; seed; gc; wm_mode; stack_slots; quantum; fence_policy;
+    trace }
 
 type t = {
   cfg : config;
@@ -42,8 +47,16 @@ let create cfg =
   let sc = Sched.create ~quantum:cfg.quantum ~ncpus:cfg.ncpus () in
   let rng = Prng.create cfg.seed in
   let wm = Weakmem.create ~mode:cfg.wm_mode ~rng:(Prng.split rng) () in
+  let obs =
+    if cfg.trace then
+      Obs.create
+        ~now:(fun () -> Sched.now sc)
+        ~tid:(fun () -> Sched.thread_id (Sched.current sc))
+        ()
+    else Obs.null
+  in
   let mach =
-    Machine.create ~wm
+    Machine.create ~wm ~obs
       ~now:(fun () -> Sched.now sc)
       ~spend:Sched.consume
       ~cpu:(fun () -> Sched.thread_id (Sched.current sc))
@@ -91,6 +104,7 @@ let reset_stats t =
   Fence.reset mach.Machine.fences;
   mach.Machine.cas_ops <- 0;
   Pool.reset_watermarks (Collector.pool t.coll);
+  Obs.clear mach.Machine.obs;
   t.txs <- 0;
   t.ran_ms <- 0.0
 
@@ -107,14 +121,33 @@ let throughput t =
   if t.ran_ms <= 0.0 then 0.0
   else float_of_int t.txs /. (t.ran_ms /. 1000.0)
 
+let obs t = (machine t).Machine.obs
+
+let cycles_per_us t =
+  float_of_int (machine t).Machine.cost.Cost.cycles_per_ms /. 1000.0
+
+let trace_json t =
+  Export.chrome_json ~cycles_per_us:(cycles_per_us t) (Obs.events (obs t))
+
+let write_trace t path = Export.write_file path (trace_json t)
+
+let metrics_csv t =
+  Export.csv ~header:Gstats.csv_header ~rows:(Gstats.csv_rows (gc_stats t))
+
+let write_metrics t path = Export.write_file path (metrics_csv t)
+
 let print_report t =
   let st = gc_stats t in
   let mach = machine t in
-  let p label stats =
-    Printf.printf "  %-24s avg %8.2f ms   max %8.2f ms   (n=%d)\n" label
-      (Stats.mean stats)
-      (if Stats.count stats = 0 then 0.0 else Stats.max stats)
-      (Stats.count stats)
+  let p label h =
+    Printf.printf
+      "  %-24s avg %8.2f ms   p50 %8.2f   p90 %8.2f   p99 %8.2f   max %8.2f   (n=%d)\n"
+      label (Histogram.mean h)
+      (Histogram.percentile h 50.0)
+      (Histogram.percentile h 90.0)
+      (Histogram.percentile h 99.0)
+      (if Histogram.count h = 0 then 0.0 else Histogram.max h)
+      (Histogram.count h)
   in
   Printf.printf "=== VM report (%.0f MB heap, %d cpus, %s) ===\n" t.cfg.heap_mb
     t.cfg.ncpus
@@ -144,4 +177,8 @@ let print_report t =
   let pl = Collector.pool t.coll in
   Printf.printf "packets: high-water %d of %d in use, %d entries; CAS ops %d\n"
     (Pool.max_in_use pl) (Pool.total pl) (Pool.max_entries pl)
-    mach.Machine.cas_ops
+    mach.Machine.cas_ops;
+  if Obs.enabled mach.Machine.obs then
+    Printf.printf "trace: %d events emitted, %d dropped by ring overflow\n"
+      (Obs.emitted mach.Machine.obs)
+      (Obs.dropped mach.Machine.obs)

@@ -32,6 +32,9 @@ type config = {
   fence_policy : Cgc_heap.Heap.fence_policy;
       (** [Batched] (the paper's protocols) or [Naive] (one fence per
           object / per mark) for the fence-batching ablation *)
+  trace : bool;
+      (** arm the {!Cgc_obs} event sink; off by default because tracing,
+          while cheap, is not free *)
 }
 
 val config :
@@ -43,11 +46,12 @@ val config :
   ?stack_slots:int ->
   ?quantum:int ->
   ?fence_policy:Cgc_heap.Heap.fence_policy ->
+  ?trace:bool ->
   unit ->
   config
 (** Defaults: 64 MB heap, 4 CPUs, seed 1, CGC with paper parameters,
     sequentially-consistent memory (fence costs still charged), 48 stack
-    slots, 110k-cycle (0.2 ms) quantum. *)
+    slots, 110k-cycle (0.2 ms) quantum, tracing off. *)
 
 val create : config -> t
 
@@ -84,5 +88,27 @@ val throughput : t -> float
 (** Transactions per simulated second over the whole run. *)
 
 val print_report : t -> unit
-(** Human-readable summary of pauses, components, throughput and fence /
-    packet statistics. *)
+(** Human-readable summary of pauses (avg / p50 / p90 / p99 / max, from
+    the {!Cgc_core.Gstats} histograms), components, throughput and
+    fence / packet statistics. *)
+
+(** {2 Observability} *)
+
+val obs : t -> Cgc_obs.Obs.t
+(** The event sink ({!Cgc_obs.Obs.null} unless [config ~trace:true]). *)
+
+val trace_json : t -> string
+(** The recorded events as Chrome [trace_event] JSON — open the file in
+    [chrome://tracing] or Perfetto.  Deterministic: equal-seed runs
+    produce byte-identical output.  Empty event list when tracing is
+    off. *)
+
+val write_trace : t -> string -> unit
+(** [write_trace t path] writes {!trace_json} to [path]. *)
+
+val metrics_csv : t -> string
+(** Per-GC-cycle metrics (pause / mark / sweep / compact ms, cards,
+    traced slots, occupancy) as CSV, one row per cycle. *)
+
+val write_metrics : t -> string -> unit
+(** [write_metrics t path] writes {!metrics_csv} to [path]. *)

@@ -32,4 +32,7 @@ val reset : counters -> unit
 
 val site_name : site -> string
 
+val site_index : site -> int
+(** Stable small integer per site — the payload trace events carry. *)
+
 val all_sites : site list

@@ -2,6 +2,7 @@ type t = {
   cost : Cost.t;
   wm : Weakmem.t;
   fences : Fence.counters;
+  obs : Cgc_obs.Obs.t;
   mutable cas_ops : int;
   mutable debt : int;
   now : unit -> int;
@@ -10,10 +11,10 @@ type t = {
   relinquish : unit -> unit;
 }
 
-let create ?(cost = Cost.default) ~wm ~now ~spend ~cpu
-    ?(relinquish = fun () -> ()) () =
-  { cost; wm; fences = Fence.create (); cas_ops = 0; debt = 0; now; spend;
-    cpu; relinquish }
+let create ?(cost = Cost.default) ?(obs = Cgc_obs.Obs.null) ~wm ~now ~spend
+    ~cpu ?(relinquish = fun () -> ()) () =
+  { cost; wm; fences = Fence.create (); obs; cas_ops = 0; debt = 0; now;
+    spend; cpu; relinquish }
 
 let testing ?(mode = Weakmem.Sc) ?(seed = 42) () =
   let clock = ref 0 in
@@ -48,6 +49,7 @@ let flush t =
 
 let fence t site =
   Fence.count t.fences site;
+  Cgc_obs.Obs.instant t.obs ~arg:(Fence.site_index site) Cgc_obs.Event.Fence_flush;
   charge t t.cost.Cost.fence;
   Weakmem.fence t.wm ~cpu:(t.cpu ()) ~now:(t.now ())
 

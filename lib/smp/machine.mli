@@ -12,6 +12,10 @@ type t = {
   cost : Cost.t;
   wm : Weakmem.t;
   fences : Fence.counters;
+  obs : Cgc_obs.Obs.t;
+      (** event sink for the observability layer; {!Cgc_obs.Obs.null}
+          (every emit is a no-op) unless the run was started with tracing
+          armed *)
   mutable cas_ops : int;
   mutable debt : int;    (** cycles charged but not yet spent *)
   now : unit -> int;
@@ -24,6 +28,7 @@ type t = {
 
 val create :
   ?cost:Cost.t ->
+  ?obs:Cgc_obs.Obs.t ->
   wm:Weakmem.t ->
   now:(unit -> int) ->
   spend:(int -> unit) ->

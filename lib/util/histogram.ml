@@ -1,0 +1,124 @@
+type t = {
+  lo : float;
+  log_lo : float;
+  log_gamma : float; (* log10 of the bucket-bound ratio *)
+  decades : int;
+  per_decade : int;
+  buckets : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable n : int;
+  mutable total : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create ?(lo = 1e-3) ?(decades = 7) ?(per_decade = 16) () =
+  if lo <= 0.0 then invalid_arg "Histogram.create: lo must be positive";
+  if decades <= 0 || per_decade <= 0 then
+    invalid_arg "Histogram.create: decades and per_decade must be positive";
+  {
+    lo;
+    log_lo = log10 lo;
+    log_gamma = 1.0 /. float_of_int per_decade;
+    decades;
+    per_decade;
+    buckets = Array.make (decades * per_decade) 0;
+    under = 0;
+    over = 0;
+    n = 0;
+    total = 0.0;
+    mn = infinity;
+    mx = neg_infinity;
+  }
+
+let nbuckets t = Array.length t.buckets
+
+(* Bucket index of a value, or -1 / nbuckets for under / overflow. *)
+let index t v =
+  if v < t.lo then -1
+  else
+    let i = int_of_float ((log10 v -. t.log_lo) /. t.log_gamma) in
+    if i >= nbuckets t then nbuckets t else i
+
+let bounds t i =
+  let lower = 10.0 ** (t.log_lo +. (float_of_int i *. t.log_gamma)) in
+  let upper = 10.0 ** (t.log_lo +. (float_of_int (i + 1) *. t.log_gamma)) in
+  (lower, upper)
+
+let add t v =
+  (match index t v with
+  | -1 -> t.under <- t.under + 1
+  | i when i = nbuckets t -> t.over <- t.over + 1
+  | i -> t.buckets.(i) <- t.buckets.(i) + 1);
+  t.n <- t.n + 1;
+  t.total <- t.total +. v;
+  if v < t.mn then t.mn <- v;
+  if v > t.mx then t.mx <- v
+
+let count t = t.n
+let sum t = t.total
+let mean t = if t.n = 0 then 0.0 else t.total /. float_of_int t.n
+let min t = t.mn
+let max t = t.mx
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else if p >= 100.0 then t.mx
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+      Stdlib.max 1 (Stdlib.min t.n r)
+    in
+    if rank <= t.under then t.mn
+    else begin
+      let cum = ref t.under in
+      let result = ref t.mx (* reached only if rank falls in overflow *) in
+      (try
+         for i = 0 to nbuckets t - 1 do
+           cum := !cum + t.buckets.(i);
+           if !cum >= rank then begin
+             let lower, upper = bounds t i in
+             let rep = sqrt (lower *. upper) in
+             result := Stdlib.min t.mx (Stdlib.max t.mn rep);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+  end
+
+let clear t =
+  Array.fill t.buckets 0 (nbuckets t) 0;
+  t.under <- 0;
+  t.over <- 0;
+  t.n <- 0;
+  t.total <- 0.0;
+  t.mn <- infinity;
+  t.mx <- neg_infinity
+
+let merge a b =
+  if
+    a.lo <> b.lo || a.decades <> b.decades || a.per_decade <> b.per_decade
+  then invalid_arg "Histogram.merge: geometry mismatch";
+  let t = create ~lo:a.lo ~decades:a.decades ~per_decade:a.per_decade () in
+  Array.blit a.buckets 0 t.buckets 0 (nbuckets a);
+  Array.iteri (fun i c -> t.buckets.(i) <- t.buckets.(i) + c) b.buckets;
+  t.under <- a.under + b.under;
+  t.over <- a.over + b.over;
+  t.n <- a.n + b.n;
+  t.total <- a.total +. b.total;
+  t.mn <- Stdlib.min a.mn b.mn;
+  t.mx <- Stdlib.max a.mx b.mx;
+  t
+
+let nonzero_buckets t =
+  let out = ref [] in
+  for i = nbuckets t - 1 downto 0 do
+    if t.buckets.(i) > 0 then begin
+      let lower, upper = bounds t i in
+      out := (lower, upper, t.buckets.(i)) :: !out
+    end
+  done;
+  Array.of_list !out

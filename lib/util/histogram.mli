@@ -1,0 +1,64 @@
+(** Fixed-bucket logarithmic histogram.
+
+    The observability layer records every pause and phase latency; keeping
+    raw samples (as {!Stats} does) is exact but unbounded, which is wrong
+    for a ring-buffer-backed tracing subsystem that must run for millions
+    of simulated transactions.  This histogram is the bounded alternative:
+    a fixed array of buckets whose bounds grow geometrically, giving a
+    constant relative error on percentile queries (HdrHistogram-style).
+
+    Properties:
+    {ul
+    {- {b bounded}: memory is fixed at creation ([decades * per_decade]
+       buckets plus an underflow and an overflow bucket), independent of
+       the number of samples;}
+    {- {b exact moments}: [count], [sum], [mean], [min] and [max] are
+       exact — only interior percentiles are approximate;}
+    {- {b bounded relative error}: a percentile query returns a value
+       within one bucket width (a factor of [10^(1/per_decade)], about
+       15.5% at the default 16 buckets per decade) of the true
+       nearest-rank percentile;}
+    {- {b deterministic}: no allocation after creation, no dependence on
+       sample arrival order for any query.}} *)
+
+type t
+
+val create : ?lo:float -> ?decades:int -> ?per_decade:int -> unit -> t
+(** [create ?lo ?decades ?per_decade ()] covers the value range
+    [\[lo, lo * 10^decades)] with [decades * per_decade] geometric
+    buckets.  Defaults: [lo = 1e-3], [decades = 7], [per_decade = 16] —
+    1 µs to 10 s when samples are milliseconds, 112 buckets.  Samples
+    below [lo] (including zero and negatives) land in an underflow
+    bucket represented by the exact minimum; samples at or above the top
+    in an overflow bucket represented by the exact maximum. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+val sum : t -> float
+
+val mean : t -> float
+(** 0 when empty (matches {!Stats.mean}). *)
+
+val min : t -> float
+(** Exact; [+inf] when empty (matches {!Stats.min}). *)
+
+val max : t -> float
+(** Exact; [-inf] when empty (matches {!Stats.max}). *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]]: the representative value
+    (geometric mean of the bucket bounds, clamped to the observed
+    [\[min, max\]]) of the bucket holding the nearest-rank sample.
+    [p >= 100] returns the exact maximum; 0 when empty. *)
+
+val merge : t -> t -> t
+(** Combined histogram; both inputs must share the same geometry
+    ([Invalid_argument] otherwise). *)
+
+val clear : t -> unit
+
+val nonzero_buckets : t -> (float * float * int) array
+(** [(lower, upper, count)] for every occupied interior bucket, in value
+    order — the exporter's raw view.  Underflow and overflow counts are
+    not included; recover them from [count] minus the interior total. *)

@@ -1,17 +1,25 @@
-(** Streaming descriptive statistics.
+(** Streaming descriptive statistics over an exact sample vector.
 
-    Used throughout the experiment harness for pause times, tracing
-    factors, allocation rates, etc.  Keeps all samples so that maxima and
-    percentiles (needed for the paper's "Max Pause Time" rows) are exact. *)
+    Used throughout the experiment harness for tracing factors,
+    allocation rates, occupancy, etc.  Keeps {e all} samples, so maxima
+    and percentiles are exact but memory grows with the run; for
+    long-lived aggregates where bounded memory matters (the collector's
+    own pause/mark/sweep times in [Cgc_core.Gstats]) use the
+    fixed-bucket {!Histogram} instead. *)
 
 type t
 
 val create : unit -> t
+(** An empty accumulator. *)
 
 val add : t -> float -> unit
+(** Record one sample. *)
 
 val count : t -> int
+(** Samples recorded so far. *)
+
 val sum : t -> float
+
 val mean : t -> float
 (** 0 when empty. *)
 

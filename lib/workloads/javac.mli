@@ -9,6 +9,7 @@ val setup :
   ?heap_mb:float ->
   ?ncpus:int ->
   ?seed:int ->
+  ?trace:bool ->
   ?n_background:int ->
   unit ->
   Cgc_runtime.Vm.t
@@ -18,6 +19,7 @@ val run :
   ?heap_mb:float ->
   ?ncpus:int ->
   ?seed:int ->
+  ?trace:bool ->
   ?ms:float ->
   unit ->
   Cgc_runtime.Vm.t

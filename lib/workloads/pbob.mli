@@ -14,6 +14,7 @@ val setup :
   ?heap_mb:float ->
   ?ncpus:int ->
   ?seed:int ->
+  ?trace:bool ->
   ?think_mean:int ->
   ?residency_at:int * float ->
   unit ->
@@ -30,6 +31,7 @@ val run :
   ?heap_mb:float ->
   ?ncpus:int ->
   ?seed:int ->
+  ?trace:bool ->
   ?think_mean:int ->
   ?ms:float ->
   unit ->

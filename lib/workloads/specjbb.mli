@@ -12,13 +12,15 @@ val setup :
   ?heap_mb:float ->
   ?ncpus:int ->
   ?seed:int ->
+  ?trace:bool ->
   ?residency_at:int * float ->
   unit ->
   Cgc_runtime.Vm.t
 (** Build a VM and spawn the warehouse threads (not yet run).
     [residency_at] is [(warehouse_count, fraction)] — default [(8, 0.6)]:
     the per-warehouse resident set is sized so that running with
-    [warehouse_count] warehouses fills [fraction] of the heap. *)
+    [warehouse_count] warehouses fills [fraction] of the heap.
+    [trace] arms the event-tracing sink (see {!Cgc_runtime.Vm.trace_json}). *)
 
 val run :
   warehouses:int ->
@@ -26,6 +28,7 @@ val run :
   ?heap_mb:float ->
   ?ncpus:int ->
   ?seed:int ->
+  ?trace:bool ->
   ?ms:float ->
   unit ->
   Cgc_runtime.Vm.t

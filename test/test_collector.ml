@@ -10,6 +10,7 @@ module Metering = Cgc_core.Metering
 module Gstats = Cgc_core.Gstats
 module Tracer = Cgc_core.Tracer
 module Stats = Cgc_util.Stats
+module Hist = Cgc_util.Histogram
 module Objgraph = Cgc_workloads.Objgraph
 
 let check = Alcotest.check
@@ -101,8 +102,8 @@ let test_cgc_shorter_pauses_than_stw () =
   in
   let cgc = measure Config.default in
   let stw = measure Config.stw in
-  let p vm = Stats.mean (Vm.gc_stats vm).Gstats.pause_ms in
-  let mark vm = Stats.mean (Vm.gc_stats vm).Gstats.mark_ms in
+  let p vm = Hist.mean (Vm.gc_stats vm).Gstats.pause_ms in
+  let mark vm = Hist.mean (Vm.gc_stats vm).Gstats.mark_ms in
   check cb "CGC pauses well below STW pauses" true (p cgc < 0.6 *. p stw);
   check cb "CGC mark component far below STW's" true
     (mark cgc < 0.35 *. mark stw)
@@ -117,8 +118,8 @@ let test_stw_mode_has_no_write_barrier () =
 let test_pause_components_sum () =
   let vm = run_vm () in
   let st = Vm.gc_stats vm in
-  let sum = Stats.mean st.Gstats.mark_ms +. Stats.mean st.Gstats.sweep_ms in
-  let pause = Stats.mean st.Gstats.pause_ms in
+  let sum = Hist.mean st.Gstats.mark_ms +. Hist.mean st.Gstats.sweep_ms in
+  let pause = Hist.mean st.Gstats.pause_ms in
   check cb "mark + sweep ~ pause" true
     (sum <= pause +. 0.01 && sum >= 0.7 *. pause)
 
@@ -143,7 +144,7 @@ let test_lazy_sweep_mode () =
   let st = Vm.gc_stats vm in
   check cb "cycles happened" true (st.Gstats.cycles >= 2);
   check cb "sweep component (almost) eliminated from pause" true
-    (Stats.mean st.Gstats.sweep_ms < 0.1);
+    (Hist.mean st.Gstats.sweep_ms < 0.1);
   check (Alcotest.list (Alcotest.pair ci ci)) "heap intact under lazy sweep" []
     (Collector.check_reachable (Vm.collector vm))
 
@@ -215,7 +216,7 @@ let test_determinism () =
     let vm = run_vm ~ms:500.0 () in
     ( Vm.total_transactions vm,
       (Vm.gc_stats vm).Gstats.cycles,
-      Stats.mean (Vm.gc_stats vm).Gstats.pause_ms )
+      Hist.mean (Vm.gc_stats vm).Gstats.pause_ms )
   in
   let t1, c1, p1 = run () in
   let t2, c2, p2 = run () in

@@ -193,7 +193,7 @@ let test_end_to_end_compaction () =
   check (Alcotest.list (Alcotest.pair ci ci)) "heap intact under compaction" []
     (Collector.check_reachable coll);
   check cb "compaction pause component recorded" true
-    (Stats.count st.Gstats.compact_ms > 0)
+    (Cgc_util.Histogram.count st.Gstats.compact_ms > 0)
 
 let test_end_to_end_shared_globals () =
   (* pBOB-style shared warehouses live in the global roots, which the

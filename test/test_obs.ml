@@ -1,0 +1,243 @@
+(* Tests for the observability subsystem: the log-scale histogram, the
+   bounded event ring, the tracing sink, and the Chrome trace exporter —
+   including the headline determinism property (two equal-seed traced VM
+   runs produce byte-identical JSON). *)
+
+module Histogram = Cgc_util.Histogram
+module Prng = Cgc_util.Prng
+module Ring = Cgc_obs.Ring
+module Event = Cgc_obs.Event
+module Obs = Cgc_obs.Obs
+module Export = Cgc_obs.Export
+module Vm = Cgc_runtime.Vm
+module Config = Cgc_core.Config
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cf = Alcotest.(float 1e-9)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+(* --------------------------- Histogram --------------------------- *)
+
+(* Exact percentile by nearest-rank over a sorted copy — the reference
+   the bucketed histogram must approximate. *)
+let exact_percentile samples p =
+  let a = Array.copy samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  if p >= 100.0 then a.(n - 1)
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
+let test_hist_percentiles_vs_sort () =
+  let rng = Prng.create 11 in
+  let n = 5000 in
+  (* log-uniform over ~4 decades, like pause times in ms *)
+  let samples =
+    Array.init n (fun _ -> 10.0 ** (Prng.float rng 4.0 -. 2.0))
+  in
+  let h = Histogram.create () in
+  Array.iter (fun x -> Histogram.add h x) samples;
+  List.iter
+    (fun p ->
+      let want = exact_percentile samples p in
+      let got = Histogram.percentile h p in
+      (* 16 buckets per decade bounds the relative error of any interior
+         percentile by one bucket width: 10^(1/16) - 1 ~ 15.5%. *)
+      let rel = abs_float (got -. want) /. want in
+      check cb (Printf.sprintf "p%.0f within bucket width" p) true (rel < 0.16))
+    [ 10.0; 50.0; 90.0; 99.0 ];
+  check cf "p100 is the exact max" (exact_percentile samples 100.0)
+    (Histogram.percentile h 100.0)
+
+let test_hist_exact_moments () =
+  let samples = [| 0.5; 1.0; 2.0; 4.0; 8.0 |] in
+  let h = Histogram.create () in
+  Array.iter (Histogram.add h) samples;
+  check ci "count" 5 (Histogram.count h);
+  check cf "sum" 15.5 (Histogram.sum h);
+  check cf "mean" 3.1 (Histogram.mean h);
+  check cf "min" 0.5 (Histogram.min h);
+  check cf "max" 8.0 (Histogram.max h)
+
+let test_hist_empty () =
+  let h = Histogram.create () in
+  check ci "count" 0 (Histogram.count h);
+  check cf "mean of empty" 0.0 (Histogram.mean h);
+  check cf "percentile of empty" 0.0 (Histogram.percentile h 50.0)
+
+let test_hist_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  let all = Histogram.create () in
+  let rng = Prng.create 3 in
+  for _ = 1 to 500 do
+    let x = Prng.float rng 100.0 +. 0.01 in
+    Histogram.add (if Prng.bool rng then a else b) x;
+    Histogram.add all x
+  done;
+  let m = Histogram.merge a b in
+  check ci "merged count" (Histogram.count all) (Histogram.count m);
+  check cf "merged sum" (Histogram.sum all) (Histogram.sum m);
+  check cf "merged max" (Histogram.max all) (Histogram.max m);
+  check cf "merged p90" (Histogram.percentile all 90.0)
+    (Histogram.percentile m 90.0)
+
+(* ----------------------------- Ring ------------------------------ *)
+
+let ev ts = { Event.ts; dur = -1; tid = 0; code = Event.Packet_get; arg = 0 }
+
+let test_ring_keeps_newest () =
+  let r = Ring.create ~capacity:4 in
+  for i = 1 to 10 do
+    Ring.add r (ev i)
+  done;
+  check ci "dropped count" 6 (Ring.dropped r);
+  check ci "stored" 4 (Ring.length r);
+  let ts = List.map (fun e -> e.Event.ts) (Ring.to_list r) in
+  check (Alcotest.list ci) "newest 4, oldest first" [ 7; 8; 9; 10 ] ts
+
+let test_ring_no_overflow () =
+  let r = Ring.create ~capacity:8 in
+  for i = 1 to 8 do
+    Ring.add r (ev i)
+  done;
+  check ci "no loss" 0 (Ring.dropped r);
+  check ci "all stored" 8 (Ring.length r)
+
+(* ------------------------------ Obs ------------------------------ *)
+
+let test_null_sink_emits_nothing () =
+  let t = Obs.null in
+  check cb "disabled" false (Obs.enabled t);
+  Obs.instant t Event.Stw_pause;
+  Obs.span t ~start:0 Event.Conc_mark;
+  check ci "emitted" 0 (Obs.emitted t);
+  check ci "events" 0 (List.length (Obs.events t))
+
+let test_armed_sink_orders_events () =
+  let clock = ref 0 and tid = ref 0 in
+  let t = Obs.create ~now:(fun () -> !clock) ~tid:(fun () -> !tid) () in
+  check cb "enabled" true (Obs.enabled t);
+  (* interleave two threads with out-of-order arrival per thread *)
+  tid := 1;
+  clock := 30;
+  Obs.instant t Event.Packet_put;
+  tid := 0;
+  clock := 10;
+  Obs.instant t Event.Packet_get;
+  clock := 50;
+  Obs.span t ~start:20 Event.Stw_pause;
+  let evs = Obs.events t in
+  check ci "all kept" 3 (List.length evs);
+  let ts = List.map (fun e -> e.Event.ts) evs in
+  check (Alcotest.list ci) "sorted by timestamp" [ 10; 20; 30 ] ts;
+  check ci "emitted counter" 3 (Obs.emitted t);
+  Obs.clear t;
+  check ci "clear drops events" 0 (List.length (Obs.events t))
+
+(* ---------------------------- Export ----------------------------- *)
+
+let test_chrome_json_shape () =
+  let clock = ref 0 in
+  let t = Obs.create ~now:(fun () -> !clock) ~tid:(fun () -> 7) () in
+  clock := 1100;
+  Obs.span t ~start:550 ~arg:3 Event.Stw_pause;
+  Obs.instant t ~arg:12 Event.Packet_steal;
+  let json = Export.chrome_json ~cycles_per_us:550.0 (Obs.events t) in
+  check cb "has trace array" true
+    (String.length json > 0 && json.[0] = '{');
+  let has s = contains json s in
+  check cb "complete span" true (has {|"ph":"X"|});
+  check cb "instant event" true (has {|"ph":"i"|});
+  check cb "span name" true (has {|"name":"stw-pause"|});
+  check cb "instant name" true (has {|"name":"packet-steal"|});
+  check cb "tid" true (has {|"tid":7|});
+  check cb "ts in us" true (has {|"ts":1.000|});
+  check cb "dur in us" true (has {|"dur":1.000|})
+
+let test_csv_quoting () =
+  let out =
+    Export.csv ~header:[ "a"; "b" ]
+      ~rows:[ [ "plain"; "with,comma" ]; [ "with\"quote"; "x" ] ]
+  in
+  check Alcotest.string "csv"
+    "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n" out
+
+(* --------------------- End-to-end determinism -------------------- *)
+
+let traced_run () =
+  let gc = { Config.default with Config.n_background = 2 } in
+  let vm =
+    Cgc_workloads.Specjbb.run ~warehouses:4 ~gc ~heap_mb:24.0 ~ncpus:2 ~seed:5
+      ~trace:true ~ms:600.0 ()
+  in
+  Vm.trace_json vm
+
+let test_trace_deterministic () =
+  let a = traced_run () and b = traced_run () in
+  check cb "some events" true (String.length a > 1000);
+  check cb "byte-identical across equal-seed runs" true (String.equal a b)
+
+let test_trace_has_gc_phases () =
+  let json = traced_run () in
+  let has s = contains json s in
+  check cb "stw-pause span" true (has {|"name":"stw-pause"|});
+  check cb "concurrent-mark span" true (has {|"name":"concurrent-mark"|});
+  check cb "sweep events" true (has {|"name":"sweep-chunk"|})
+
+let test_untraced_run_emits_nothing () =
+  let vm =
+    Cgc_workloads.Specjbb.run ~warehouses:2 ~gc:Config.default ~heap_mb:16.0
+      ~ncpus:2 ~seed:5 ~ms:300.0 ()
+  in
+  check ci "no events" 0 (Obs.emitted (Vm.obs vm))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "percentiles vs sort" `Quick
+            test_hist_percentiles_vs_sort;
+          Alcotest.test_case "exact moments" `Quick test_hist_exact_moments;
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "overflow keeps newest" `Quick
+            test_ring_keeps_newest;
+          Alcotest.test_case "no overflow below capacity" `Quick
+            test_ring_no_overflow;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "null sink is inert" `Quick
+            test_null_sink_emits_nothing;
+          Alcotest.test_case "armed sink merges and orders" `Quick
+            test_armed_sink_orders_events;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome json shape" `Quick test_chrome_json_shape;
+          Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "byte-identical traces" `Slow
+            test_trace_deterministic;
+          Alcotest.test_case "gc phases present" `Slow test_trace_has_gc_phases;
+          Alcotest.test_case "zero-cost when off" `Slow
+            test_untraced_run_emits_nothing;
+        ] );
+    ]

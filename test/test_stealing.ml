@@ -93,7 +93,7 @@ let test_stw_baseline_with_stealing () =
   check cb "collections happened" true (st.Cgc_core.Gstats.cycles >= 2);
   check (Alcotest.list (Alcotest.pair ci ci)) "heap intact under stealing" []
     (Cgc_core.Collector.check_reachable (Vm.collector vm));
-  check cb "pauses recorded" true (Stats.mean st.Cgc_core.Gstats.pause_ms > 0.0)
+  check cb "pauses recorded" true (Cgc_util.Histogram.mean st.Cgc_core.Gstats.pause_ms > 0.0)
 
 let test_stealing_matches_packets_live_set () =
   (* Same workload, same seed: the two load balancers must mark the same
