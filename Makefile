@@ -4,7 +4,10 @@
 # installed (odoc / ocamlformat are not part of the minimal toolchain);
 # when present they are part of the tier-1 bar.
 
-.PHONY: all build test doc fmt-check verify clean
+.PHONY: all build test doc fmt-check verify fuzz clean
+
+# Number of random configurations `make fuzz` tries.
+FUZZ_COUNT ?= 100
 
 all: build
 
@@ -31,6 +34,13 @@ fmt-check:
 	fi
 
 verify: build test doc fmt-check
+
+# Longer-running configuration fuzz (random collector configs + fault
+# scenarios under the heap verifier).  On failure QCheck prints the
+# full failing configuration including its seed, so the run can be
+# replayed deterministically.
+fuzz: build
+	FUZZ_COUNT=$(FUZZ_COUNT) dune exec test/test_fuzz.exe
 
 clean:
 	dune clean

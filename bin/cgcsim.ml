@@ -14,6 +14,41 @@ open Cmdliner
 
 module Vm = Cgc_runtime.Vm
 module Config = Cgc_core.Config
+module Collector = Cgc_core.Collector
+module Verify = Cgc_core.Verify
+module Fault = Cgc_fault.Fault
+
+(* Parse the --inject argument: a comma-separated list of scenario names,
+   or "all". *)
+let parse_scenarios s =
+  if s = "all" then Ok Fault.all
+  else
+    let names = String.split_on_char ',' (String.trim s) in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+          match Fault.of_name (String.trim n) with
+          | Some sc -> go (sc :: acc) rest
+          | None ->
+              Error
+                (Printf.sprintf
+                   "unknown fault scenario %S (known: %s, or \"all\")" n
+                   (String.concat ", " (List.map Fault.to_name Fault.all))))
+    in
+    go [] names
+
+(* Top-level catch for the typed failure modes: a diagnosed out-of-memory
+   (the degradation ladder was exhausted) and an invariant violation from
+   the --verify checker both exit nonzero with the diagnostic record
+   pretty-printed instead of an uncaught-exception backtrace. *)
+let catching_failures f =
+  try f () with
+  | Collector.Out_of_memory d ->
+      Printf.eprintf "cgcsim: %s\n" (Collector.oom_to_string d);
+      exit 2
+  | Verify.Invariant_violation msg ->
+      Printf.eprintf "cgcsim: heap invariant violated: %s\n" msg;
+      exit 3
 
 (* Turn an unwritable output path into a clean CLI error instead of an
    uncaught Sys_error. *)
@@ -61,6 +96,25 @@ let run_cmd =
     Arg.(value & opt int 1 & info [ "card-passes" ] ~doc:"Concurrent card-cleaning passes.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let inject =
+    let doc =
+      "Arm the deterministic fault injector with a comma-separated list \
+       of scenarios (packet-starvation, alloc-burst, mutator-stall, \
+       meter-lowball, card-storm, bg-stall) or $(b,all)."
+    in
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SCENARIOS" ~doc)
+  in
+  let fault_seed =
+    let doc = "Seed for the fault injector (default: the run seed)." in
+    Arg.(value & opt (some int) None & info [ "fault-seed" ] ~doc)
+  in
+  let verify =
+    let doc =
+      "Run the heap invariant verifier at every GC cycle boundary; exit \
+       nonzero on the first violation."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
   let trace_out =
     let doc =
       "Write a Chrome trace-event JSON file (load in Perfetto or \
@@ -74,8 +128,22 @@ let run_cmd =
       value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
   in
   let exec workload collector warehouses heap_mb ncpus ms tracing_rate
-      n_background packets lazy_sweep compaction card_passes seed trace_out
-      metrics_out =
+      n_background packets lazy_sweep compaction card_passes seed inject
+      fault_seed verify trace_out metrics_out =
+    let faults =
+      match inject with
+      | None -> Fault.disabled
+      | Some spec -> (
+          match parse_scenarios spec with
+          | Ok scenarios ->
+              let seed =
+                match fault_seed with Some s -> s | None -> seed
+              in
+              Fault.create ~scenarios ~seed ()
+          | Error msg ->
+              Printf.eprintf "cgcsim: %s\n" msg;
+              exit 1)
+    in
     let gc =
       {
         (if collector = "stw" then Config.stw else Config.default) with
@@ -85,22 +153,25 @@ let run_cmd =
         lazy_sweep;
         compaction;
         card_passes;
+        faults;
+        verify;
       }
     in
     let trace = trace_out <> None in
     let vm =
-      match workload with
-      | "specjbb" ->
-          Cgc_workloads.Specjbb.run ~warehouses ~gc ~heap_mb ~ncpus ~seed
-            ~trace ~ms ()
-      | "pbob" ->
-          Cgc_workloads.Pbob.run ~warehouses ~gc ~heap_mb ~ncpus ~seed ~trace
-            ~ms ()
-      | "javac" ->
-          Cgc_workloads.Javac.run ~gc ~heap_mb ~ncpus ~seed ~trace ~ms ()
-      | w ->
-          Printf.eprintf "unknown workload %s (specjbb|pbob|javac)\n" w;
-          exit 1
+      catching_failures (fun () ->
+          match workload with
+          | "specjbb" ->
+              Cgc_workloads.Specjbb.run ~warehouses ~gc ~heap_mb ~ncpus ~seed
+                ~trace ~ms ()
+          | "pbob" ->
+              Cgc_workloads.Pbob.run ~warehouses ~gc ~heap_mb ~ncpus ~seed
+                ~trace ~ms ()
+          | "javac" ->
+              Cgc_workloads.Javac.run ~gc ~heap_mb ~ncpus ~seed ~trace ~ms ()
+          | w ->
+              Printf.eprintf "unknown workload %s (specjbb|pbob|javac)\n" w;
+              exit 1)
     in
     Vm.print_report vm;
     (match trace_out with
@@ -121,7 +192,8 @@ let run_cmd =
     Term.(
       const exec $ workload $ collector $ warehouses $ heap_mb $ ncpus $ ms
       $ tracing_rate $ n_background $ packets $ lazy_sweep $ compaction
-      $ card_passes $ seed $ trace_out $ metrics_out)
+      $ card_passes $ seed $ inject $ fault_seed $ verify $ trace_out
+      $ metrics_out)
 
 let experiment_cmd =
   let which =

@@ -11,10 +11,41 @@ module Parallel = Cgc_sim.Parallel
 module Stats = Cgc_util.Stats
 module Obs = Cgc_obs.Obs
 module Obs_event = Cgc_obs.Event
+module Fault = Cgc_fault.Fault
 
 type phase = Idle | Marking | Finalizing
 
-exception Out_of_memory
+let phase_name = function
+  | Idle -> "idle"
+  | Marking -> "marking"
+  | Finalizing -> "finalizing"
+
+type oom_diag = {
+  oom_phase : phase;  (* phase when the failing request was made *)
+  oom_request : int;
+  oom_cycle : int;
+  oom_free : int;
+  oom_live : int;
+  oom_nslots : int;
+  oom_pool : int * int * int * int;
+  oom_rungs : int;
+}
+
+exception Out_of_memory of oom_diag
+
+let oom_to_string d =
+  let e, ne, af, df = d.oom_pool in
+  Printf.sprintf
+    "out of memory: request=%d slots in %s phase (cycle %d); after %d \
+     degradation rungs free=%d of %d slots, live~=%d; packet pool \
+     (empty=%d, nonempty=%d, almost-full=%d, deferred=%d)"
+    d.oom_request (phase_name d.oom_phase) d.oom_cycle d.oom_rungs d.oom_free
+    d.oom_nslots d.oom_live e ne af df
+
+let () =
+  Printexc.register_printer (function
+    | Out_of_memory d -> Some (oom_to_string d)
+    | _ -> None)
 
 let n_globals = 256
 
@@ -46,6 +77,9 @@ type t = {
       (* consecutive work-seeking attempts that found no packet work *)
   mutable lazy_state : Sweep.lazy_t option;
   mutable bg_started : bool;
+  mutable emergency_compact : bool;
+      (* ladder rung 3: arm the compactor for the next forced cycle even
+         though cfg.compaction is off *)
   cp : Compact.t;
 }
 
@@ -60,6 +94,7 @@ let create cfg ~sched ~heap =
        object marked, instead of one per packet returned (section 5.1). *)
     Pool.create mach
       ~naive_mark_fence:(Heap.fence_policy_of heap = Cgc_heap.Heap.Naive)
+      ~faults:cfg.Config.faults
       ~n_packets:cfg.Config.n_packets
       ~capacity:cfg.Config.packet_capacity
   in
@@ -89,6 +124,7 @@ let create cfg ~sched ~heap =
     starve_streak = 0;
     lazy_state = None;
     bg_started = false;
+    emergency_compact = false;
     cp = Compact.create heap;
   }
 
@@ -264,9 +300,15 @@ let start_cycle t =
   t.lazy_state <- None;
   t.cycle_no <- t.cycle_no + 1;
   Obs.instant t.mach.Machine.obs ~arg:t.cycle_no Obs_event.Cycle_start;
-  if t.cfg.Config.compaction then begin
-    Compact.choose_area t.cp ~cycle:t.cycle_no
-      ~fraction:t.cfg.Config.evac_fraction;
+  if t.cfg.Config.compaction || t.emergency_compact then begin
+    (* An emergency-compaction cycle (ladder rung 3) evacuates a larger
+       area than the steady-state incremental setting: the heap is nearly
+       exhausted and the goal is defragmentation, not pause bounding. *)
+    let fraction =
+      if t.emergency_compact then Float.max t.cfg.Config.evac_fraction 0.125
+      else t.cfg.Config.evac_fraction
+    in
+    Compact.choose_area t.cp ~cycle:t.cycle_no ~fraction;
     Tracer.set_compactor t.tr t.cp
   end;
   t.ph <- Marking;
@@ -484,6 +526,19 @@ let finalize t reason =
             end;
             Stealing.mark_worker stl ~worker:wid)
     | _ -> Parallel.run t.sched ~workers (fun wid -> stw_mark_worker t wid workers));
+    (* A tracer that finds no output packet falls back to marking the
+       object and dirtying its card (section 4.3).  Concurrently that is
+       sound — a later cleaning pass retraces it — but here the final
+       pass has already been snapshotted, so a card dirtied by overflow
+       during the stop-the-world mark (which injected packet starvation
+       makes routine) would never be rescanned and the object's children
+       would be swept while live.  Re-snapshot and re-mark until no dirty
+       card remains. *)
+    while Card_table.dirty_count (Heap.cards t.hp) > 0 do
+      Weakmem.fence_all t.mach.Machine.wm;
+      Card_clean.start_pass t.cl ~force_fences:(fun () -> ());
+      Parallel.run t.sched ~workers (fun wid -> stw_mark_worker t wid workers)
+    done;
     Machine.flush t.mach;
     let mark_t1 = Machine.now t.mach in
     (* Sweep. *)
@@ -512,7 +567,10 @@ let finalize t reason =
     (* Incremental compaction: evacuate the chosen area and fix up the
        remembered in-pointers, still inside the pause (section 2.3). *)
     let moved =
-      if t.cfg.Config.compaction && Compact.active t.cp then begin
+      if
+        (t.cfg.Config.compaction || t.emergency_compact)
+        && Compact.active t.cp
+      then begin
         let moved = Compact.evacuate t.cp ~globals:t.globals in
         Machine.flush t.mach;
         Stats.add t.st.Gstats.evac_slots (float_of_int moved);
@@ -542,6 +600,8 @@ let finalize t reason =
       Stats.add st.Gstats.cas_per_mb
         (float_of_int (t.mach.Machine.cas_ops - t.cas_at_start) /. live_mb);
     st.Gstats.overflow_events <- Tracer.overflow_events t.tr;
+    st.Gstats.max_deferred_packets <-
+      max st.Gstats.max_deferred_packets (Pool.max_deferred t.pl);
     st.Gstats.cycles <- st.Gstats.cycles + 1;
     (* Metering feedback. *)
     Metering.end_cycle t.meter ~l_observed:(live_estimate t)
@@ -549,6 +609,20 @@ let finalize t reason =
         ((Card_clean.conc_cleaned t.cl + Card_clean.stw_cleaned t.cl)
         * Arena.slots_per_card);
     if verify then verify_reachable t;
+    (* Configured invariant verification (host-side, uncharged): marking
+       is complete, caches are retired, sweep has rebuilt the free list
+       and the overflow re-mark loop left no dirty card, so the strongest
+       form of every invariant must hold right here. *)
+    if t.cfg.Config.verify then begin
+      let r =
+        Verify.check ~heap:t.hp
+          ~roots:(List.map (fun (m : Mctx.t) -> m.Mctx.roots) t.muts)
+          ~globals:t.globals ~expect_marked:true ~expect_clean_cards:true
+          ~label:(Printf.sprintf "cycle %d" t.cycle_no)
+      in
+      Obs.instant t.mach.Machine.obs ~arg:r.Verify.objects
+        Obs_event.Verify_pass
+    end;
     let pause = Sched.restart_world t.sched in
     let pause_end = Machine.now t.mach in
     let obs = t.mach.Machine.obs in
@@ -573,6 +647,9 @@ let finalize t reason =
         traced_stw = Tracer.marked_slots t.tr - marked_before_stw;
         evac_slots = moved;
         occupancy = float_of_int live /. float_of_int (Heap.nslots t.hp);
+        degrade_force_finish = st.Gstats.degrade_force_finish;
+        degrade_full_stw = st.Gstats.degrade_full_stw;
+        degrade_compact = st.Gstats.degrade_compact;
       };
     t.ph <- Idle;
     t.preconc_start <- pause_end
@@ -596,6 +673,21 @@ let do_increment t (m : Mctx.t) ~alloc =
   if t.ph = Marking then begin
     let incr_t0 = Machine.now t.mach in
     m.Mctx.incr_count <- m.Mctx.incr_count + 1;
+    (* Card-storm injection: mass-dirty a random batch of cards, as a
+       pathological write-heavy mutator would, inflating the cleaning
+       backlog mid-cycle. *)
+    (match
+       Fault.card_storm t.cfg.Config.faults
+         ~ncards:(Card_table.ncards (Heap.cards t.hp))
+     with
+    | [] -> ()
+    | storm ->
+        let c = t.mach.Machine.cost in
+        List.iter
+          (fun card ->
+            Machine.charge t.mach c.Cost.write_barrier;
+            Card_table.dirty (Heap.cards t.hp) card)
+          storm);
     (* Occasionally refresh the background-rate estimate Best. *)
     if t.alloc_window >= 8192 then begin
       Metering.observe_background t.meter ~bg_traced:t.bg_window_traced
@@ -717,13 +809,89 @@ let pre_alloc_hook t m ~request =
       | Marking -> do_increment t m ~alloc:request
       | Finalizing -> ())
 
-let handle_alloc_failure t =
-  Obs.instant t.mach.Machine.obs Obs_event.Alloc_failure;
+(* ------------------------------------------------------------------ *)
+(* Degradation ladder                                                  *)
+
+(* An allocation that fails even after a collection no longer gives up
+   immediately: it climbs a ladder of typed escalation rungs, each a
+   stronger (and more disruptive) collection, and raises the typed
+   [Out_of_memory] only when the heap genuinely cannot satisfy the
+   request:
+
+     rung 1  force-finish the in-flight cycle (stop-the-world completion
+             of its marking), or a degenerate full collection when no
+             cycle was running;
+     rung 2  a fresh full stop-the-world collection — a halted cycle's
+             snapshot keeps everything allocated during that cycle alive
+             (allocate-black), so a cycle started from scratch reclaims
+             the floating garbage the first one could not;
+     rung 3  an emergency compacting collection: the free list may hold
+             enough total space in fragments too small for the request,
+             and evacuation coalesces them (needs the packet tracer and
+             in-pause sweep; degenerates to rung 2 otherwise).
+
+   Each rung bumps its [Gstats] counter and emits a [Degrade_*] event. *)
+
+let rung_force_finish t =
+  t.st.Gstats.degrade_force_finish <- t.st.Gstats.degrade_force_finish + 1;
+  Obs.instant t.mach.Machine.obs ~arg:t.cycle_no Obs_event.Degrade_force_finish;
   match (t.cfg.Config.mode, t.ph) with
   | _, Marking -> finalize t Halted
   | Config.Cgc, Idle -> full_collect t Degenerate
   | Config.Stw, Idle -> full_collect t Forced
   | _, Finalizing -> assert false
+
+let rung_full_stw t =
+  t.st.Gstats.degrade_full_stw <- t.st.Gstats.degrade_full_stw + 1;
+  Obs.instant t.mach.Machine.obs ~arg:t.cycle_no Obs_event.Degrade_full_stw;
+  full_collect t Forced
+
+let compaction_possible t =
+  (not t.cfg.Config.lazy_sweep) && t.cfg.Config.load_balance = Config.Packets
+
+let rung_emergency_compact t =
+  t.st.Gstats.degrade_compact <- t.st.Gstats.degrade_compact + 1;
+  Obs.instant t.mach.Machine.obs ~arg:t.cycle_no Obs_event.Degrade_compact;
+  if compaction_possible t then begin
+    t.emergency_compact <- true;
+    Fun.protect
+      ~finally:(fun () -> t.emergency_compact <- false)
+      (fun () -> full_collect t Forced)
+  end
+  else full_collect t Forced
+
+let raise_oom t ~phase0 ~request =
+  t.st.Gstats.oom_raised <- t.st.Gstats.oom_raised + 1;
+  Obs.instant t.mach.Machine.obs ~arg:request Obs_event.Oom;
+  raise
+    (Out_of_memory
+       {
+         oom_phase = phase0;
+         oom_request = request;
+         oom_cycle = t.cycle_no;
+         oom_free = Heap.free_slots t.hp;
+         oom_live = live_estimate t;
+         oom_nslots = Heap.nslots t.hp;
+         oom_pool = Pool.counts t.pl;
+         oom_rungs = 3;
+       })
+
+let degrade : 'a. t -> request:int -> attempt:(unit -> 'a option) -> 'a =
+ fun t ~request ~attempt ->
+  let phase0 = t.ph in
+  Obs.instant t.mach.Machine.obs Obs_event.Alloc_failure;
+  rung_force_finish t;
+  match attempt () with
+  | Some a -> a
+  | None -> (
+      rung_full_stw t;
+      match attempt () with
+      | Some a -> a
+      | None -> (
+          rung_emergency_compact t;
+          match attempt () with
+          | Some a -> a
+          | None -> raise_oom t ~phase0 ~request))
 
 let rec alloc t (m : Mctx.t) ~nrefs ~size =
   if size >= t.cfg.Config.large_object_slots then begin
@@ -735,15 +903,15 @@ let rec alloc t (m : Mctx.t) ~nrefs ~size =
         account t m size;
         Machine.flush t.mach;
         a
-    | None -> (
-        handle_alloc_failure t;
-        match try_alloc_large t ~size ~nrefs with
-        | Some a ->
-            note_black t size;
-            account t m size;
-            Machine.flush t.mach;
-            a
-        | None -> raise Out_of_memory)
+    | None ->
+        let a =
+          degrade t ~request:size ~attempt:(fun () ->
+              try_alloc_large t ~size ~nrefs)
+        in
+        note_black t size;
+        account t m size;
+        Machine.flush t.mach;
+        a
   end
   else
     match Heap.cache_alloc t.hp m.Mctx.cache ~size ~nrefs ~mark_new:(mark_new t) with
@@ -760,9 +928,9 @@ let rec alloc t (m : Mctx.t) ~nrefs ~size =
         pre_alloc_hook t m ~request:t.cfg.Config.cache_slots;
         if try_refill t m ~min:size then alloc t m ~nrefs ~size
         else begin
-          handle_alloc_failure t;
-          if try_refill t m ~min:size then alloc t m ~nrefs ~size
-          else raise Out_of_memory
+          degrade t ~request:size ~attempt:(fun () ->
+              if try_refill t m ~min:size then Some () else None);
+          alloc t m ~nrefs ~size
         end
 
 (* ------------------------------------------------------------------ *)
@@ -771,6 +939,10 @@ let rec alloc t (m : Mctx.t) ~nrefs ~size =
 let background_body t () =
   let idle_nap = t.mach.Machine.cost.Cost.cycles_per_ms / 4 in
   while not (Sched.stop_requested t.sched) do
+    (* Background-stall injection: the low-priority tracer is descheduled
+       for a while, starving the cycle of its free tracing credit. *)
+    (let stall = Fault.bg_stall t.cfg.Config.faults in
+     if stall > 0 then Sched.sleep stall);
     if t.ph = Marking then begin
       let session = Tracer.new_session t.tr in
       let n = find_work t session ~budget:t.cfg.Config.bg_chunk in

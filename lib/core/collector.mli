@@ -29,7 +29,29 @@ type t
 
 type phase = Idle | Marking | Finalizing
 
-exception Out_of_memory
+type oom_diag = {
+  oom_phase : phase;  (** phase when the failing request was made *)
+  oom_request : int;  (** slots requested *)
+  oom_cycle : int;  (** GC cycle count at the time of the raise *)
+  oom_free : int;  (** free slots after the last-resort collection *)
+  oom_live : int;  (** live-volume estimate, slots *)
+  oom_nslots : int;  (** heap size, slots *)
+  oom_pool : int * int * int * int;
+      (** work-packet sub-pool counters (empty, nonempty, almost-full,
+          deferred) *)
+  oom_rungs : int;  (** degradation-ladder rungs climbed before raising *)
+}
+(** Diagnostic payload of {!Out_of_memory}: enough state to tell a
+    genuinely oversubscribed heap from a collector defect. *)
+
+exception Out_of_memory of oom_diag
+(** Raised only after the full degradation ladder — force-finish of the
+    in-flight cycle, a fresh full stop-the-world collection, and an
+    emergency compacting collection — has failed to free enough space.
+    A printer is registered with {!Printexc}, so uncaught it still
+    renders as {!oom_to_string}. *)
+
+val oom_to_string : oom_diag -> string
 
 val create : Config.t -> sched:Cgc_sim.Sched.t -> heap:Cgc_heap.Heap.t -> t
 
@@ -54,8 +76,10 @@ val start_background : t -> unit
 val alloc : t -> Mctx.t -> nrefs:int -> size:int -> int
 (** Allocate an object of [size] slots with [nrefs] leading reference
     slots (all null).  Performs the incremental GC work mandated by the
-    progress formula on slow paths; may stop the world.
-    @raise Out_of_memory if a full collection cannot free enough space. *)
+    progress formula on slow paths; may stop the world.  On exhaustion it
+    climbs the degradation ladder (force-finish, full stop-the-world
+    collection, emergency compaction — each rung counted in {!Gstats}).
+    @raise Out_of_memory when the ladder too cannot free enough space. *)
 
 val set_ref : t -> parent:int -> idx:int -> value:int -> unit
 (** Store a reference through the write barrier (store, then dirty the

@@ -23,6 +23,8 @@ type t = {
   defer_protocol : bool;
   compaction : bool;
   evac_fraction : float;
+  faults : Cgc_fault.Fault.t;
+  verify : bool;
 }
 
 let default =
@@ -47,6 +49,8 @@ let default =
     defer_protocol = true;
     compaction = false;
     evac_fraction = 1.0 /. 16.0;
+    faults = Cgc_fault.Fault.disabled;
+    verify = false;
   }
 
 let stw = { default with mode = Stw }

@@ -36,6 +36,13 @@ type t = {
       (** incremental compaction (section 2.3): evacuate one area per
           cycle inside the pause, with in-pointers tracked during marking *)
   evac_fraction : float;  (** fraction of the heap evacuated per cycle *)
+  faults : Cgc_fault.Fault.t;
+      (** deterministic fault injector (default {!Cgc_fault.Fault.disabled});
+          see [docs/FAULTS.md] for the scenario catalogue *)
+  verify : bool;
+      (** run the {!Verify} heap invariant checker at every cycle
+          boundary (host-side, uncharged; raises
+          {!Verify.Invariant_violation} on corruption) *)
 }
 
 val default : t

@@ -15,6 +15,9 @@ type cycle_row = {
   traced_stw : int;
   evac_slots : int;
   occupancy : float;
+  degrade_force_finish : int;
+  degrade_full_stw : int;
+  degrade_compact : int;
 }
 
 type t = {
@@ -40,6 +43,11 @@ type t = {
   mutable premature_cycles : int;
   mutable halted_cycles : int;
   mutable overflow_events : int;
+  mutable max_deferred_packets : int;
+  mutable degrade_force_finish : int;
+  mutable degrade_full_stw : int;
+  mutable degrade_compact : int;
+  mutable oom_raised : int;
   mutable preconc_slots : int;
   mutable preconc_time : int;
   mutable conc_slots : int;
@@ -71,6 +79,11 @@ let create () =
     premature_cycles = 0;
     halted_cycles = 0;
     overflow_events = 0;
+    max_deferred_packets = 0;
+    degrade_force_finish = 0;
+    degrade_full_stw = 0;
+    degrade_compact = 0;
+    oom_raised = 0;
     preconc_slots = 0;
     preconc_time = 0;
     conc_slots = 0;
@@ -101,6 +114,11 @@ let reset t =
   t.premature_cycles <- 0;
   t.halted_cycles <- 0;
   t.overflow_events <- 0;
+  t.max_deferred_packets <- 0;
+  t.degrade_force_finish <- 0;
+  t.degrade_full_stw <- 0;
+  t.degrade_compact <- 0;
+  t.oom_raised <- 0;
   t.preconc_slots <- 0;
   t.preconc_time <- 0;
   t.conc_slots <- 0;
@@ -120,7 +138,8 @@ let csv_header =
   [
     "cycle"; "end_ms"; "pause_ms"; "mark_ms"; "sweep_ms"; "compact_ms";
     "conc_cards"; "stw_cards"; "traced_conc_slots"; "traced_stw_slots";
-    "evac_slots"; "occupancy";
+    "evac_slots"; "occupancy"; "degrade_force_finish"; "degrade_full_stw";
+    "degrade_compact";
   ]
 
 let csv_rows t =
@@ -139,6 +158,9 @@ let csv_rows t =
         string_of_int r.traced_stw;
         string_of_int r.evac_slots;
         Printf.sprintf "%.4f" r.occupancy;
+        string_of_int r.degrade_force_finish;
+        string_of_int r.degrade_full_stw;
+        string_of_int r.degrade_compact;
       ])
     (cycle_rows t)
 

@@ -32,6 +32,10 @@ type cycle_row = {
   traced_stw : int;  (** slots traced inside the pause *)
   evac_slots : int;  (** slots evacuated (0 without compaction) *)
   occupancy : float;  (** heap occupancy fraction after the cycle *)
+  degrade_force_finish : int;
+      (** cumulative force-finish ladder rungs climbed by cycle end *)
+  degrade_full_stw : int;  (** cumulative full-STW ladder rungs *)
+  degrade_compact : int;  (** cumulative emergency-compaction rungs *)
 }
 (** One completed GC cycle, as the per-cycle metrics CSV reports it. *)
 
@@ -58,6 +62,20 @@ type t = {
   mutable premature_cycles : int;  (** concurrent phase finished all work *)
   mutable halted_cycles : int;  (** concurrent phase halted by alloc failure *)
   mutable overflow_events : int;
+  mutable max_deferred_packets : int;
+      (** high-water mark of the section 5.2 Deferred sub-pool *)
+  (* Degradation-ladder accounting (robustness): each counter is one rung
+     of the allocation-failure escalation in [Collector], climbed in
+     order before a typed [Out_of_memory] is raised. *)
+  mutable degrade_force_finish : int;
+      (** rung 1: in-flight cycle force-finished (or degenerate full
+          collection when no cycle was running) *)
+  mutable degrade_full_stw : int;
+      (** rung 2: fresh full stop-the-world collection *)
+  mutable degrade_compact : int;
+      (** rung 3: emergency compacting full collection *)
+  mutable oom_raised : int;
+      (** allocations that exhausted the ladder and raised *)
   (* Mutator-utilization accounting (Table 3) *)
   mutable preconc_slots : int;  (** slots allocated between cycles *)
   mutable preconc_time : int;  (** cycles of pre-concurrent wall time *)

@@ -20,13 +20,19 @@ let create (cfg : Config.t) ~heap_slots =
     best = Ewma.create ~alpha:cfg.ewma_alpha ~init:0.0 ();
   }
 
+(* Meter-lowball injection scales the L+M view the meter works from, so
+   both the kickoff threshold and the increment rate underestimate. *)
+let fault_scale t = Cgc_fault.Fault.meter_scale t.cfg.Config.faults
+
 let kickoff_threshold t =
-  (Ewma.value t.l_est +. Ewma.value t.m_est) /. t.cfg.k0
+  fault_scale t *. (Ewma.value t.l_est +. Ewma.value t.m_est) /. t.cfg.k0
 
 let should_start t ~free = float_of_int free < kickoff_threshold t
 
 let increment_rate t ~traced ~free =
-  let l = Ewma.value t.l_est and m = Ewma.value t.m_est in
+  let scale = fault_scale t in
+  let l = scale *. Ewma.value t.l_est
+  and m = scale *. Ewma.value t.m_est in
   let kmax = t.cfg.kmax_factor *. t.cfg.k0 in
   let f = float_of_int (max free 1) in
   let k = (m +. l -. float_of_int traced) /. f in

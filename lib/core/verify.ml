@@ -1,0 +1,129 @@
+module Heap = Cgc_heap.Heap
+module Arena = Cgc_heap.Arena
+module Alloc_bits = Cgc_heap.Alloc_bits
+module Card_table = Cgc_heap.Card_table
+module Freelist = Cgc_heap.Freelist
+
+exception Invariant_violation of string
+
+type report = {
+  objects : int;
+  live_slots : int;
+  free_chunks : int;
+  free_slots : int;
+}
+
+let fail label fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Invariant_violation (label ^ ": " ^ msg)))
+    fmt
+
+let check ~heap ~roots ~globals ~expect_marked ~expect_clean_cards ~label =
+  let arena = Heap.arena heap in
+  let abits = Heap.alloc_bits heap in
+  let nslots = Heap.nslots heap in
+  (* One byte per slot: which slots are covered by a reachable object.
+     Doubles as the visited set (an object's first slot is its address). *)
+  let live = Bytes.make nslots '\000' in
+  let objects = ref 0 in
+  let live_slots = ref 0 in
+  let rec walk from addr =
+    if addr <> 0 && Bytes.get live addr <> '\002' then begin
+      if Bytes.get live addr = '\001' then
+        fail label
+          "object %d (from %d) starts inside another reachable object" addr
+          from;
+      if not (Arena.in_heap arena addr) then
+        fail label "reference %d (from %d) is outside the heap" addr from;
+      if not (Arena.header_valid_sc arena addr) then
+        fail label "reachable object %d (from %d) has an invalid header" addr
+          from;
+      if not (Alloc_bits.is_set_sc abits addr) then
+        fail label
+          "reachable object %d (from %d) has no allocation bit (caches are \
+           retired at a cycle boundary, so every live object must be \
+           published)"
+          addr from;
+      if expect_marked && not (Heap.is_marked heap addr) then
+        fail label
+          "reachable object %d (from %d) is unmarked at the end of a \
+           collection: it would be swept"
+          addr from;
+      let size = Arena.size_of_sc arena addr in
+      if addr + size > nslots then
+        fail label "object %d (size %d) extends past the heap end" addr size;
+      for i = addr + 1 to addr + size - 1 do
+        if Bytes.get live i <> '\000' then
+          fail label "reachable objects overlap at slot %d (inside %d)" i addr;
+        Bytes.set live i '\001'
+      done;
+      Bytes.set live addr '\002';
+      incr objects;
+      live_slots := !live_slots + size;
+      let nrefs = Arena.nrefs_of_sc arena addr in
+      for i = 0 to nrefs - 1 do
+        walk addr (Arena.ref_get_sc arena addr i)
+      done
+    end
+  in
+  (* Mutator stacks are conservative: follow only values the tracer's own
+     root filter would have accepted (Tracer.push_root). *)
+  List.iteri
+    (fun mi root_array ->
+      Array.iter
+        (fun v ->
+          if
+            Arena.in_heap arena v
+            && Alloc_bits.is_set_sc abits v
+            && Arena.header_valid_sc arena v
+          then walk (-(mi + 1)) v)
+        root_array)
+    roots;
+  (* The global table is precise: every non-null entry must be an object. *)
+  Array.iteri
+    (fun i v ->
+      if v <> 0 then begin
+        if
+          not
+            (Arena.in_heap arena v
+            && Alloc_bits.is_set_sc abits v
+            && Arena.header_valid_sc arena v)
+        then fail label "global root %d holds %d, not a valid object" i v;
+        walk (-1000 - i) v
+      end)
+    globals;
+  (* Free-list disjointness: a chunk overlapping a reachable object means
+     the allocator will hand out live memory; a set allocation bit inside
+     a chunk means sweep reclaimed a published object it should not have
+     (or failed to clear the bit). *)
+  let free_chunks = ref 0 in
+  let free_slots = ref 0 in
+  Freelist.iter (Heap.freelist heap) (fun ~addr ~size ->
+      incr free_chunks;
+      free_slots := !free_slots + size;
+      if addr < 1 || addr + size > nslots then
+        fail label "free chunk [%d, %d) is outside the heap" addr (addr + size);
+      for i = addr to addr + size - 1 do
+        if Bytes.get live i <> '\000' then
+          fail label
+            "free chunk [%d, %d) overlaps reachable object slot %d" addr
+            (addr + size) i;
+        if Alloc_bits.is_set_sc abits i then
+          fail label
+            "slot %d inside free chunk [%d, %d) still has its allocation \
+             bit set"
+            i addr (addr + size)
+      done);
+  if expect_clean_cards then begin
+    let cards = Heap.cards heap in
+    if Card_table.dirty_count cards > 0 then
+      fail label
+        "%d dirty cards remain after the final stop-the-world cleaning pass"
+        (Card_table.dirty_count cards)
+  end;
+  {
+    objects = !objects;
+    live_slots = !live_slots;
+    free_chunks = !free_chunks;
+    free_slots = !free_slots;
+  }

@@ -1,0 +1,50 @@
+(** Heap invariant verifier.
+
+    A host-side (uncharged, simulation-invisible) checker the collector
+    runs at every cycle boundary when {!Config.t.verify} is set, and that
+    the fault-injection tests run to prove that injected degradation never
+    turns into heap corruption.  Checks, in order:
+
+    {ol
+    {- {e Reachability}: every object reachable from the mutator root
+       arrays (conservatively filtered exactly like the tracer's root
+       scan) and from the global-roots table has a valid header, its
+       allocation bit set, and in-range reference fields;}
+    {- {e Mark/phase consistency}: when [expect_marked] (true at the end
+       of a collection's stop-the-world phase, where marking is complete
+       and allocation has been black), every reachable object's mark bit
+       is set — an unmarked reachable object would be swept;}
+    {- {e Free-list disjointness}: no free-list chunk overlaps any
+       reachable object, and no slot inside a free chunk carries a set
+       allocation bit;}
+    {- {e Card-table soundness}: when [expect_clean_cards] (true at the
+       end of the stop-the-world phase, after the final cleaning pass and
+       the overflow re-mark loop), no card is left dirty.}}
+
+    All reads use committed ([_sc]) accessors: the world is stopped and
+    store buffers drained when the collector calls this, so committed
+    state is the truth. *)
+
+exception Invariant_violation of string
+(** Raised with a human-readable description of the first violated
+    invariant (which object / chunk / card, and why). *)
+
+type report = {
+  objects : int;  (** reachable objects walked *)
+  live_slots : int;  (** total slots covered by reachable objects *)
+  free_chunks : int;  (** free-list chunks checked *)
+  free_slots : int;  (** total slots on the free list *)
+}
+
+val check :
+  heap:Cgc_heap.Heap.t ->
+  roots:int array list ->
+  globals:int array ->
+  expect_marked:bool ->
+  expect_clean_cards:bool ->
+  label:string ->
+  report
+(** Walk the heap and raise {!Invariant_violation} on the first breach.
+    [roots] are the mutator root arrays (conservative), [globals] the
+    precise global table.  [label] prefixes violation messages (e.g.
+    ["cycle 12"]). *)

@@ -20,6 +20,12 @@ type code =
   | Sweep_chunk
   | Fence_flush
   | Alloc_failure
+  | Fault_inject
+  | Degrade_force_finish
+  | Degrade_full_stw
+  | Degrade_compact
+  | Oom
+  | Verify_pass
 
 type t = { ts : int; dur : int; tid : int; code : code; arg : int }
 
@@ -47,6 +53,12 @@ let name = function
   | Sweep_chunk -> "sweep-chunk"
   | Fence_flush -> "fence-flush"
   | Alloc_failure -> "alloc-failure"
+  | Fault_inject -> "fault-inject"
+  | Degrade_force_finish -> "degrade-force-finish"
+  | Degrade_full_stw -> "degrade-full-stw"
+  | Degrade_compact -> "degrade-compact"
+  | Oom -> "out-of-memory"
+  | Verify_pass -> "verify-pass"
 
 let cat = function
   | Cycle_start | Cycle_end -> "cycle"
@@ -59,6 +71,10 @@ let cat = function
   | Sweep_chunk -> "sweep"
   | Fence_flush -> "fence"
   | Alloc_failure -> "cycle"
+  | Fault_inject -> "fault"
+  | Degrade_force_finish | Degrade_full_stw | Degrade_compact | Oom ->
+      "degrade"
+  | Verify_pass -> "verify"
 
 let all_codes =
   [
@@ -83,4 +99,10 @@ let all_codes =
     Sweep_chunk;
     Fence_flush;
     Alloc_failure;
+    Fault_inject;
+    Degrade_force_finish;
+    Degrade_full_stw;
+    Degrade_compact;
+    Oom;
+    Verify_pass;
   ]

@@ -42,6 +42,24 @@ type code =
           arg = live slots found *)
   | Fence_flush  (** instant: a memory fence executed; arg = fence-site id *)
   | Alloc_failure  (** instant: allocation failed, forcing a collection *)
+  | Fault_inject
+      (** instant: the fault injector fired; arg = the scenario's
+          [Cgc_fault.Fault.index] *)
+  | Degrade_force_finish
+      (** instant: ladder rung 1 — allocation failure force-finished the
+          in-flight concurrent cycle; arg = cycle number *)
+  | Degrade_full_stw
+      (** instant: ladder rung 2 — a full stop-the-world collection was
+          forced; arg = cycle number *)
+  | Degrade_compact
+      (** instant: ladder rung 3 — an emergency compacting collection was
+          forced; arg = cycle number *)
+  | Oom
+      (** instant: the degradation ladder was exhausted and a typed
+          [Out_of_memory] is about to be raised; arg = request size *)
+  | Verify_pass
+      (** instant: a heap invariant verification pass completed cleanly;
+          arg = objects walked *)
 
 type t = {
   ts : int;  (** simulated cycles at the event (span: at its start) *)

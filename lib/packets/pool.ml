@@ -3,6 +3,7 @@ module Obs = Cgc_obs.Obs
 module Obs_event = Cgc_obs.Event
 module Fence = Cgc_smp.Fence
 module Cost = Cgc_smp.Cost
+module Fault = Cgc_fault.Fault
 
 (* Sub-pool indices *)
 let sp_empty = 0
@@ -18,9 +19,11 @@ type t = {
   cap : int;
   fence_on_put : bool;
   naive_mark_fence : bool;
+  faults : Fault.t;
   mutable hw_in_use : int;
   mutable n_entries : int;
   mutable hw_entries : int;
+  mutable hw_deferred : int;
   mutable gets : int;
   mutable puts : int;
 }
@@ -29,8 +32,8 @@ type t = {
    single-threaded); CAS costs are charged to model what the real
    structure would pay. *)
 
-let create ?(fence_on_put = true) ?(naive_mark_fence = false) mach ~n_packets
-    ~capacity =
+let create ?(fence_on_put = true) ?(naive_mark_fence = false)
+    ?(faults = Fault.disabled) mach ~n_packets ~capacity =
   if n_packets < 2 then invalid_arg "Pool.create: need at least 2 packets";
   let packets =
     Array.init n_packets (fun id -> Packet.make mach ~id ~capacity)
@@ -44,9 +47,11 @@ let create ?(fence_on_put = true) ?(naive_mark_fence = false) mach ~n_packets
       cap = capacity;
       fence_on_put;
       naive_mark_fence;
+      faults;
       hw_in_use = 0;
       n_entries = 0;
       hw_entries = 0;
+      hw_deferred = 0;
       gets = 0;
       puts = 0;
     }
@@ -81,19 +86,34 @@ let take_from t sp =
       end;
       Some p
 
+(* An open starvation window makes the pool answer None while still
+   charging the failed probe, so simulated time keeps advancing (the
+   window closes even for a thread spinning on the pool). *)
+let starved t =
+  if Fault.starve_packets t.faults then begin
+    Machine.charge t.mach t.mach.Machine.cost.Cost.packet_op;
+    true
+  end
+  else false
+
 let get_input t =
-  let got =
-    match take_from t sp_almost with
-    | Some p -> Some p
-    | None -> take_from t sp_nonempty
-  in
-  (match got with
-  | Some p ->
-      Obs.instant t.mach.Machine.obs ~arg:(Packet.count p) Obs_event.Packet_get
-  | None -> ());
-  got
+  if starved t then None
+  else
+    let got =
+      match take_from t sp_almost with
+      | Some p -> Some p
+      | None -> take_from t sp_nonempty
+    in
+    (match got with
+    | Some p ->
+        Obs.instant t.mach.Machine.obs ~arg:(Packet.count p)
+          Obs_event.Packet_get
+    | None -> ());
+    got
 
 let get_output t =
+  if starved t then None
+  else
   match take_from t sp_empty with
   | Some p -> Some p
   | None -> (
@@ -122,7 +142,9 @@ let put_deferred t p =
   if t.fence_on_put && not (Packet.is_empty p) && not t.naive_mark_fence then
     Machine.fence t.mach Fence.Packet_return;
   Obs.instant t.mach.Machine.obs ~arg:(Packet.count p) Obs_event.Packet_defer;
-  put_into t sp_deferred p
+  put_into t sp_deferred p;
+  if t.counters.(sp_deferred) > t.hw_deferred then
+    t.hw_deferred <- t.counters.(sp_deferred)
 
 let recycle_deferred t =
   let moved = ref 0 in
@@ -143,6 +165,7 @@ let recycle_deferred t =
   !moved
 
 let deferred_count t = t.counters.(sp_deferred)
+let max_deferred t = t.hw_deferred
 
 let push t p v =
   let ok = Packet.push p v in
@@ -191,4 +214,5 @@ let debug_dump t =
 
 let reset_watermarks t =
   t.hw_in_use <- in_use t;
-  t.hw_entries <- t.n_entries
+  t.hw_entries <- t.n_entries;
+  t.hw_deferred <- t.counters.(sp_deferred)

@@ -26,6 +26,7 @@ type t
 val create :
   ?fence_on_put:bool ->
   ?naive_mark_fence:bool ->
+  ?faults:Cgc_fault.Fault.t ->
   Cgc_smp.Machine.t ->
   n_packets:int ->
   capacity:int ->
@@ -33,7 +34,9 @@ val create :
 (** [fence_on_put] (default true) can be disabled to demonstrate the
     section 5.1 race in relaxed-memory tests.  [naive_mark_fence] (default
     false) instead fences on {e every} push, for the fence-batching
-    ablation. *)
+    ablation.  [faults] (default {!Cgc_fault.Fault.disabled}) makes
+    {!get_input}/{!get_output} answer [None] during injected packet
+    starvation windows (still charging the probe). *)
 
 val machine : t -> Cgc_smp.Machine.t
 val total : t -> int
@@ -58,6 +61,10 @@ val recycle_deferred : t -> int
     moved. *)
 
 val deferred_count : t -> int
+
+val max_deferred : t -> int
+(** High-water mark of {!deferred_count} since the last
+    {!reset_watermarks} — how deep the section 5.2 deferral got. *)
 
 val push : t -> Packet.t -> int -> bool
 (** Push through the pool so the ablation [naive_mark_fence] policy can

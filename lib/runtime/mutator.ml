@@ -1,7 +1,9 @@
 module Sched = Cgc_sim.Sched
 module Collector = Cgc_core.Collector
+module Config = Cgc_core.Config
 module Mctx = Cgc_core.Mctx
 module Prng = Cgc_util.Prng
+module Fault = Cgc_fault.Fault
 
 type t = {
   sched : Sched.t;
@@ -32,6 +34,17 @@ let think _t n = Sched.sleep n
 let tx_done t =
   t.txs <- t.txs + 1;
   Collector.checkpoint t.coll;
+  (* Fault injection at the transaction boundary: an allocation burst
+     models a request suddenly building a large temporary structure (the
+     objects are dropped immediately — pure pressure); a stall models the
+     thread being descheduled mid-transaction. *)
+  (let faults = (Collector.config t.coll).Config.faults in
+   let burst = Fault.alloc_burst faults in
+   for _ = 1 to burst do
+     ignore (alloc t ~nrefs:1 ~size:8)
+   done;
+   let stall = Fault.mutator_stall faults in
+   if stall > 0 then Sched.consume stall);
   t.on_tx ()
 
 let transactions t = t.txs

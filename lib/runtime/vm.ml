@@ -9,6 +9,7 @@ module Fence = Cgc_smp.Fence
 module Cost = Cgc_smp.Cost
 module Pool = Cgc_packets.Pool
 module Prng = Cgc_util.Prng
+module Fault = Cgc_fault.Fault
 module Stats = Cgc_util.Stats
 module Histogram = Cgc_util.Histogram
 module Obs = Cgc_obs.Obs
@@ -63,6 +64,9 @@ let create cfg =
       ~relinquish:Sched.yield ()
   in
   Sched.on_advance sc (fun now -> Weakmem.commit_due wm ~now);
+  (* Arm the fault injector: its windows are keyed on simulated time and
+     its events go to this VM's sink.  A disabled injector ignores this. *)
+  Fault.attach cfg.gc.Config.faults ~now:(fun () -> Sched.now sc) ~obs;
   let nslots = int_of_float (cfg.heap_mb *. 1024.0 *. 1024.0 /. 8.0) in
   let hp = Heap.create ~fence_policy:cfg.fence_policy mach ~nslots in
   let coll = Collector.create cfg.gc ~sched:sc ~heap:hp in
@@ -178,6 +182,27 @@ let print_report t =
   Printf.printf "packets: high-water %d of %d in use, %d entries; CAS ops %d\n"
     (Pool.max_in_use pl) (Pool.total pl) (Pool.max_entries pl)
     mach.Machine.cas_ops;
+  Printf.printf
+    "robustness: overflow events %d, deferred-packet high-water %d\n"
+    st.Gstats.overflow_events st.Gstats.max_deferred_packets;
+  if
+    st.Gstats.degrade_force_finish + st.Gstats.degrade_full_stw
+    + st.Gstats.degrade_compact + st.Gstats.oom_raised > 0
+  then
+    Printf.printf
+      "degradation ladder: force-finish %d, full-STW %d, emergency \
+       compaction %d, out-of-memory %d\n"
+      st.Gstats.degrade_force_finish st.Gstats.degrade_full_stw
+      st.Gstats.degrade_compact st.Gstats.oom_raised;
+  let faults = t.cfg.gc.Config.faults in
+  if Fault.enabled faults then begin
+    Printf.printf "fault injection (seed %d):" (Fault.seed faults);
+    List.iter
+      (fun (s, n) ->
+        if n > 0 then Printf.printf " %s=%d" (Fault.to_name s) n)
+      (Fault.injections faults);
+    Printf.printf " (total %d)\n" (Fault.total_injections faults)
+  end;
   if Obs.enabled mach.Machine.obs then
     Printf.printf "trace: %d events emitted, %d dropped by ring overflow\n"
       (Obs.emitted mach.Machine.obs)

@@ -192,9 +192,22 @@ let test_out_of_memory () =
           end
         in
         grow 0 0
-      with Collector.Out_of_memory -> raised := true);
+      with Collector.Out_of_memory d ->
+        raised := true;
+        (* The ladder must have been climbed to the top, and the
+           diagnostic must describe the failing request. *)
+        check ci "all three rungs climbed" 3 d.Collector.oom_rungs;
+        check ci "request size recorded" 64 d.Collector.oom_request);
   Vm.run vm ~ms:10_000.0;
-  check cb "Out_of_memory raised" true !raised
+  check cb "Out_of_memory raised" true !raised;
+  let st = Vm.gc_stats vm in
+  check cb "force-finish rung counted" true
+    (st.Cgc_core.Gstats.degrade_force_finish > 0);
+  check cb "full-STW rung counted" true
+    (st.Cgc_core.Gstats.degrade_full_stw > 0);
+  check cb "compaction rung counted" true
+    (st.Cgc_core.Gstats.degrade_compact > 0);
+  check cb "OOM counted" true (st.Cgc_core.Gstats.oom_raised > 0)
 
 let test_force_collect_frees_garbage () =
   let vm = Vm.create (Vm.config ~heap_mb:4.0 ~ncpus:1 ()) in

@@ -13,6 +13,14 @@ module Config = Cgc_core.Config
 module Tracer = Cgc_core.Tracer
 module Objgraph = Cgc_workloads.Objgraph
 module Prng = Cgc_util.Prng
+module Fault = Cgc_fault.Fault
+
+(* Tunable from the command line via `make fuzz FUZZ_COUNT=...` (or the
+   environment): how many random configurations to try. *)
+let fuzz_count =
+  match Sys.getenv_opt "FUZZ_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 25)
+  | None -> 25
 
 let churn resident m =
   let rng = Mutator.rng m in
@@ -57,6 +65,9 @@ let gen =
     let* stealing = bool in
     let* relaxed = bool in
     let* naive = bool in
+    (* a random subset of fault scenarios (bit i of the mask = scenario
+       i armed); armed runs also turn the cycle-boundary verifier on *)
+    let* fault_mask = int_range 0 63 in
     let* seed = int_range 1 1000 in
     return
       ( heap_mb,
@@ -78,23 +89,42 @@ let gen =
         },
         relaxed,
         naive,
+        fault_mask,
         seed ))
 
-let print_cfg (heap_mb, ncpus, workers, (gc : Config.t), relaxed, naive, seed) =
+let scenarios_of_mask mask =
+  List.filter (fun s -> mask land (1 lsl Fault.index s) <> 0) Fault.all
+
+let print_cfg
+    (heap_mb, ncpus, workers, (gc : Config.t), relaxed, naive, fault_mask, seed)
+    =
   Printf.sprintf
-    "heap=%.0fMB cpus=%d workers=%d mode=%s k0=%.0f pkts=%dx%d bg=%d passes=%d lazy=%b compact=%b steal=%b relaxed=%b naive=%b seed=%d"
+    "heap=%.0fMB cpus=%d workers=%d mode=%s k0=%.0f pkts=%dx%d bg=%d passes=%d lazy=%b compact=%b steal=%b relaxed=%b naive=%b faults=[%s] seed=%d"
     heap_mb ncpus workers
     (match gc.Config.mode with Config.Cgc -> "cgc" | Config.Stw -> "stw")
     gc.Config.k0 gc.Config.n_packets gc.Config.packet_capacity
     gc.Config.n_background gc.Config.card_passes gc.Config.lazy_sweep
     gc.Config.compaction
     (gc.Config.load_balance = Config.Stealing)
-    relaxed naive seed
+    relaxed naive
+    (String.concat "," (List.map Fault.to_name (scenarios_of_mask fault_mask)))
+    seed
 
 let fuzz =
-  QCheck.Test.make ~name:"random configurations keep the heap sound" ~count:25
+  QCheck.Test.make ~name:"random configurations keep the heap sound"
+    ~count:fuzz_count
     (QCheck.make ~print:print_cfg gen)
-    (fun (heap_mb, ncpus, workers, gc, relaxed, naive, seed) ->
+    (fun (heap_mb, ncpus, workers, gc, relaxed, naive, fault_mask, seed) ->
+      let scenarios = scenarios_of_mask fault_mask in
+      let gc =
+        if scenarios = [] then gc
+        else
+          {
+            gc with
+            Config.faults = Fault.create ~scenarios ~seed ();
+            verify = true;
+          }
+      in
       let vm =
         Vm.create
           (Vm.config ~heap_mb ~ncpus ~seed ~gc
