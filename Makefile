@@ -4,7 +4,7 @@
 # installed (odoc / ocamlformat are not part of the minimal toolchain);
 # when present they are part of the tier-1 bar.
 
-.PHONY: all build test doc fmt-check verify fuzz clean
+.PHONY: all build test doc fmt-check verify fuzz bench bench-smoke clean
 
 # Number of random configurations `make fuzz` tries.
 FUZZ_COUNT ?= 100
@@ -41,6 +41,23 @@ verify: build test doc fmt-check
 # replayed deterministically.
 fuzz: build
 	FUZZ_COUNT=$(FUZZ_COUNT) dune exec test/test_fuzz.exe
+
+# Full benchmark matrix (workloads x thread counts x tracing rates),
+# every cell traced and profiled.  Writes BENCH_PR3.json
+# (schema cgcsim-bench-v1) plus a Chrome trace of cell 0; fails if any
+# cell dropped trace events to ring overflow.
+bench: build
+	dune exec bench/main.exe -- matrix \
+	  --out BENCH_PR3.json --trace-out bench-cell0.trace.json
+
+# Shrunk matrix for CI (<60 s): one SPECjbb and one pBOB cell, then the
+# offline analyzer re-reads the emitted trace and fails on ring drops or
+# a schema mismatch.
+bench-smoke: build
+	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix \
+	  --out BENCH_PR3.json --trace-out bench-cell0.trace.json
+	dune exec bin/cgcsim.exe -- analyze \
+	  --trace bench-cell0.trace.json --fail-on-drops
 
 clean:
 	dune clean

@@ -1,0 +1,212 @@
+(* The fixed benchmark matrix: workloads x thread counts x tracing rates,
+   every cell traced and profiled, results written as one deterministic
+   JSON document (schema cgcsim-bench-v1) — the benchmark trajectory the
+   repo tracks across PRs.
+
+     dune exec bench/main.exe -- matrix --out BENCH_PR3.json \
+         --trace-out bench-cell0.trace.json
+
+   Cells run without a warm-up window so the trace covers the run from
+   cycle 0 and the derived metrics account for every event.  The harness
+   *fails* (exit 1, after writing the file) if any cell dropped events to
+   ring overflow: a truncated trace silently skews every derived metric,
+   so drops are a configuration bug — raise the per-cell ring capacity or
+   shrink the simulated window. *)
+
+module Vm = Cgc_runtime.Vm
+module Config = Cgc_core.Config
+module Obs = Cgc_obs.Obs
+module Analysis = Cgc_prof.Analysis
+module Sampler = Cgc_prof.Sampler
+module Series = Cgc_prof.Series
+module Json = Cgc_prof.Json
+
+let bench_schema = "cgcsim-bench-v1"
+
+type cell = {
+  workload : string;
+  warehouses : int;
+  k0 : float;
+  ms : float;
+  ring : int;  (* per-thread event-ring capacity *)
+}
+
+(* SPECjbb cells get deep rings (a dozen threads saturating 4 CPUs emit
+   a lot); pBOB cells spread far fewer events over hundreds of threads,
+   and rings are preallocated per thread, so theirs stay shallow. *)
+let matrix () =
+  let rates = if Cgc_experiments.Common.quick () then [ 8.0 ] else [ 4.0; 8.0; 12.0 ] in
+  let ms = if Cgc_experiments.Common.quick () then 800.0 else 1500.0 in
+  let spec wh =
+    List.map
+      (fun k0 -> { workload = "specjbb"; warehouses = wh; k0; ms; ring = 1 lsl 18 })
+      rates
+  in
+  let pbob wh =
+    List.map
+      (fun k0 -> { workload = "pbob"; warehouses = wh; k0; ms; ring = 1 lsl 17 })
+      rates
+  in
+  if Cgc_experiments.Common.quick () then spec 4 @ pbob 8
+  else spec 4 @ spec 8 @ pbob 8 @ pbob 16
+
+let run_cell c =
+  let gc = { Config.default with Config.k0 = c.k0 } in
+  let vm =
+    match c.workload with
+    | "specjbb" ->
+        Cgc_workloads.Specjbb.setup ~warehouses:c.warehouses ~gc ~heap_mb:48.0
+          ~ncpus:4 ~seed:1 ~trace:true ~trace_ring:c.ring ()
+    | "pbob" ->
+        (* Short think time and a small heap so the cell reaches several
+           GC cycles inside the window while keeping the idle fraction
+           that lets the background tracers participate. *)
+        Cgc_workloads.Pbob.setup ~warehouses:c.warehouses ~gc ~terminals:10
+          ~heap_mb:32.0 ~ncpus:4 ~seed:1 ~trace:true ~trace_ring:c.ring
+          ~think_mean:1_100_000 ~residency_at:(16, 0.5) ()
+    | w -> invalid_arg ("bench matrix: unknown workload " ^ w)
+  in
+  Vm.enable_profiler vm;
+  Vm.run vm ~ms:c.ms;
+  vm
+
+let sampler_json vm =
+  match Vm.profiler vm with
+  | None -> Json.Null
+  | Some p ->
+      let stat name =
+        match Sampler.find p name with
+        | None -> []
+        | Some s ->
+            [
+              (name ^ "Mean", Json.Float (Series.mean s));
+              (name ^ "Max", Json.Float (Series.max s));
+            ]
+      in
+      Json.Obj
+        (("ticks", Json.Int (Sampler.ticks p))
+        :: (stat "pool-in-use" @ stat "cards-dirty" @ stat "mutators-running"))
+
+let cell_json c vm =
+  let o = Vm.obs vm in
+  let a =
+    Analysis.analyse ~cycles_per_us:(Vm.cycles_per_us vm) (Obs.events o)
+  in
+  let bal = a.Analysis.balance and p = a.Analysis.pauses in
+  let json =
+    Json.Obj
+      [
+        ("workload", Json.Str c.workload);
+        ("warehouses", Json.Int c.warehouses);
+        ("k0", Json.Float c.k0);
+        ("ms", Json.Float c.ms);
+        ("seed", Json.Int 1);
+        ("throughput", Json.Float (Vm.throughput vm));
+        ("transactions", Json.Int (Vm.total_transactions vm));
+        ("gcCycles", Json.Int a.Analysis.n_cycles);
+        ("events", Json.Int a.Analysis.n_events);
+        ("emitted", Json.Int (Obs.emitted o));
+        ("dropped", Json.Int (Obs.dropped o));
+        ( "mmu",
+          Json.Arr
+            (List.map
+               (fun (m : Analysis.mmu_point) ->
+                 Json.Obj
+                   [
+                     ("windowMs", Json.Float m.window_ms);
+                     ("min", Json.Float m.mmu);
+                     ("avg", Json.Float m.avg_util);
+                     ("windows", Json.Int m.n_windows);
+                   ])
+               a.Analysis.mmu) );
+        ( "pauses",
+          Json.Obj
+            [
+              ("count", Json.Int p.pause_count);
+              ("meanMs", Json.Float p.pause_mean_ms);
+              ("p50Ms", Json.Float p.pause_p50_ms);
+              ("p90Ms", Json.Float p.pause_p90_ms);
+              ("p99Ms", Json.Float p.pause_p99_ms);
+              ("maxMs", Json.Float p.pause_max_ms);
+            ] );
+        ( "loadBalance",
+          Json.Obj
+            [
+              ("busyStddevMs", Json.Float bal.busy_stddev_ms);
+              ("busyCv", Json.Float bal.busy_cv);
+              ("slotsCv", Json.Float bal.slots_cv);
+              ("factorMean", Json.Float bal.factor_mean);
+              ("factorStddev", Json.Float bal.factor_stddev);
+              ("fairness", Json.Float bal.fairness);
+            ] );
+        ("sampler", sampler_json vm);
+      ]
+  in
+  (json, Obs.dropped o, a)
+
+let run ?(out = "BENCH_PR3.json") ?trace_out () =
+  Cgc_experiments.Common.hdr "Benchmark matrix (cgcsim-bench-v1)";
+  let cells = matrix () in
+  Printf.printf "%d cells, %s mode\n%!" (List.length cells)
+    (if Cgc_experiments.Common.quick () then "smoke" else "full");
+  let total_drops = ref 0 in
+  let t = Cgc_util.Table.create ~title:""
+      ~header:[ "cell"; "tx/s"; "cycles"; "MMU 20ms"; "p99 pause"; "factor";
+                "fairness"; "dropped" ]
+  in
+  let results =
+    List.mapi
+      (fun i c ->
+        let label =
+          Printf.sprintf "%s-%dwh-k0=%.0f" c.workload c.warehouses c.k0
+        in
+        Printf.printf "[%d/%d] %s...\n%!" (i + 1) (List.length cells) label;
+        let vm = run_cell c in
+        (if i = 0 then
+           match trace_out with
+           | Some file ->
+               Cgc_obs.Export.write_file file (Vm.trace_json vm);
+               Printf.printf "  cell-0 trace written to %s\n%!" file
+           | None -> ());
+        let json, drops, a = cell_json c vm in
+        total_drops := !total_drops + drops;
+        let mmu20 =
+          match
+            List.find_opt
+              (fun (p : Analysis.mmu_point) -> p.Analysis.window_ms = 20.0)
+              a.Analysis.mmu
+          with
+          | Some p -> p.Analysis.mmu
+          | None -> 0.0
+        in
+        Cgc_util.Table.add_row t
+          [ label;
+            Printf.sprintf "%.0f" (Vm.throughput vm);
+            string_of_int a.Analysis.n_cycles;
+            Cgc_util.Table.fpct mmu20;
+            Cgc_util.Table.f2 a.Analysis.pauses.Analysis.pause_p99_ms;
+            Cgc_util.Table.f3 a.Analysis.balance.Analysis.factor_mean;
+            Cgc_util.Table.f3 a.Analysis.balance.Analysis.fairness;
+            string_of_int drops ];
+        json)
+      cells
+  in
+  Cgc_util.Table.print t;
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str bench_schema);
+        ("fast", Json.Bool (Cgc_experiments.Common.quick ()));
+        ("cells", Json.Arr results);
+      ]
+  in
+  Cgc_obs.Export.write_file out (Json.to_string ~pretty:true doc);
+  Printf.printf "benchmark matrix written to %s\n" out;
+  if !total_drops > 0 then begin
+    Printf.eprintf
+      "bench: FAIL — %d events dropped by ring overflow across the matrix; \
+       derived metrics are untrustworthy (raise ring capacities or shrink \
+       the windows)\n"
+      !total_drops;
+    exit 1
+  end

@@ -9,7 +9,10 @@
 
    Targets: fig1 fig2 table1 table2 table3 table4 javac packetmem
             ablation-fence ablation-cardpass ablation-lazysweep
-            ablation-steal ablation-compact itanium micro all *)
+            ablation-steal ablation-compact itanium micro matrix all
+
+   The matrix target additionally honours --out FILE (default
+   BENCH_PR3.json) and --trace-out FILE (Chrome trace of cell 0). *)
 
 module E = Cgc_experiments
 
@@ -131,6 +134,10 @@ let targets : (string * (unit -> unit)) list =
     ("micro", run_micro);
   ]
 
+(* --out / --trace-out for the matrix target. *)
+let matrix_out = ref "BENCH_PR3.json"
+let matrix_trace_out : string option ref = ref None
+
 let run_all () =
   (* Tables 1-3 share one sweep when running everything. *)
   ignore (E.Fig1_specjbb.run ());
@@ -144,10 +151,32 @@ let run_all () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* Peel off the matrix options wherever they appear; what remains is
+     the target list. *)
+  let rec strip = function
+    | "--out" :: v :: rest ->
+        matrix_out := v;
+        strip rest
+    | "--trace-out" :: v :: rest ->
+        matrix_trace_out := Some v;
+        strip rest
+    | x :: rest -> x :: strip rest
+    | [] -> []
+  in
+  let names = strip args in
+  let targets =
+    targets
+    @ [
+        ( "matrix",
+          fun () ->
+            Bench_matrix.run ~out:!matrix_out ?trace_out:!matrix_trace_out ()
+        );
+      ]
+  in
   Printf.printf
     "CGC paper reproduction bench harness%s\n"
     (if E.Common.quick () then " (CGC_BENCH_FAST: shrunk sweeps)" else "");
-  match args with
+  match names with
   | [] | [ "all" ] -> run_all ()
   | names ->
       List.iter

@@ -195,6 +195,213 @@ let run_cmd =
       $ card_passes $ seed $ inject $ fault_seed $ verify $ trace_out
       $ metrics_out)
 
+(* ------------------------------------------------------------------ *)
+(* cgcsim analyze — the offline profiler.
+
+   Three sources, one output: derived metrics (MMU curves, load-balance
+   quality, pause distribution, per-event attribution) as text tables
+   and optionally as versioned JSON.
+
+     cgcsim analyze --trace trace.json            # a written trace file
+     cgcsim analyze --metrics runs.csv            # schema-check a CSV dump
+     cgcsim analyze --workload specjbb --ms 1000  # run, then analyze live
+
+   Exit codes: 4 = unreadable/incompatible input (schema mismatch),
+   5 = the trace lost events to ring overflow and --fail-on-drops was
+   given. *)
+
+module Analysis = Cgc_prof.Analysis
+module Prof_report = Cgc_prof.Report
+module Json = Cgc_prof.Json
+module Export = Cgc_obs.Export
+module Obs = Cgc_obs.Obs
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let known_csv_schemas =
+  [ Vm.cycles_schema; Cgc_experiments.Common.runs_schema ]
+
+let analyze_cmd =
+  let trace_in =
+    let doc = "Analyze a Chrome trace-event JSON file written by $(b,run --trace-out) (or $(b,bench))." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_in =
+    let doc =
+      "Validate a metrics CSV file ($(b,run --metrics-out) or \
+       $(b,experiment --metrics-out)) against its $(b,#schema=) line and \
+       summarise it."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let workload =
+    let doc = "Run this workload with tracing armed and analyze it live (specjbb|pbob|javac)." in
+    Arg.(value & opt (some string) None & info [ "workload"; "w" ] ~doc)
+  in
+  let warehouses =
+    Arg.(value & opt int 8 & info [ "warehouses" ] ~doc:"Warehouse count (live run).")
+  in
+  let heap_mb =
+    Arg.(value & opt float 64.0 & info [ "heap-mb" ] ~doc:"Heap size MB (live run).")
+  in
+  let ncpus = Arg.(value & opt int 4 & info [ "ncpus" ] ~doc:"CPUs (live run).") in
+  let ms = Arg.(value & opt float 1000.0 & info [ "ms" ] ~doc:"Simulated ms (live run).") in
+  let tracing_rate =
+    Arg.(value & opt float 8.0 & info [ "tracing-rate"; "k0" ] ~doc:"Tracing rate K0 (live run).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed (live run).") in
+  let trace_ring =
+    Arg.(
+      value
+      & opt int (1 lsl 17)
+      & info [ "trace-ring" ] ~doc:"Per-thread event-ring capacity (live run).")
+  in
+  let mmu_windows =
+    let doc = "Comma-separated MMU window sizes in ms (default 1,5,20,50)." in
+    Arg.(value & opt (some string) None & info [ "mmu-windows" ] ~docv:"MS,MS,..." ~doc)
+  in
+  let json_out =
+    let doc = "Also write the analysis as $(b,cgcsim-analysis-v1) JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let fail_on_drops =
+    let doc =
+      "Exit 5 if the analyzed trace lost any events to ring overflow — \
+       derived metrics from a truncated trace are not trustworthy."
+    in
+    Arg.(value & flag & info [ "fail-on-drops" ] ~doc)
+  in
+  let exec trace_in metrics_in workload warehouses heap_mb ncpus ms
+      tracing_rate seed trace_ring mmu_windows json_out fail_on_drops =
+    let mmu_windows_ms =
+      match mmu_windows with
+      | None -> None
+      | Some spec -> (
+          try
+            Some
+              (List.map
+                 (fun s -> float_of_string (String.trim s))
+                 (String.split_on_char ',' spec))
+          with Failure _ ->
+            Printf.eprintf "cgcsim: bad --mmu-windows %S\n" spec;
+            exit 1)
+    in
+    let finish ~label ~emitted ~dropped events cycles_per_us =
+      let a = Analysis.analyse ?mmu_windows_ms ~cycles_per_us events in
+      print_string (Prof_report.summary ~dropped a);
+      (match json_out with
+      | Some file ->
+          write_or_die "analysis JSON"
+            (fun f ->
+              Export.write_file f
+                (Json.to_string ~pretty:true
+                   (Prof_report.to_json ~label ~emitted ~dropped a)))
+            file;
+          Printf.printf "analysis written to %s\n" file
+      | None -> ());
+      if fail_on_drops && dropped > 0 then begin
+        Printf.eprintf
+          "cgcsim: %d events dropped by ring overflow (--fail-on-drops)\n"
+          dropped;
+        exit 5
+      end
+    in
+    match (trace_in, metrics_in, workload) with
+    | Some file, None, None -> (
+        let contents =
+          try read_file file
+          with Sys_error msg ->
+            Printf.eprintf "cgcsim: cannot read %s: %s\n" file msg;
+            exit 4
+        in
+        match Export.parse_chrome_json contents with
+        | Error msg ->
+            Printf.eprintf "cgcsim: %s: %s\n" file msg;
+            exit 4
+        | Ok (meta, events) ->
+            finish ~label:file ~emitted:meta.Export.emitted
+              ~dropped:meta.Export.dropped events meta.Export.cycles_per_us)
+    | None, Some file, None -> (
+        let contents =
+          try read_file file
+          with Sys_error msg ->
+            Printf.eprintf "cgcsim: cannot read %s: %s\n" file msg;
+            exit 4
+        in
+        match Export.parse_csv contents with
+        | Error msg ->
+            Printf.eprintf "cgcsim: %s: %s\n" file msg;
+            exit 4
+        | Ok (schema, header, rows) ->
+            (match schema with
+            | None ->
+                Printf.eprintf
+                  "cgcsim: %s: no #schema= line (pre-v1 file?); known \
+                   schemas: %s\n"
+                  file
+                  (String.concat ", " known_csv_schemas);
+                exit 4
+            | Some s when not (List.mem s known_csv_schemas) ->
+                Printf.eprintf
+                  "cgcsim: %s: unsupported schema %S; known schemas: %s\n"
+                  file s
+                  (String.concat ", " known_csv_schemas);
+                exit 4
+            | Some s ->
+                Printf.printf "%s: schema %s, %d columns, %d rows\n" file s
+                  (List.length header) (List.length rows));
+            List.iter
+              (fun r ->
+                if List.length r <> List.length header then begin
+                  Printf.eprintf
+                    "cgcsim: %s: row width %d does not match header width %d\n"
+                    file (List.length r) (List.length header);
+                  exit 4
+                end)
+              rows)
+    | None, None, Some w ->
+        let gc = { Config.default with Config.k0 = tracing_rate } in
+        let vm =
+          catching_failures (fun () ->
+              match w with
+              | "specjbb" ->
+                  Cgc_workloads.Specjbb.run ~warehouses ~gc ~heap_mb ~ncpus
+                    ~seed ~trace:true ~trace_ring ~ms ()
+              | "pbob" ->
+                  Cgc_workloads.Pbob.run ~warehouses ~gc ~heap_mb ~ncpus ~seed
+                    ~trace:true ~trace_ring ~ms ()
+              | "javac" ->
+                  Cgc_workloads.Javac.run ~gc ~heap_mb ~ncpus ~seed ~trace:true
+                    ~ms ()
+              | w ->
+                  Printf.eprintf "unknown workload %s (specjbb|pbob|javac)\n" w;
+                  exit 1)
+        in
+        let o = Vm.obs vm in
+        finish ~label:w ~emitted:(Obs.emitted o) ~dropped:(Obs.dropped o)
+          (Obs.events o) (Vm.cycles_per_us vm)
+    | _ ->
+        Printf.eprintf
+          "cgcsim: analyze needs exactly one of --trace FILE, --metrics FILE \
+           or --workload NAME\n";
+        exit 1
+  in
+  let info =
+    Cmd.info "analyze"
+      ~doc:
+        "Derive profiling metrics (MMU, load balance, pauses) from a trace \
+         file, validate a metrics CSV, or run-and-analyze a workload."
+  in
+  Cmd.v info
+    Term.(
+      const exec $ trace_in $ metrics_in $ workload $ warehouses $ heap_mb
+      $ ncpus $ ms $ tracing_rate $ seed $ trace_ring $ mmu_windows $ json_out
+      $ fail_on_drops)
+
 let experiment_cmd =
   let which =
     let doc =
@@ -241,4 +448,4 @@ let () =
         "Simulator of the PLDI 2002 parallel, incremental and mostly \
          concurrent garbage collector."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; experiment_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; analyze_cmd; experiment_cmd ]))

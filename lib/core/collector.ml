@@ -750,7 +750,13 @@ let do_increment t (m : Mctx.t) ~alloc =
     if work > 0 && !traced > 0 && not complete then begin
       let f = float_of_int !traced /. float_of_int work in
       Stats.add t.st.Gstats.tracing_factor f;
-      Stats.add t.cycle_factors f
+      Stats.add t.cycle_factors f;
+      (* Mirror the sample into the trace (fixed-point, x1e6) so the
+         profiler can recompute the Table 4 load-balance statistics from
+         the event stream alone. *)
+      Obs.instant t.mach.Machine.obs
+        ~arg:(int_of_float (Float.round (f *. 1e6)))
+        Obs_event.Incr_factor
     end;
     if work > 0 then
       Obs.span t.mach.Machine.obs ~arg:!traced ~start:incr_t0

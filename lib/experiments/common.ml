@@ -71,10 +71,12 @@ let metrics_csv_row m =
     f m.cas_avg; f m.cas_max; i m.fences_total; i m.pkt_in_use_hw;
     i m.pkt_entries_hw; i m.heap_slots; f m.idle_frac ]
 
+let runs_schema = "cgcsim-runs-v1"
+
 let write_metrics_csv path =
   let rows = List.map metrics_csv_row (recorded ()) in
   Cgc_obs.Export.write_file path
-    (Cgc_obs.Export.csv ~header:metrics_csv_header ~rows)
+    (Cgc_obs.Export.csv ~schema:runs_schema ~header:metrics_csv_header rows)
 
 let pct_over samples threshold total =
   if total = 0 then 0.0
@@ -136,20 +138,42 @@ let quick () =
   | Some ("1" | "true" | "yes") -> true
   | _ -> false
 
-let specjbb ~label ~gc ?(warehouses = 8) ?(heap_mb = 64.0) ?(warmup_ms = 1500.0)
-    ?(ms = 4000.0) ?(seed = 1) () =
-  let vm = Cgc_workloads.Specjbb.setup ~warehouses ~gc ~heap_mb ~seed () in
-  Vm.run_measured vm ~warmup_ms ~ms;
-  collect ~label vm
-
-let pbob ~label ~gc ~warehouses ?terminals ?(heap_mb = 96.0) ?think_mean
-    ?residency_at ?(warmup_ms = 1500.0) ?(ms = 5000.0) ?(seed = 1) () =
+let specjbb_vm ~label ~gc ?(warehouses = 8) ?(heap_mb = 64.0)
+    ?(warmup_ms = 1500.0) ?(ms = 4000.0) ?(seed = 1) ?(trace = false)
+    ?trace_ring ?(profile = false) () =
   let vm =
-    Cgc_workloads.Pbob.setup ~warehouses ~gc ?terminals ~heap_mb ?think_mean
-      ?residency_at ~seed ()
+    Cgc_workloads.Specjbb.setup ~warehouses ~gc ~heap_mb ~seed ~trace
+      ?trace_ring ()
   in
+  if profile then Vm.enable_profiler vm;
   Vm.run_measured vm ~warmup_ms ~ms;
-  collect ~label vm
+  (collect ~label vm, vm)
+
+let specjbb ~label ~gc ?warehouses ?heap_mb ?warmup_ms ?ms ?seed () =
+  fst
+    (specjbb_vm ~label ~gc ?warehouses ?heap_mb ?warmup_ms ?ms ?seed ())
+
+let pbob_vm ~label ~gc ~warehouses ?terminals ?(heap_mb = 96.0) ?think_mean
+    ?residency_at ?(warmup_ms = 1500.0) ?(ms = 5000.0) ?(seed = 1)
+    ?(trace = false) ?trace_ring ?(profile = false) () =
+  let vm =
+    Cgc_workloads.Pbob.setup ~warehouses ~gc ?terminals ~heap_mb ~trace
+      ?trace_ring ?think_mean ?residency_at ~seed ()
+  in
+  if profile then Vm.enable_profiler vm;
+  Vm.run_measured vm ~warmup_ms ~ms;
+  (collect ~label vm, vm)
+
+let pbob ~label ~gc ~warehouses ?terminals ?heap_mb ?think_mean ?residency_at
+    ?warmup_ms ?ms ?seed () =
+  fst
+    (pbob_vm ~label ~gc ~warehouses ?terminals ?heap_mb ?think_mean
+       ?residency_at ?warmup_ms ?ms ?seed ())
+
+let analyse_trace ?mmu_windows_ms vm =
+  Cgc_prof.Analysis.analyse ?mmu_windows_ms
+    ~cycles_per_us:(Vm.cycles_per_us vm)
+    (Cgc_obs.Obs.events (Vm.obs vm))
 
 let hdr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

@@ -54,9 +54,14 @@ val metrics_csv_header : string list
 
 val metrics_csv_row : metrics -> string list
 
+val runs_schema : string
+(** The [#schema=] tag on experiment CSV dumps: ["cgcsim-runs-v1"]. *)
+
 val write_metrics_csv : string -> unit
-(** Write every recorded metrics record to [path] as CSV
-    (implements [cgcsim experiment NAME --metrics-out FILE]). *)
+(** Write every recorded metrics record to [path] as CSV, first line
+    [#schema=cgcsim-runs-v1], so consumers can reject incompatible
+    column sets (implements [cgcsim experiment NAME --metrics-out
+    FILE]). *)
 
 val quick : unit -> bool
 (** True when the CGC_BENCH_FAST environment variable is set: experiments
@@ -88,6 +93,45 @@ val pbob :
   ?seed:int ->
   unit ->
   metrics
+
+val specjbb_vm :
+  label:string ->
+  gc:Cgc_core.Config.t ->
+  ?warehouses:int ->
+  ?heap_mb:float ->
+  ?warmup_ms:float ->
+  ?ms:float ->
+  ?seed:int ->
+  ?trace:bool ->
+  ?trace_ring:int ->
+  ?profile:bool ->
+  unit ->
+  metrics * Cgc_runtime.Vm.t
+(** Like {!specjbb} but also returns the finished VM, and optionally
+    arms the event sink ([trace], with [trace_ring] capacity) and the
+    online {!Cgc_prof.Sampler} ([profile]) — for experiments that derive
+    extra columns from the trace. *)
+
+val pbob_vm :
+  label:string ->
+  gc:Cgc_core.Config.t ->
+  warehouses:int ->
+  ?terminals:int ->
+  ?heap_mb:float ->
+  ?think_mean:int ->
+  ?residency_at:int * float ->
+  ?warmup_ms:float ->
+  ?ms:float ->
+  ?seed:int ->
+  ?trace:bool ->
+  ?trace_ring:int ->
+  ?profile:bool ->
+  unit ->
+  metrics * Cgc_runtime.Vm.t
+
+val analyse_trace :
+  ?mmu_windows_ms:float list -> Cgc_runtime.Vm.t -> Cgc_prof.Analysis.t
+(** Run the offline profiler over a finished traced VM's event stream. *)
 
 val hdr : string -> unit
 (** Print an experiment banner. *)

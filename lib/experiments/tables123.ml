@@ -13,7 +13,14 @@
 module Table = Cgc_util.Table
 module Config = Cgc_core.Config
 
-type sweep = { stw : Common.metrics; trs : (float * Common.metrics) list }
+type tr_run = {
+  k0 : float;
+  m : Common.metrics;
+  mmu : Cgc_prof.Analysis.mmu_point list;
+      (* derived offline from the run's event trace *)
+}
+
+type sweep = { stw : Common.metrics; trs : tr_run list }
 
 let tracing_rates () = if Common.quick () then [ 1.0; 8.0 ] else [ 1.0; 4.0; 8.0; 10.0 ]
 
@@ -24,20 +31,25 @@ let run_sweep () =
     List.map
       (fun k0 ->
         let gc = { Config.default with Config.k0 } in
-        (k0, Common.specjbb ~label:(Printf.sprintf "TR %.0f" k0) ~gc ~ms ()))
+        let m, vm =
+          Common.specjbb_vm ~label:(Printf.sprintf "TR %.0f" k0) ~gc ~ms
+            ~trace:true ~trace_ring:(1 lsl 18) ()
+        in
+        let a = Common.analyse_trace vm in
+        { k0; m; mmu = a.Cgc_prof.Analysis.mmu })
       (tracing_rates ())
   in
   { stw; trs }
 
 let table1 s =
   Common.hdr "Table 1 — The effects of different tracing rates (SPECjbb, 8 warehouses)";
-  let cols = "measurement" :: "STW" :: List.map (fun (k, _) -> Printf.sprintf "TR %.0f" k) s.trs in
+  let cols = "measurement" :: "STW" :: List.map (fun r -> Printf.sprintf "TR %.0f" r.k0) s.trs in
   let t =
     Table.create ~title:"(floating garbage = occupancy above the STW baseline)"
       ~header:cols
   in
   let row name f_stw f_tr =
-    Table.add_row t (name :: f_stw s.stw :: List.map (fun (_, m) -> f_tr m) s.trs)
+    Table.add_row t (name :: f_stw s.stw :: List.map (fun r -> f_tr r.m) s.trs)
   in
   row "Throughput (tx/s)"
     (fun m -> Printf.sprintf "%.0f" m.Common.throughput)
@@ -59,10 +71,10 @@ let table1 s =
 
 let table2 s =
   Common.hdr "Table 2 — Effectiveness of metering (percentage of collections failing)";
-  let cols = "criterion" :: List.map (fun (k, _) -> Printf.sprintf "TR %.0f" k) s.trs in
+  let cols = "criterion" :: List.map (fun r -> Printf.sprintf "TR %.0f" r.k0) s.trs in
   let t = Table.create ~title:"" ~header:cols in
   let row name f =
-    Table.add_row t (name :: List.map (fun (_, m) -> f m) s.trs)
+    Table.add_row t (name :: List.map (fun r -> f r.m) s.trs)
   in
   row "CC Rate fails (stw/conc > 20%)" (fun m ->
       Printf.sprintf "%.0f%%" m.Common.cc_fail_pct);
@@ -74,18 +86,18 @@ let table2 s =
 
 let table3 s =
   Common.hdr "Table 3 — Mutator utilization during the concurrent phase";
-  let cols = "measurement" :: List.map (fun (k, _) -> Printf.sprintf "TR %.0f" k) s.trs in
+  let cols = "measurement" :: List.map (fun r -> Printf.sprintf "TR %.0f" r.k0) s.trs in
   let t = Table.create ~title:"(allocation rates in KB per simulated ms)" ~header:cols in
   (* At tracing rate 1 there is no pre-concurrent phase; like the paper
      (footnote 6) we substitute the pre-concurrent rate measured at the
      next higher tracing rate. *)
   let fallback_pre =
     List.fold_left
-      (fun acc (_, m) -> if m.Common.utilization > 0.0 then m.Common.pre_rate else acc)
+      (fun acc r -> if r.m.Common.utilization > 0.0 then r.m.Common.pre_rate else acc)
       0.0 s.trs
   in
   let row name f =
-    Table.add_row t (name :: List.map (fun (_, m) -> f m) s.trs)
+    Table.add_row t (name :: List.map (fun r -> f r.m) s.trs)
   in
   row "pre-concurrent" (fun m ->
       if m.Common.utilization = 0.0 then "--" else Table.f1 m.Common.pre_rate);
@@ -95,6 +107,33 @@ let table3 s =
       else if fallback_pre > 0.0 then
         Table.fpct (m.Common.conc_rate /. fallback_pre)
       else "--");
+  (* Windowed utilization from the event trace: the paper-style MMU view
+     of the same runs — the worst and average mutator share of each
+     window, all pauses and tracing increments deducted. *)
+  List.iter
+    (fun (w : float) ->
+      let point r =
+        List.find_opt
+          (fun (p : Cgc_prof.Analysis.mmu_point) -> p.window_ms = w)
+          r.mmu
+      in
+      Table.add_row t
+        (Printf.sprintf "MMU %.0f ms (min)" w
+        :: List.map
+             (fun r ->
+               match point r with
+               | Some p -> Table.fpct p.Cgc_prof.Analysis.mmu
+               | None -> "--")
+             s.trs);
+      Table.add_row t
+        (Printf.sprintf "MMU %.0f ms (avg)" w
+        :: List.map
+             (fun r ->
+               match point r with
+               | Some p -> Table.fpct p.Cgc_prof.Analysis.avg_util
+               | None -> "--")
+             s.trs))
+    [ 5.0; 20.0 ];
   Table.print t
 
 let run () =

@@ -26,6 +26,7 @@ type code =
   | Degrade_compact
   | Oom
   | Verify_pass
+  | Incr_factor
 
 type t = { ts : int; dur : int; tid : int; code : code; arg : int }
 
@@ -59,6 +60,7 @@ let name = function
   | Degrade_compact -> "degrade-compact"
   | Oom -> "out-of-memory"
   | Verify_pass -> "verify-pass"
+  | Incr_factor -> "increment-factor"
 
 let cat = function
   | Cycle_start | Cycle_end -> "cycle"
@@ -75,6 +77,7 @@ let cat = function
   | Degrade_force_finish | Degrade_full_stw | Degrade_compact | Oom ->
       "degrade"
   | Verify_pass -> "verify"
+  | Incr_factor -> "phase"
 
 let all_codes =
   [
@@ -105,4 +108,10 @@ let all_codes =
     Degrade_compact;
     Oom;
     Verify_pass;
+    Incr_factor;
   ]
+
+let of_name =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun c -> Hashtbl.replace tbl (name c) c) all_codes;
+  fun n -> Hashtbl.find_opt tbl n

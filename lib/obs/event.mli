@@ -60,6 +60,12 @@ type code =
   | Verify_pass
       (** instant: a heap invariant verification pass completed cleanly;
           arg = objects walked *)
+  | Incr_factor
+      (** instant: one mutator tracing increment's tracing factor
+          (actual/assigned, the Table 4 quantity), fixed-point scaled by
+          1e6 in [arg].  Emitted exactly when the factor is sampled into
+          [Gstats.tracing_factor], so trace analysis can reproduce the
+          load-balance statistics. *)
 
 type t = {
   ts : int;  (** simulated cycles at the event (span: at its start) *)
@@ -83,3 +89,6 @@ val cat : code -> string
 val all_codes : code list
 (** Every code, in declaration order — lets docs and tests enumerate the
     catalogue without chasing the variant. *)
+
+val of_name : string -> code option
+(** Inverse of {!name} — used by the trace re-parser. *)

@@ -1,8 +1,19 @@
+let trace_schema = "cgcsim-trace-v1"
+
 let us ~cycles_per_us cycles = float_of_int cycles /. cycles_per_us
 
-let chrome_json ~cycles_per_us events =
+type trace_meta = {
+  cycles_per_us : float;
+  emitted : int;
+  dropped : int;
+}
+
+let chrome_json ?(emitted = 0) ?(dropped = 0) ~cycles_per_us events =
   let b = Buffer.create 65536 in
-  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"displayTimeUnit\":\"ms\",\"cgcSchema\":\"%s\",\"cyclesPerUs\":%.3f,\"emitted\":%d,\"dropped\":%d,\"traceEvents\":["
+       trace_schema cycles_per_us emitted dropped);
   List.iteri
     (fun i (e : Event.t) ->
       if i > 0 then Buffer.add_char b ',';
@@ -24,6 +35,112 @@ let chrome_json ~cycles_per_us events =
   Buffer.add_string b "\n]}\n";
   Buffer.contents b
 
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace re-parser.
+
+   Strict by design: it accepts exactly the shape [chrome_json] writes
+   (schema tag included), recovering the integer cycle timestamps from
+   the fixed-precision microsecond fields.  Rounding is exact as long as
+   [cycles_per_us < 2000]: the %.3f formatting error is at most
+   0.0005 us, i.e. under half a cycle.  Anything else is rejected with a
+   message rather than mis-parsed. *)
+
+exception Bad of string
+
+let parse_chrome_json s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let literal l =
+    let n = String.length l in
+    if !pos + n <= len && String.sub s !pos n = l then pos := !pos + n
+    else fail (Printf.sprintf "expected %S" l)
+  in
+  let peek l =
+    let n = String.length l in
+    !pos + n <= len && String.sub s !pos n = l
+  in
+  let until_quote () =
+    let start = !pos in
+    while !pos < len && s.[!pos] <> '"' do incr pos done;
+    if !pos >= len then fail "unterminated string";
+    let r = String.sub s start (!pos - start) in
+    incr pos;
+    r
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < len
+      && (match s.[!pos] with '0' .. '9' | '-' | '.' -> true | _ -> false)
+    do incr pos done;
+    if !pos = start then fail "expected a number";
+    String.sub s start (!pos - start)
+  in
+  let int_field () = int_of_string (number ()) in
+  let float_field () = float_of_string (number ()) in
+  try
+    literal "{\"displayTimeUnit\":\"ms\",\"cgcSchema\":\"";
+    let schema = until_quote () in
+    if schema <> trace_schema then
+      raise
+        (Bad
+           (Printf.sprintf "unsupported trace schema %S (want %S)" schema
+              trace_schema));
+    literal ",\"cyclesPerUs\":";
+    let cycles_per_us = float_field () in
+    if cycles_per_us <= 0.0 || cycles_per_us >= 2000.0 then
+      raise (Bad "cyclesPerUs out of the exactly-invertible range");
+    literal ",\"emitted\":";
+    let emitted = int_field () in
+    literal ",\"dropped\":";
+    let dropped = int_field () in
+    literal ",\"traceEvents\":[";
+    let cycles f = int_of_float (Float.round (f *. cycles_per_us)) in
+    let events = ref [] in
+    let first = ref true in
+    while not (peek "\n]}\n") do
+      if !first then first := false else literal ",";
+      literal "\n{\"name\":\"";
+      let name = until_quote () in
+      let code =
+        match Event.of_name name with
+        | Some c -> c
+        | None -> raise (Bad (Printf.sprintf "unknown event name %S" name))
+      in
+      (* [until_quote] consumed the string's closing quote, so the next
+         literal starts at the comma. *)
+      literal ",\"cat\":\"";
+      let _cat = until_quote () in
+      let dur =
+        if peek ",\"ph\":\"i\",\"s\":\"t\"" then begin
+          literal ",\"ph\":\"i\",\"s\":\"t\"";
+          -1
+        end
+        else begin
+          literal ",\"ph\":\"X\",\"dur\":";
+          cycles (float_field ())
+        end
+      in
+      literal ",\"ts\":";
+      let ts = cycles (float_field ()) in
+      literal ",\"pid\":0,\"tid\":";
+      let tid = int_field () in
+      literal ",\"args\":{\"v\":";
+      let arg = int_field () in
+      literal "}}";
+      events := { Event.ts; dur; tid; code; arg } :: !events
+    done;
+    literal "\n]}\n";
+    if !pos <> len then fail "trailing bytes after the trace";
+    Ok ({ cycles_per_us; emitted; dropped }, List.rev !events)
+  with
+  | Bad msg -> Error msg
+  | Failure _ -> Error (Printf.sprintf "malformed number at byte %d" !pos)
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+
 let csv_field f =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') f then begin
     let b = Buffer.create (String.length f + 2) in
@@ -37,8 +154,11 @@ let csv_field f =
   end
   else f
 
-let csv ~header ~rows =
+let csv ?schema ~header rows =
   let b = Buffer.create 4096 in
+  (match schema with
+  | Some s -> Buffer.add_string b (Printf.sprintf "#schema=%s\n" s)
+  | None -> ());
   let row r = Buffer.add_string b (String.concat "," (List.map csv_field r)) in
   row header;
   Buffer.add_char b '\n';
@@ -48,6 +168,68 @@ let csv ~header ~rows =
       Buffer.add_char b '\n')
     rows;
   Buffer.contents b
+
+let parse_csv s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let schema =
+    if len > 8 && String.sub s 0 8 = "#schema=" then begin
+      let eol = try String.index s '\n' with Not_found -> len in
+      pos := min len (eol + 1);
+      Some (String.sub s 8 (eol - 8))
+    end
+    else None
+  in
+  (* RFC-4180-enough: fields separated by commas, rows by '\n', quoted
+     fields may contain commas, quotes ("" escapes) and newlines. *)
+  let rows = ref [] and row = ref [] and field = Buffer.create 64 in
+  let flush_field () =
+    row := Buffer.contents field :: !row;
+    Buffer.clear field
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let error = ref None in
+  (try
+     while !pos < len do
+       match s.[!pos] with
+       | '"' ->
+           if Buffer.length field > 0 then failwith "quote inside bare field";
+           incr pos;
+           let closed = ref false in
+           while not !closed do
+             if !pos >= len then failwith "unterminated quoted field";
+             (match s.[!pos] with
+             | '"' ->
+                 if !pos + 1 < len && s.[!pos + 1] = '"' then begin
+                   Buffer.add_char field '"';
+                   incr pos
+                 end
+                 else closed := true
+             | c -> Buffer.add_char field c);
+             incr pos
+           done
+       | ',' ->
+           flush_field ();
+           incr pos
+       | '\n' ->
+           flush_row ();
+           incr pos
+       | c ->
+           Buffer.add_char field c;
+           incr pos
+     done;
+     if Buffer.length field > 0 || !row <> [] then failwith "missing final newline"
+   with Failure msg -> error := Some msg);
+  match !error with
+  | Some msg -> Error msg
+  | None -> (
+      match List.rev !rows with
+      | [] -> Error "empty file"
+      | header :: rows -> Ok (schema, header, rows))
 
 let write_file path contents =
   let oc = open_out_bin path in

@@ -51,6 +51,15 @@ let dropped = function
   | Null -> 0
   | On a -> Hashtbl.fold (fun _ r acc -> acc + Ring.dropped r) a.rings 0
 
+let dropped_by_thread = function
+  | Null -> []
+  | On a ->
+      Hashtbl.fold
+        (fun tid r acc ->
+          if Ring.dropped r > 0 then (tid, Ring.dropped r) :: acc else acc)
+        a.rings []
+      |> List.sort compare
+
 let events t =
   match t with
   | Null -> []

@@ -41,6 +41,11 @@ val emitted : t -> int
 val dropped : t -> int
 (** Events lost to ring overflow, across all threads. *)
 
+val dropped_by_thread : t -> (int * int) list
+(** [(tid, dropped)] for every thread whose ring overflowed, sorted by
+    thread id — lets reports name the lossy rings instead of only the
+    total. *)
+
 val events : t -> Event.t list
 (** Every surviving event, sorted by timestamp; ties broken by thread id
     then emission order, so the result is deterministic. *)

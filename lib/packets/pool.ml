@@ -193,6 +193,25 @@ let in_use t = Array.length t.packets - t.counters.(sp_empty)
 let max_in_use t = t.hw_in_use
 let entries t = t.n_entries
 let max_entries t = t.hw_entries
+
+type occupancy = {
+  occ_empty : int;
+  occ_nonempty : int;
+  occ_almost_full : int;
+  occ_deferred : int;
+  occ_in_use : int;
+  occ_entries : int;
+}
+
+let occupancy t =
+  {
+    occ_empty = t.counters.(sp_empty);
+    occ_nonempty = t.counters.(sp_nonempty);
+    occ_almost_full = t.counters.(sp_almost);
+    occ_deferred = t.counters.(sp_deferred);
+    occ_in_use = in_use t;
+    occ_entries = t.n_entries;
+  }
 let get_ops t = t.gets
 let put_ops t = t.puts
 

@@ -81,6 +81,21 @@ val terminated : t -> bool
 val counts : t -> int * int * int * int
 (** (empty, nonempty, almost_full, deferred) counter values. *)
 
+type occupancy = {
+  occ_empty : int;
+  occ_nonempty : int;
+  occ_almost_full : int;
+  occ_deferred : int;
+  occ_in_use : int;
+  occ_entries : int;
+}
+(** One coherent snapshot of the pool's occupancy, by sub-pool plus the
+    in-use and total-entry gauges. *)
+
+val occupancy : t -> occupancy
+(** Probe for the profiler's online sampler: a host-side read of the
+    counters, charging no simulated cycles. *)
+
 val in_use : t -> int
 (** Packets currently out of the Empty sub-pool (held or holding work). *)
 

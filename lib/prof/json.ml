@@ -1,0 +1,79 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+and t_float = float
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let to_string ?(pretty = false) v =
+  let b = Buffer.create 4096 in
+  let pad n = if pretty then Buffer.add_string b (String.make (2 * n) ' ') in
+  let nl () = if pretty then Buffer.add_char b '\n' in
+  let rec go depth = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (if x then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then
+          Buffer.add_string b (Printf.sprintf "%.6f" f)
+        else Buffer.add_string b "null"
+    | Str s -> escape b s
+    | Arr [] -> Buffer.add_string b "[]"
+    | Arr xs ->
+        Buffer.add_char b '[';
+        nl ();
+        List.iteri
+          (fun i x ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            go (depth + 1) x)
+          xs;
+        nl ();
+        pad depth;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        nl ();
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            escape b k;
+            Buffer.add_char b ':';
+            if pretty then Buffer.add_char b ' ';
+            go (depth + 1) x)
+          kvs;
+        nl ();
+        pad depth;
+        Buffer.add_char b '}'
+  in
+  go 0 v;
+  if pretty then Buffer.add_char b '\n';
+  Buffer.contents b

@@ -1,0 +1,23 @@
+(** A minimal, deterministic JSON writer.
+
+    The toolchain has no JSON dependency, and none is needed: the
+    profiler only {e writes} JSON (the analysis report and the benchmark
+    matrix), with object keys in the order given and floats at fixed
+    precision, so equal inputs serialise to identical bytes — the same
+    determinism contract the Chrome-trace exporter keeps. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+and t_float = float
+(** Serialised with [%.6f]; non-finite values become [null]. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [pretty] indents with two spaces per level
+    (still deterministic). *)

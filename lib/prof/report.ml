@@ -1,0 +1,151 @@
+module Table = Cgc_util.Table
+module Event = Cgc_obs.Event
+
+let analysis_schema = "cgcsim-analysis-v1"
+
+let summary ?(dropped = 0) (a : Analysis.t) =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  if dropped > 0 then
+    line
+      "WARNING: %d events were dropped by ring overflow before export; \
+       derived metrics undercount the run's early history." dropped;
+  line "=== trace analysis ===";
+  line "wall %.1f ms; %d events; %d GC cycles; %d mutator tracers" a.wall_ms
+    a.n_events a.n_cycles a.n_mutators;
+  (* MMU curve. *)
+  let t = Table.create ~title:"Mutator utilization (MMU)"
+      ~header:[ "window ms"; "min util"; "avg util"; "windows" ]
+  in
+  List.iter
+    (fun (p : Analysis.mmu_point) ->
+      Table.add_row t
+        [ Table.f1 p.window_ms; Table.fpct p.mmu; Table.fpct p.avg_util;
+          string_of_int p.n_windows ])
+    a.mmu;
+  Buffer.add_string b (Table.render t);
+  Buffer.add_char b '\n';
+  (* Per-thread tracing work. *)
+  let t = Table.create ~title:"Tracing work by thread"
+      ~header:[ "tid"; "incrs"; "busy ms"; "slots"; "bg chunks"; "bg slots";
+                "gets"; "puts"; "steals"; "defers" ]
+  in
+  List.iter
+    (fun (r : Analysis.tracer) ->
+      Table.add_row t
+        [ string_of_int r.tid; string_of_int r.increments;
+          Table.f1 r.busy_ms; string_of_int r.slots;
+          string_of_int r.bg_chunks; string_of_int r.bg_slots;
+          string_of_int r.gets; string_of_int r.puts;
+          string_of_int r.steals; string_of_int r.defers ])
+    a.balance.tracers;
+  Buffer.add_string b (Table.render t);
+  Buffer.add_char b '\n';
+  let bal = a.balance in
+  line "load balance: busy cv %s  slots cv %s  (stddev/mean across mutators)"
+    (Table.f3 bal.busy_cv) (Table.f3 bal.slots_cv);
+  line
+    "tracing factor: mean %s  stddev %s  (%d samples); fairness %s over %d \
+     cycles"
+    (Table.f3 bal.factor_mean) (Table.f3 bal.factor_stddev) bal.factor_count
+    (Table.f3 bal.fairness) bal.fairness_cycles;
+  let p = a.pauses in
+  line "pauses: n=%d  mean %s ms  p50 %s  p90 %s  p99 %s  max %s"
+    p.pause_count (Table.f2 p.pause_mean_ms) (Table.f2 p.pause_p50_ms)
+    (Table.f2 p.pause_p90_ms) (Table.f2 p.pause_p99_ms)
+    (Table.f2 p.pause_max_ms);
+  (* Per-event attribution. *)
+  let t = Table.create ~title:"Event attribution"
+      ~header:[ "event"; "count"; "total ms"; "% of wall" ]
+  in
+  List.iter
+    (fun (r : Analysis.phase_row) ->
+      Table.add_row t
+        [ Event.name r.code; string_of_int r.count; Table.f1 r.total_ms;
+          (if a.wall_ms > 0.0 then Table.fpct (r.total_ms /. a.wall_ms)
+           else "-") ])
+    a.phases;
+  Buffer.add_string b (Table.render t);
+  Buffer.contents b
+
+let to_json ?(label = "") ?(emitted = 0) ?(dropped = 0) (a : Analysis.t) =
+  let open Json in
+  let bal = a.balance in
+  let p = a.pauses in
+  Obj
+    [
+      ("schema", Str analysis_schema);
+      ("label", Str label);
+      ("wallMs", Float a.wall_ms);
+      ("events", Int a.n_events);
+      ("emitted", Int emitted);
+      ("dropped", Int dropped);
+      ("cycles", Int a.n_cycles);
+      ("mutators", Int a.n_mutators);
+      ( "mmu",
+        Arr
+          (List.map
+             (fun (m : Analysis.mmu_point) ->
+               Obj
+                 [
+                   ("windowMs", Float m.window_ms);
+                   ("min", Float m.mmu);
+                   ("avg", Float m.avg_util);
+                   ("windows", Int m.n_windows);
+                 ])
+             a.mmu) );
+      ( "pauses",
+        Obj
+          [
+            ("count", Int p.pause_count);
+            ("meanMs", Float p.pause_mean_ms);
+            ("p50Ms", Float p.pause_p50_ms);
+            ("p90Ms", Float p.pause_p90_ms);
+            ("p99Ms", Float p.pause_p99_ms);
+            ("maxMs", Float p.pause_max_ms);
+          ] );
+      ( "loadBalance",
+        Obj
+          [
+            ("busyMeanMs", Float bal.busy_mean_ms);
+            ("busyStddevMs", Float bal.busy_stddev_ms);
+            ("busyCv", Float bal.busy_cv);
+            ("slotsMean", Float bal.slots_mean);
+            ("slotsStddev", Float bal.slots_stddev);
+            ("slotsCv", Float bal.slots_cv);
+            ("factorMean", Float bal.factor_mean);
+            ("factorStddev", Float bal.factor_stddev);
+            ("factorCount", Int bal.factor_count);
+            ("fairness", Float bal.fairness);
+            ("fairnessCycles", Int bal.fairness_cycles);
+          ] );
+      ( "tracers",
+        Arr
+          (List.map
+             (fun (r : Analysis.tracer) ->
+               Obj
+                 [
+                   ("tid", Int r.tid);
+                   ("increments", Int r.increments);
+                   ("busyMs", Float r.busy_ms);
+                   ("slots", Int r.slots);
+                   ("bgChunks", Int r.bg_chunks);
+                   ("bgSlots", Int r.bg_slots);
+                   ("gets", Int r.gets);
+                   ("puts", Int r.puts);
+                   ("steals", Int r.steals);
+                   ("defers", Int r.defers);
+                 ])
+             bal.tracers) );
+      ( "phases",
+        Arr
+          (List.map
+             (fun (r : Analysis.phase_row) ->
+               Obj
+                 [
+                   ("event", Str (Event.name r.code));
+                   ("count", Int r.count);
+                   ("totalMs", Float r.total_ms);
+                 ])
+             a.phases) );
+    ]

@@ -1,0 +1,18 @@
+(** Rendering an {!Analysis.t}: aligned text tables for humans, a
+    versioned JSON document for tooling.  Both are deterministic. *)
+
+val analysis_schema : string
+(** The [schema] tag in the JSON report: ["cgcsim-analysis-v1"]. *)
+
+val summary : ?dropped:int -> Analysis.t -> string
+(** Human-readable report: overview, MMU curve, per-thread tracing work,
+    load balance, pause distribution and per-event attribution.
+    [dropped] (ring-overflow losses in the source trace, default 0)
+    prepends a prominent warning when nonzero — derived metrics from a
+    truncated trace undercount early history. *)
+
+val to_json :
+  ?label:string -> ?emitted:int -> ?dropped:int -> Analysis.t -> Json.t
+(** The same content as a JSON object tagged with {!analysis_schema}.
+    [label] names the analysed run; [emitted]/[dropped] echo the source
+    trace's event accounting. *)

@@ -1,0 +1,41 @@
+type probe = { every : int; fn : unit -> float; s : Series.t }
+
+type t = {
+  interval : int;
+  capacity : int;
+  mutable probes : probe list;  (* reverse registration order *)
+  mutable due : int;
+  mutable nticks : int;
+}
+
+let create ~interval ?(capacity = 8192) () =
+  { interval = max 1 interval; capacity; probes = []; due = 0; nticks = 0 }
+
+let interval t = t.interval
+
+let add_probe t ~name ?(every = 1) fn =
+  let s = Series.create ~capacity:t.capacity ~name () in
+  t.probes <- { every = max 1 every; fn; s } :: t.probes
+
+let tick t ~now =
+  if now >= t.due then begin
+    (* One sample per tick, stamped at the latest interval boundary, so
+       a clock that jumps several intervals at once (a long pause, an
+       idle stretch) does not fabricate a burst of identical samples. *)
+    let ts = now / t.interval * t.interval in
+    let n = t.nticks in
+    t.nticks <- n + 1;
+    List.iter
+      (fun p -> if n mod p.every = 0 then Series.add p.s ~ts (p.fn ()))
+      (List.rev t.probes);
+    t.due <- ts + t.interval
+  end
+
+let ticks t = t.nticks
+let series t = List.rev_map (fun p -> p.s) t.probes
+let find t name = List.find_opt (fun s -> Series.name s = name) (series t)
+
+let clear t =
+  List.iter (fun p -> Series.clear p.s) t.probes;
+  t.nticks <- 0;
+  t.due <- 0

@@ -1,0 +1,45 @@
+(** The online sampler: periodic snapshots of live simulator state.
+
+    Unlike the event sink — which records what the collector {e does} —
+    the sampler records what the system {e looks like} at a fixed cadence:
+    how many mutators are runnable, how full the packet pool is, how many
+    cards are dirty.  The VM wires {!tick} into the scheduler's
+    [on_advance] hook, so sampling happens host-side between simulated
+    instructions and charges no simulated cycles.
+
+    Timestamps are aligned to multiples of the sampling interval
+    regardless of when the clock actually advances past a deadline, so
+    two equal-seed runs produce identical series even if their event
+    timing differs at sub-interval granularity (it does not, but the
+    alignment also makes series from different runs directly
+    comparable). *)
+
+type t
+
+val create : interval:int -> ?capacity:int -> unit -> t
+(** [interval] is the sampling period in simulated cycles; [capacity]
+    (default 8192) is the per-probe {!Series} window. *)
+
+val interval : t -> int
+
+val add_probe : t -> name:string -> ?every:int -> (unit -> float) -> unit
+(** Register a named probe.  [every] (default 1) samples the probe only
+    on every [every]-th sampling tick — for probes whose read is
+    expensive (the card-table dirty count walks the whole table). *)
+
+val tick : t -> now:int -> unit
+(** Advance to simulated time [now]; takes at most one sample, at the
+    latest interval boundary [<= now] not yet sampled.  Intended as a
+    {!Cgc_sim.Sched.on_advance} hook. *)
+
+val ticks : t -> int
+(** Sampling points taken so far. *)
+
+val series : t -> Series.t list
+(** All probe series, in probe-registration order. *)
+
+val find : t -> string -> Series.t option
+
+val clear : t -> unit
+(** Reset every series and the tick counter (used by
+    [Vm.reset_stats] when a measured run discards its warmup). *)

@@ -1,0 +1,47 @@
+(** A bounded time series: [(timestamp, value)] points in a ring.
+
+    The online sampler ({!Sampler}) appends one point per probe per
+    sampling tick; like the event rings in {!Cgc_obs.Ring}, the buffer
+    is bounded so an arbitrarily long run cannot exhaust host memory —
+    when full, the oldest point is overwritten and a drop counter is
+    bumped.  Aggregate statistics ([count]/[min]/[max]/[mean]) are
+    maintained over {e every} point ever added, so they stay exact even
+    after the window has slid past the data. *)
+
+type t
+
+val create : ?capacity:int -> name:string -> unit -> t
+(** [capacity] (default 8192) bounds the retained window. *)
+
+val name : t -> string
+
+val add : t -> ts:int -> float -> unit
+(** Append a point at simulated time [ts] (cycles).  Overwrites the
+    oldest retained point when the ring is full. *)
+
+val length : t -> int
+(** Points currently retained. *)
+
+val count : t -> int
+(** Points ever added, including overwritten ones. *)
+
+val dropped : t -> int
+(** Points overwritten by ring wrap-around ([count - length]). *)
+
+val to_list : t -> (int * float) list
+(** The retained window, oldest first. *)
+
+val min : t -> float
+(** Smallest value ever added; [0.0] when empty. *)
+
+val max : t -> float
+(** Largest value ever added; [0.0] when empty. *)
+
+val mean : t -> float
+(** Mean over every value ever added; [0.0] when empty. *)
+
+val last : t -> (int * float) option
+(** The newest point, if any. *)
+
+val clear : t -> unit
+(** Forget all points and reset the aggregate statistics. *)

@@ -14,6 +14,10 @@ module Stats = Cgc_util.Stats
 module Histogram = Cgc_util.Histogram
 module Obs = Cgc_obs.Obs
 module Export = Cgc_obs.Export
+module Sampler = Cgc_prof.Sampler
+module Series = Cgc_prof.Series
+module Card_table = Cgc_heap.Card_table
+module Tracer = Cgc_core.Tracer
 
 type config = {
   heap_mb : float;
@@ -25,13 +29,14 @@ type config = {
   quantum : int;
   fence_policy : Heap.fence_policy;
   trace : bool;
+  trace_ring : int;
 }
 
 let config ?(heap_mb = 64.0) ?(ncpus = 4) ?(seed = 1) ?(gc = Config.default)
     ?(wm_mode = Weakmem.Sc) ?(stack_slots = 48) ?(quantum = 110_000)
-    ?(fence_policy = Heap.Batched) ?(trace = false) () =
+    ?(fence_policy = Heap.Batched) ?(trace = false) ?(trace_ring = 65536) () =
   { heap_mb; ncpus; seed; gc; wm_mode; stack_slots; quantum; fence_policy;
-    trace }
+    trace; trace_ring }
 
 type t = {
   cfg : config;
@@ -42,6 +47,7 @@ type t = {
   mutable mutators : Mutator.t list;
   mutable txs : int;
   mutable ran_ms : float;
+  mutable prof : Sampler.t option;
 }
 
 let create cfg =
@@ -50,7 +56,7 @@ let create cfg =
   let wm = Weakmem.create ~mode:cfg.wm_mode ~rng:(Prng.split rng) () in
   let obs =
     if cfg.trace then
-      Obs.create
+      Obs.create ~ring_capacity:cfg.trace_ring
         ~now:(fun () -> Sched.now sc)
         ~tid:(fun () -> Sched.thread_id (Sched.current sc))
         ()
@@ -70,7 +76,8 @@ let create cfg =
   let nslots = int_of_float (cfg.heap_mb *. 1024.0 *. 1024.0 /. 8.0) in
   let hp = Heap.create ~fence_policy:cfg.fence_policy mach ~nslots in
   let coll = Collector.create cfg.gc ~sched:sc ~heap:hp in
-  { cfg; sc; hp; coll; rng; mutators = []; txs = 0; ran_ms = 0.0 }
+  { cfg; sc; hp; coll; rng; mutators = []; txs = 0; ran_ms = 0.0;
+    prof = None }
 
 let sched t = t.sc
 let collector t = t.coll
@@ -109,6 +116,7 @@ let reset_stats t =
   mach.Machine.cas_ops <- 0;
   Pool.reset_watermarks (Collector.pool t.coll);
   Obs.clear mach.Machine.obs;
+  Option.iter Sampler.clear t.prof;
   t.txs <- 0;
   t.ran_ms <- 0.0
 
@@ -130,13 +138,73 @@ let obs t = (machine t).Machine.obs
 let cycles_per_us t =
   float_of_int (machine t).Machine.cost.Cost.cycles_per_ms /. 1000.0
 
+(* ------------------------------------------------------------------ *)
+(* Online profiler                                                     *)
+
+let profiler t = t.prof
+
+let enable_profiler ?(interval_ms = 0.25) t =
+  match t.prof with
+  | Some _ -> ()  (* idempotent: keep the existing sampler and probes *)
+  | None ->
+      let cost = (machine t).Machine.cost in
+      let interval =
+        max 1 (int_of_float (interval_ms *. float_of_int cost.Cost.cycles_per_ms))
+      in
+      let p = Sampler.create ~interval () in
+      let fi = float_of_int in
+      let count_threads prio states () =
+        fi
+          (List.length
+             (List.filter
+                (fun th ->
+                  Sched.thread_prio th = prio
+                  && List.mem (Sched.thread_state th) states)
+                (Sched.threads t.sc)))
+      in
+      let probe name ?every fn = Sampler.add_probe p ~name ?every fn in
+      probe "mutators-running"
+        (count_threads Sched.Normal [ Sched.Runnable; Sched.Running ]);
+      probe "mutators-sleeping" (count_threads Sched.Normal [ Sched.Sleeping ]);
+      probe "bg-tracers-running"
+        (count_threads Sched.Low [ Sched.Runnable; Sched.Running ]);
+      probe "world-stopped" (fun () ->
+          if Sched.world_stopped t.sc then 1.0 else 0.0);
+      let pl = Collector.pool t.coll in
+      probe "pool-empty" (fun () -> fi (Pool.occupancy pl).Pool.occ_empty);
+      probe "pool-nonempty" (fun () -> fi (Pool.occupancy pl).Pool.occ_nonempty);
+      probe "pool-almost-full" (fun () ->
+          fi (Pool.occupancy pl).Pool.occ_almost_full);
+      probe "pool-deferred" (fun () -> fi (Pool.occupancy pl).Pool.occ_deferred);
+      probe "pool-in-use" (fun () -> fi (Pool.occupancy pl).Pool.occ_in_use);
+      probe "pool-entries" (fun () -> fi (Pool.occupancy pl).Pool.occ_entries);
+      (* The dirty count walks the whole card table, so sample it an
+         order of magnitude less often than the cheap counter probes. *)
+      probe "cards-dirty" ~every:8 (fun () ->
+          fi (Card_table.dirty_count (Heap.cards t.hp)));
+      probe "heap-free-slots" (fun () -> fi (Heap.free_slots t.hp));
+      probe "marked-slots" (fun () ->
+          fi (Tracer.marked_slots (Collector.tracer t.coll)));
+      probe "gc-phase" (fun () ->
+          match Collector.phase t.coll with
+          | Collector.Idle -> 0.0
+          | Collector.Marking -> 1.0
+          | Collector.Finalizing -> 2.0);
+      Sched.on_advance t.sc (fun now -> Sampler.tick p ~now);
+      t.prof <- Some p
+
 let trace_json t =
-  Export.chrome_json ~cycles_per_us:(cycles_per_us t) (Obs.events (obs t))
+  let o = obs t in
+  Export.chrome_json ~emitted:(Obs.emitted o) ~dropped:(Obs.dropped o)
+    ~cycles_per_us:(cycles_per_us t) (Obs.events o)
 
 let write_trace t path = Export.write_file path (trace_json t)
 
+let cycles_schema = "cgcsim-cycles-v1"
+
 let metrics_csv t =
-  Export.csv ~header:Gstats.csv_header ~rows:(Gstats.csv_rows (gc_stats t))
+  Export.csv ~schema:cycles_schema ~header:Gstats.csv_header
+    (Gstats.csv_rows (gc_stats t))
 
 let write_metrics t path = Export.write_file path (metrics_csv t)
 
@@ -203,7 +271,34 @@ let print_report t =
       (Fault.injections faults);
     Printf.printf " (total %d)\n" (Fault.total_injections faults)
   end;
-  if Obs.enabled mach.Machine.obs then
+  if Obs.enabled mach.Machine.obs then begin
     Printf.printf "trace: %d events emitted, %d dropped by ring overflow\n"
       (Obs.emitted mach.Machine.obs)
-      (Obs.dropped mach.Machine.obs)
+      (Obs.dropped mach.Machine.obs);
+    match Obs.dropped_by_thread mach.Machine.obs with
+    | [] -> ()
+    | per_tid ->
+        Printf.printf
+          "WARNING: ring overflow truncated the trace; lossy rings:";
+        List.iter (fun (tid, n) -> Printf.printf " tid%d=%d" tid n) per_tid;
+        Printf.printf
+          "\n  (raise the ring capacity — Vm.config ~trace_ring — or \
+           shorten the traced window)\n"
+  end;
+  match t.prof with
+  | None -> ()
+  | Some p ->
+      Printf.printf "profiler: %d sampling ticks every %.2f ms\n"
+        (Sampler.ticks p)
+        (float_of_int (Sampler.interval p)
+        /. float_of_int mach.Machine.cost.Cost.cycles_per_ms);
+      List.iter
+        (fun s ->
+          Printf.printf "  %-20s n=%-6d mean %10.1f  min %10.1f  max %10.1f%s\n"
+            (Series.name s) (Series.count s) (Series.mean s) (Series.min s)
+            (Series.max s)
+            (if Series.dropped s > 0 then
+               Printf.sprintf "  (window slid past %d points)"
+                 (Series.dropped s)
+             else ""))
+        (Sampler.series p)

@@ -35,6 +35,9 @@ type config = {
   trace : bool;
       (** arm the {!Cgc_obs} event sink; off by default because tracing,
           while cheap, is not free *)
+  trace_ring : int;
+      (** per-thread event-ring capacity; long traced runs need more
+          than the default 65536 to avoid overflow drops *)
 }
 
 val config :
@@ -47,11 +50,12 @@ val config :
   ?quantum:int ->
   ?fence_policy:Cgc_heap.Heap.fence_policy ->
   ?trace:bool ->
+  ?trace_ring:int ->
   unit ->
   config
 (** Defaults: 64 MB heap, 4 CPUs, seed 1, CGC with paper parameters,
     sequentially-consistent memory (fence costs still charged), 48 stack
-    slots, 110k-cycle (0.2 ms) quantum, tracing off. *)
+    slots, 110k-cycle (0.2 ms) quantum, tracing off, 65536-event rings. *)
 
 val create : config -> t
 
@@ -97,6 +101,10 @@ val print_report : t -> unit
 val obs : t -> Cgc_obs.Obs.t
 (** The event sink ({!Cgc_obs.Obs.null} unless [config ~trace:true]). *)
 
+val cycles_per_us : t -> float
+(** Simulated cycles per microsecond — the rate trace timestamps are
+    exported at, and the one {!Cgc_prof.Analysis.analyse} needs. *)
+
 val trace_json : t -> string
 (** The recorded events as Chrome [trace_event] JSON — open the file in
     [chrome://tracing] or Perfetto.  Deterministic: equal-seed runs
@@ -106,9 +114,28 @@ val trace_json : t -> string
 val write_trace : t -> string -> unit
 (** [write_trace t path] writes {!trace_json} to [path]. *)
 
+val cycles_schema : string
+(** The [#schema=] tag on per-cycle CSV dumps: ["cgcsim-cycles-v1"]. *)
+
 val metrics_csv : t -> string
 (** Per-GC-cycle metrics (pause / mark / sweep / compact ms, cards,
-    traced slots, occupancy) as CSV, one row per cycle. *)
+    traced slots, occupancy) as CSV, one row per cycle, tagged with the
+    [cgcsim-cycles-v1] schema line. *)
 
 val write_metrics : t -> string -> unit
 (** [write_metrics t path] writes {!metrics_csv} to [path]. *)
+
+(** {2 Online profiler} *)
+
+val enable_profiler : ?interval_ms:float -> t -> unit
+(** Install the {!Cgc_prof.Sampler} on this VM (idempotent).  Every
+    [interval_ms] (default 0.25) of simulated time, host-side probes
+    snapshot scheduler occupancy (running / sleeping mutators,
+    background tracers, world-stopped), packet-pool occupancy by list,
+    card-table dirty count, heap free slots, marked slots and the
+    collector phase — charging no simulated cycles.  Call before
+    {!run}; {!reset_stats} clears the collected series along with
+    everything else. *)
+
+val profiler : t -> Cgc_prof.Sampler.t option
+(** The sampler installed by {!enable_profiler}, if any. *)

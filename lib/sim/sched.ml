@@ -107,7 +107,9 @@ type t = {
          starve the background GC threads *absolutely* — unlike a real
          OS — and a preempted background thread could sit on work packets
          for a whole cycle, blocking termination detection. *)
-  mutable hook : (int -> unit) option;
+  mutable hooks : (int -> unit) list;
+      (* advance hooks, in installation order *)
+  mutable all_threads : thread list;  (* every spawned thread, newest first *)
 }
 
 let low_boost_every = 64
@@ -141,7 +143,8 @@ let create ?(quantum = 110_000) ?(dispatch = Cgc_smp.Cost.default.dispatch)
     idle = 0;
     busy = 0;
     low_skips = 0;
-    hook = None;
+    hooks = [];
+    all_threads = [];
   }
 
 let ncpus t = t.n_cpus
@@ -161,6 +164,7 @@ let spawn t ~name ~prio body =
   in
   t.next_id <- t.next_id + 1;
   t.live <- t.live + 1;
+  t.all_threads <- th :: t.all_threads;
   enqueue t th;
   th
 
@@ -218,7 +222,19 @@ let stop_requested t = t.stop_flag
 let idle_cycles t = t.idle
 let busy_cycles t = t.busy
 
-let on_advance t f = t.hook <- Some f
+let on_advance t f = t.hooks <- t.hooks @ [ f ]
+
+type tstate = Runnable | Running | Sleeping | Dead
+
+let thread_state th =
+  match th.st with
+  | (Runnable : state) -> Runnable
+  | Running -> Running
+  | Sleeping -> Sleeping
+  | Dead -> Dead
+
+let thread_prio th = th.prio
+let threads t = List.rev t.all_threads
 
 let handler t th : (unit, outcome) Effect.Deep.handler =
   {
@@ -351,7 +367,7 @@ let run t ~until =
       if tm > until then continue := false
       else begin
         wake_due t tm;
-        (match t.hook with Some f -> f tm | None -> ());
+        List.iter (fun f -> f tm) t.hooks;
         match pick t tm with
         | Some th ->
             t.run_base <- tm;

@@ -95,4 +95,17 @@ val busy_cycles : t -> int
 
 val on_advance : t -> (int -> unit) -> unit
 (** Install a hook called with the current time each time a processor is
-    dispatched — used to drain due weak-memory stores. *)
+    dispatched — used to drain due weak-memory stores and to tick the
+    profiler's online sampler.  Hooks accumulate and run in installation
+    order; they execute on the host side (outside any simulated thread),
+    so they must not consume simulated time or call {!current}. *)
+
+(** {2 Thread introspection (for the profiler's sampler)} *)
+
+type tstate = Runnable | Running | Sleeping | Dead
+
+val threads : t -> thread list
+(** Every thread ever spawned, in spawn order (including dead ones). *)
+
+val thread_state : thread -> tstate
+val thread_prio : thread -> prio

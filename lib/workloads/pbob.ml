@@ -18,8 +18,11 @@ let base_profile : Txmix.profile =
   }
 
 let setup ~warehouses ~gc ?(terminals = 25) ?(heap_mb = 256.0) ?(ncpus = 4)
-    ?(seed = 1) ?(trace = false) ?think_mean ?(residency_at = (80, 0.78)) () =
-  let vm = Vm.create (Vm.config ~heap_mb ~ncpus ~seed ~gc ~trace ()) in
+    ?(seed = 1) ?(trace = false) ?trace_ring ?think_mean
+    ?(residency_at = (80, 0.78)) () =
+  let vm =
+    Vm.create (Vm.config ~heap_mb ~ncpus ~seed ~gc ~trace ?trace_ring ())
+  in
   let nslots = Cgc_heap.Heap.nslots (Vm.heap vm) in
   let ref_wh, frac = residency_at in
   let target = int_of_float (float_of_int nslots *. frac) / ref_wh in
@@ -40,10 +43,11 @@ let setup ~warehouses ~gc ?(terminals = 25) ?(heap_mb = 256.0) ?(ncpus = 4)
   done;
   vm
 
-let run ~warehouses ~gc ?terminals ?heap_mb ?ncpus ?seed ?trace ?think_mean
-    ?(ms = 4000.0) () =
+let run ~warehouses ~gc ?terminals ?heap_mb ?ncpus ?seed ?trace ?trace_ring
+    ?think_mean ?(ms = 4000.0) () =
   let vm =
-    setup ~warehouses ~gc ?terminals ?heap_mb ?ncpus ?seed ?trace ?think_mean ()
+    setup ~warehouses ~gc ?terminals ?heap_mb ?ncpus ?seed ?trace ?trace_ring
+      ?think_mean ()
   in
   Vm.run vm ~ms;
   vm

@@ -15,6 +15,7 @@ val setup :
   ?ncpus:int ->
   ?seed:int ->
   ?trace:bool ->
+  ?trace_ring:int ->
   ?think_mean:int ->
   ?residency_at:int * float ->
   unit ->
@@ -32,6 +33,7 @@ val run :
   ?ncpus:int ->
   ?seed:int ->
   ?trace:bool ->
+  ?trace_ring:int ->
   ?think_mean:int ->
   ?ms:float ->
   unit ->

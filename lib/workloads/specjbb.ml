@@ -18,8 +18,10 @@ let base_profile : Txmix.profile =
   }
 
 let setup ~warehouses ~gc ?(heap_mb = 64.0) ?(ncpus = 4) ?(seed = 1)
-    ?(trace = false) ?(residency_at = (8, 0.6)) () =
-  let vm = Vm.create (Vm.config ~heap_mb ~ncpus ~seed ~gc ~trace ()) in
+    ?(trace = false) ?trace_ring ?(residency_at = (8, 0.6)) () =
+  let vm =
+    Vm.create (Vm.config ~heap_mb ~ncpus ~seed ~gc ~trace ?trace_ring ())
+  in
   let nslots = Cgc_heap.Heap.nslots (Vm.heap vm) in
   let ref_wh, frac = residency_at in
   let target = int_of_float (float_of_int nslots *. frac) / ref_wh in
@@ -31,7 +33,8 @@ let setup ~warehouses ~gc ?(heap_mb = 64.0) ?(ncpus = 4) ?(seed = 1)
   done;
   vm
 
-let run ~warehouses ~gc ?heap_mb ?ncpus ?seed ?trace ?(ms = 4000.0) () =
-  let vm = setup ~warehouses ~gc ?heap_mb ?ncpus ?seed ?trace () in
+let run ~warehouses ~gc ?heap_mb ?ncpus ?seed ?trace ?trace_ring ?(ms = 4000.0)
+    () =
+  let vm = setup ~warehouses ~gc ?heap_mb ?ncpus ?seed ?trace ?trace_ring () in
   Vm.run vm ~ms;
   vm

@@ -13,6 +13,7 @@ val setup :
   ?ncpus:int ->
   ?seed:int ->
   ?trace:bool ->
+  ?trace_ring:int ->
   ?residency_at:int * float ->
   unit ->
   Cgc_runtime.Vm.t
@@ -29,6 +30,7 @@ val run :
   ?ncpus:int ->
   ?seed:int ->
   ?trace:bool ->
+  ?trace_ring:int ->
   ?ms:float ->
   unit ->
   Cgc_runtime.Vm.t

@@ -168,10 +168,14 @@ let test_chrome_json_shape () =
 let test_csv_quoting () =
   let out =
     Export.csv ~header:[ "a"; "b" ]
-      ~rows:[ [ "plain"; "with,comma" ]; [ "with\"quote"; "x" ] ]
+      [ [ "plain"; "with,comma" ]; [ "with\"quote"; "x" ] ]
   in
   check Alcotest.string "csv"
-    "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n" out
+    "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n" out;
+  let out =
+    Export.csv ~schema:"test-v1" ~header:[ "a" ] [ [ "1" ] ]
+  in
+  check Alcotest.string "csv with schema line" "#schema=test-v1\na\n1\n" out
 
 (* --------------------- End-to-end determinism -------------------- *)
 
