@@ -4,10 +4,14 @@
 # installed (odoc / ocamlformat are not part of the minimal toolchain);
 # when present they are part of the tier-1 bar.
 
-.PHONY: all build test doc fmt-check verify fuzz bench bench-smoke clean
+.PHONY: all build test doc fmt-check verify fuzz bench bench-smoke \
+	bench-determinism clean
 
 # Number of random configurations `make fuzz` tries.
 FUZZ_COUNT ?= 100
+
+# Host domains the benchmark matrix fans its cells over.
+JOBS ?= 1
 
 all: build
 
@@ -43,21 +47,38 @@ fuzz: build
 	FUZZ_COUNT=$(FUZZ_COUNT) dune exec test/test_fuzz.exe
 
 # Full benchmark matrix (workloads x thread counts x tracing rates),
-# every cell traced and profiled.  Writes BENCH_PR3.json
+# every cell traced and profiled.  Writes BENCH_PR4.json
 # (schema cgcsim-bench-v1) plus a Chrome trace of cell 0; fails if any
-# cell dropped trace events to ring overflow.
+# cell dropped trace events to ring overflow.  JOBS=N runs the cells on
+# N OCaml domains — simulated results are identical at every N, only
+# the host* timing fields change.
 bench: build
-	dune exec bench/main.exe -- matrix \
-	  --out BENCH_PR3.json --trace-out bench-cell0.trace.json
+	dune exec bench/main.exe -- matrix --jobs $(JOBS) \
+	  --out BENCH_PR4.json --trace-out bench-cell0.trace.json
 
 # Shrunk matrix for CI (<60 s): one SPECjbb and one pBOB cell, then the
 # offline analyzer re-reads the emitted trace and fails on ring drops or
 # a schema mismatch.
 bench-smoke: build
-	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix \
-	  --out BENCH_PR3.json --trace-out bench-cell0.trace.json
+	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix --jobs $(JOBS) \
+	  --out BENCH_PR4.json --trace-out bench-cell0.trace.json
 	dune exec bin/cgcsim.exe -- analyze \
 	  --trace bench-cell0.trace.json --fail-on-drops
+
+# Run the smoke matrix twice — serial and on 2 domains — and fail if
+# the simulated results differ anywhere: the JSON bodies must match
+# once the host* timing fields are dropped, and the cell-0 traces must
+# be byte-identical.
+bench-determinism: build
+	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix \
+	  --out bench-serial.json --trace-out bench-serial.trace.json
+	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix --jobs 2 \
+	  --out bench-par.json --trace-out bench-par.trace.json
+	grep -v '"host' bench-serial.json > bench-serial.filtered.json
+	grep -v '"host' bench-par.json > bench-par.filtered.json
+	diff -u bench-serial.filtered.json bench-par.filtered.json
+	cmp bench-serial.trace.json bench-par.trace.json
+	@echo "bench determinism OK: serial and --jobs 2 agree"
 
 clean:
 	dune clean

@@ -3,8 +3,15 @@
    JSON document (schema cgcsim-bench-v1) — the benchmark trajectory the
    repo tracks across PRs.
 
-     dune exec bench/main.exe -- matrix --out BENCH_PR3.json \
+     dune exec bench/main.exe -- matrix --jobs 4 --out BENCH_PR4.json \
          --trace-out bench-cell0.trace.json
+
+   Cells are independent simulations (each owns its VM, machine, PRNG
+   and event rings), so --jobs N fans them out over N OCaml 5 domains.
+   Parallelism is host-side only: the simulated results and the cell
+   order in the JSON are identical at every job count; only the
+   host-timing fields (every key prefixed "host", so determinism diffs
+   can exclude them with a single filter) change between runs.
 
    Cells run without a warm-up window so the trace covers the run from
    cycle 0 and the derived metrics account for every event.  The harness
@@ -144,32 +151,48 @@ let cell_json c vm =
   in
   (json, Obs.dropped o, a)
 
-let run ?(out = "BENCH_PR3.json") ?trace_out () =
+(* Everything a finished cell contributes, computed inside the worker
+   domain so the (large) VM never escapes it. *)
+type cell_result = {
+  json : Json.t;  (* the cell's entry in the document, hostMs included *)
+  drops : int;
+  row : string list;  (* the progress table row *)
+  trace : string option;  (* Chrome trace, kept for cell 0 only *)
+  host_ms : float;
+}
+
+let run ?(out = "BENCH_PR4.json") ?trace_out ?(jobs = 1) () =
   Cgc_experiments.Common.hdr "Benchmark matrix (cgcsim-bench-v1)";
   let cells = matrix () in
-  Printf.printf "%d cells, %s mode\n%!" (List.length cells)
-    (if Cgc_experiments.Common.quick () then "smoke" else "full");
-  let total_drops = ref 0 in
-  let t = Cgc_util.Table.create ~title:""
-      ~header:[ "cell"; "tx/s"; "cycles"; "MMU 20ms"; "p99 pause"; "factor";
-                "fairness"; "dropped" ]
-  in
+  let ncells = List.length cells in
+  Printf.printf "%d cells, %s mode, %d job%s\n%!" ncells
+    (if Cgc_experiments.Common.quick () then "smoke" else "full")
+    (max 1 jobs)
+    (if max 1 jobs = 1 then "" else "s");
+  Cgc_experiments.Common.set_jobs jobs;
+  let wall0 = Unix.gettimeofday () in
   let results =
-    List.mapi
-      (fun i c ->
+    Cgc_experiments.Common.par_map
+      ~progress:(fun _ (i, c) ->
+        Printf.printf "[%d/%d] %s-%dwh-k0=%.0f...\n%!" (i + 1) ncells
+          c.workload c.warehouses c.k0)
+      (List.mapi (fun i c -> (i, c)) cells)
+      (fun (i, c) ->
         let label =
           Printf.sprintf "%s-%dwh-k0=%.0f" c.workload c.warehouses c.k0
         in
-        Printf.printf "[%d/%d] %s...\n%!" (i + 1) (List.length cells) label;
+        let t0 = Unix.gettimeofday () in
         let vm = run_cell c in
-        (if i = 0 then
-           match trace_out with
-           | Some file ->
-               Cgc_obs.Export.write_file file (Vm.trace_json vm);
-               Printf.printf "  cell-0 trace written to %s\n%!" file
-           | None -> ());
+        let host_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+        let trace =
+          if i = 0 && trace_out <> None then Some (Vm.trace_json vm) else None
+        in
         let json, drops, a = cell_json c vm in
-        total_drops := !total_drops + drops;
+        let json =
+          match json with
+          | Json.Obj fields -> Json.Obj (fields @ [ ("hostMs", Json.Float host_ms) ])
+          | j -> j
+        in
         let mmu20 =
           match
             List.find_opt
@@ -179,7 +202,7 @@ let run ?(out = "BENCH_PR3.json") ?trace_out () =
           | Some p -> p.Analysis.mmu
           | None -> 0.0
         in
-        Cgc_util.Table.add_row t
+        let row =
           [ label;
             Printf.sprintf "%.0f" (Vm.throughput vm);
             string_of_int a.Analysis.n_cycles;
@@ -187,26 +210,54 @@ let run ?(out = "BENCH_PR3.json") ?trace_out () =
             Cgc_util.Table.f2 a.Analysis.pauses.Analysis.pause_p99_ms;
             Cgc_util.Table.f3 a.Analysis.balance.Analysis.factor_mean;
             Cgc_util.Table.f3 a.Analysis.balance.Analysis.fairness;
-            string_of_int drops ];
-        json)
-      cells
+            string_of_int drops ]
+        in
+        { json; drops; row; trace; host_ms })
   in
+  let host_wall_ms = 1000.0 *. (Unix.gettimeofday () -. wall0) in
+  (match (trace_out, results) with
+  | Some file, { trace = Some trace; _ } :: _ ->
+      Cgc_obs.Export.write_file file trace;
+      Printf.printf "cell-0 trace written to %s\n%!" file
+  | _ -> ());
+  let t = Cgc_util.Table.create ~title:""
+      ~header:[ "cell"; "tx/s"; "cycles"; "MMU 20ms"; "p99 pause"; "factor";
+                "fairness"; "dropped" ]
+  in
+  List.iter (fun r -> Cgc_util.Table.add_row t r.row) results;
   Cgc_util.Table.print t;
+  let total_drops = List.fold_left (fun acc r -> acc + r.drops) 0 results in
+  let host_serial_ms =
+    List.fold_left (fun acc r -> acc +. r.host_ms) 0.0 results
+  in
   let doc =
     Json.Obj
       [
         ("schema", Json.Str bench_schema);
         ("fast", Json.Bool (Cgc_experiments.Common.quick ()));
-        ("cells", Json.Arr results);
+        (* Host-timing fields all start with "host" so a determinism
+           diff can drop them with one grep filter on the key prefix. *)
+        ("hostJobs", Json.Int (max 1 jobs));
+        ("hostWallMs", Json.Float host_wall_ms);
+        ("hostSerialEstMs", Json.Float host_serial_ms);
+        ( "hostSpeedup",
+          Json.Float
+            (if host_wall_ms > 0.0 then host_serial_ms /. host_wall_ms else 0.0)
+        );
+        ("cells", Json.Arr (List.map (fun r -> r.json) results));
       ]
   in
   Cgc_obs.Export.write_file out (Json.to_string ~pretty:true doc);
-  Printf.printf "benchmark matrix written to %s\n" out;
-  if !total_drops > 0 then begin
+  Printf.printf
+    "benchmark matrix written to %s (%.1f s wall, %.1f s serial estimate, \
+     %.2fx)\n"
+    out (host_wall_ms /. 1000.0) (host_serial_ms /. 1000.0)
+    (if host_wall_ms > 0.0 then host_serial_ms /. host_wall_ms else 0.0);
+  if total_drops > 0 then begin
     Printf.eprintf
       "bench: FAIL — %d events dropped by ring overflow across the matrix; \
        derived metrics are untrustworthy (raise ring capacities or shrink \
        the windows)\n"
-      !total_drops;
+      total_drops;
     exit 1
   end

@@ -12,7 +12,10 @@
             ablation-steal ablation-compact itanium micro matrix all
 
    The matrix target additionally honours --out FILE (default
-   BENCH_PR3.json) and --trace-out FILE (Chrome trace of cell 0). *)
+   BENCH_PR4.json), --trace-out FILE (Chrome trace of cell 0) and
+   --jobs N (run cells on N OCaml 5 domains; simulated results are
+   identical at every N, only host wall-clock changes).  --jobs also
+   fans out the per-target experiment sweeps. *)
 
 module E = Cgc_experiments
 
@@ -134,9 +137,10 @@ let targets : (string * (unit -> unit)) list =
     ("micro", run_micro);
   ]
 
-(* --out / --trace-out for the matrix target. *)
-let matrix_out = ref "BENCH_PR3.json"
+(* --out / --trace-out / --jobs for the matrix target. *)
+let matrix_out = ref "BENCH_PR4.json"
 let matrix_trace_out : string option ref = ref None
+let jobs = ref 1
 
 let run_all () =
   (* Tables 1-3 share one sweep when running everything. *)
@@ -160,16 +164,25 @@ let () =
     | "--trace-out" :: v :: rest ->
         matrix_trace_out := Some v;
         strip rest
+    | "--jobs" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> jobs := n
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %s\n" v;
+            exit 2);
+        strip rest
     | x :: rest -> x :: strip rest
     | [] -> []
   in
   let names = strip args in
+  E.Common.set_jobs !jobs;
   let targets =
     targets
     @ [
         ( "matrix",
           fun () ->
-            Bench_matrix.run ~out:!matrix_out ?trace_out:!matrix_trace_out ()
+            Bench_matrix.run ~out:!matrix_out ?trace_out:!matrix_trace_out
+              ~jobs:!jobs ()
         );
       ]
   in

@@ -418,8 +418,21 @@ let experiment_cmd =
     Arg.(
       value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
   in
-  let exec which metrics_out =
+  let jobs =
+    let doc =
+      "Run the experiment's independent simulations on $(docv) OCaml \
+       domains.  Host-side parallelism only: results (tables, metrics CSV) \
+       are identical at every job count."
+    in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let exec which metrics_out jobs =
     let module E = Cgc_experiments in
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs expects a positive integer, got %d\n" jobs;
+      exit 2
+    end;
+    E.Common.set_jobs jobs;
     E.Common.reset_recorded ();
     (match which with
     | "fig1" -> ignore (E.Fig1_specjbb.run ())
@@ -439,7 +452,7 @@ let experiment_cmd =
     | None -> ()
   in
   let info = Cmd.info "experiment" ~doc:"Run a paper-reproduction experiment." in
-  Cmd.v info Term.(const exec $ which $ metrics_out)
+  Cmd.v info Term.(const exec $ which $ metrics_out $ jobs)
 
 let () =
   let info =

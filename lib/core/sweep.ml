@@ -33,32 +33,26 @@ let sweep_region heap ~lo ~hi =
   let mark = Heap.mark_bits heap in
   let arena = Heap.arena heap in
   charge_scan heap ~lo ~hi;
-  let m0 = Bitvec.next_set mark lo in
-  if m0 >= hi then begin
-    Machine.flush mach;
-    finish r
-  end
-  else begin
-    r.first_mark <- m0;
-    let cur = ref m0 in
-    let continue = ref true in
-    while !continue do
-      let size = Arena.size_of arena !cur in
-      r.live <- r.live + size;
-      let e = !cur + size in
-      let nxt = Bitvec.next_set mark e in
-      if nxt < hi then begin
-        if nxt > e then r.gaps <- (e, nxt - e) :: r.gaps;
-        cur := nxt
-      end
-      else begin
-        r.last_end <- e;
-        continue := false
-      end
-    done;
-    Machine.flush mach;
-    finish r
-  end
+  (* Gap enumeration over word-level runs of mark bits: every set bit in
+     [lo, hi) is a candidate object head (runs longer than one bit are
+     adjacent small objects).  A head inside the extent of the object we
+     just accepted is skipped, which is exactly what the jump to
+     [next_set (head + size)] did in the byte-at-a-time formulation. *)
+  let cur_end = ref (-1) in
+  Bitvec.fold_set_ranges mark ~lo ~hi ~init:()
+    ~f:(fun () pos len ->
+      for m = pos to pos + len - 1 do
+        if m >= !cur_end then begin
+          if r.first_mark = max_int then r.first_mark <- m
+          else if m > !cur_end then r.gaps <- (!cur_end, m - !cur_end) :: r.gaps;
+          let size = Arena.size_of arena m in
+          r.live <- r.live + size;
+          cur_end := m + size
+        end
+      done);
+  if r.first_mark <> max_int then r.last_end <- !cur_end;
+  Machine.flush mach;
+  finish r
 
 let add_free heap ~addr ~size =
   let mach = Heap.machine heap in
@@ -116,32 +110,37 @@ let lazy_step heap lz ~max_slots =
     let mark = Heap.mark_bits heap in
     let arena = Heap.arena heap in
     charge_scan heap ~lo:lz.pos ~hi;
-    let continue = ref true in
-    while !continue do
-      let start = max lz.pos lz.prev_end in
-      let m = Bitvec.next_set mark start in
-      if m >= hi then begin
-        (* Emit the partial free run up to the window edge.  This may
-           split a long run across steps; the resulting chunks are still
-           usable and the fragmentation washes out at the next full
-           sweep. *)
-        if hi > lz.prev_end then
-          add_free heap ~addr:lz.prev_end ~size:(hi - lz.prev_end);
-        lz.prev_end <- max lz.prev_end hi;
-        lz.pos <- hi;
-        if hi >= n then lz.fin <- true;
-        continue := false
-      end
-      else begin
-        if m > lz.prev_end then
-          add_free heap ~addr:lz.prev_end ~size:(m - lz.prev_end);
-        let size = Arena.size_of arena m in
-        lz.llive <- lz.llive + size;
-        lz.prev_end <- m + size;
-        lz.pos <- m + size;
-        if lz.pos >= hi then continue := false
-      end
-    done;
+    (* Same word-level gap enumeration as [sweep_region], windowed: walk
+       the runs of mark bits in [start, hi), emitting each free gap as a
+       chunk.  [crossed] records that the last object ran past the window
+       edge — in that case the cursor parks at its end and no partial run
+       is emitted, matching the cursor-based formulation exactly. *)
+    let start = max lz.pos lz.prev_end in
+    let crossed = ref false in
+    Bitvec.fold_set_ranges mark ~lo:start ~hi ~init:()
+      ~f:(fun () pos len ->
+        for m = pos to pos + len - 1 do
+          if m >= lz.prev_end then begin
+            if m > lz.prev_end then
+              add_free heap ~addr:lz.prev_end ~size:(m - lz.prev_end);
+            let size = Arena.size_of arena m in
+            lz.llive <- lz.llive + size;
+            lz.prev_end <- m + size;
+            lz.pos <- m + size;
+            if lz.pos >= hi then crossed := true
+          end
+        done);
+    if not !crossed then begin
+      (* Emit the partial free run up to the window edge.  This may
+         split a long run across steps; the resulting chunks are still
+         usable and the fragmentation washes out at the next full
+         sweep. *)
+      if hi > lz.prev_end then
+        add_free heap ~addr:lz.prev_end ~size:(hi - lz.prev_end);
+      lz.prev_end <- max lz.prev_end hi;
+      lz.pos <- hi;
+      if hi >= n then lz.fin <- true
+    end;
     Machine.flush (Heap.machine heap);
     Obs.instant
       (Heap.machine heap).Machine.obs

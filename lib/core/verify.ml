@@ -114,12 +114,22 @@ let check ~heap ~roots ~globals ~expect_marked ~expect_clean_cards ~label =
              bit set"
             i addr (addr + size)
       done);
+  (* The card table's O(1) dirty counter must agree with a committed-byte
+     rescan — a drift here means some write path bypassed the counter
+     maintenance and every metering decision based on it is suspect. *)
+  let cards = Heap.cards heap in
+  let counted = Card_table.dirty_count cards in
+  let recounted = Card_table.recount cards in
+  if counted <> recounted then
+    fail label
+      "incremental dirty-card counter (%d) disagrees with a committed \
+       rescan (%d)"
+      counted recounted;
   if expect_clean_cards then begin
-    let cards = Heap.cards heap in
-    if Card_table.dirty_count cards > 0 then
+    if counted > 0 then
       fail label
         "%d dirty cards remain after the final stop-the-world cleaning pass"
-        (Card_table.dirty_count cards)
+        counted
   end;
   {
     objects = !objects;

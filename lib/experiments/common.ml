@@ -46,11 +46,86 @@ let safe_hmax h = if Hist.count h = 0 then 0.0 else Hist.max h
 
 (* Every metrics record extracted by [collect] is also appended here, so
    the driver can dump a whole experiment's results as CSV afterwards
-   (cgcsim experiment NAME --metrics-out FILE). *)
+   (cgcsim experiment NAME --metrics-out FILE).  Only the main domain
+   touches this list directly: workers spawned by [par_map] divert their
+   records into a per-item domain-local sink (below), and [par_map]
+   splices the sinks back in item order, so the registry's contents are
+   independent of how many domains ran the experiment. *)
 let recorded_rev : metrics list ref = ref []
-let record m = recorded_rev := m :: !recorded_rev
+
+let sink_key : metrics list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let record m =
+  match Domain.DLS.get sink_key with
+  | Some sink -> sink := m :: !sink
+  | None -> recorded_rev := m :: !recorded_rev
+
 let recorded () = List.rev !recorded_rev
 let reset_recorded () = recorded_rev := []
+
+(* ----------------------- domain-parallel runs ----------------------- *)
+
+(* Host-side parallelism only: every simulation (a VM and its Machine,
+   Prng, Sched, Obs) is a self-contained value, so distinct items can
+   run in distinct domains without sharing any mutable simulation state.
+   The simulated results are identical at every job count; only host
+   wall-clock changes. *)
+
+let jobs_ref = ref 1
+let set_jobs n = jobs_ref := Stdlib.max 1 n
+let jobs () = !jobs_ref
+
+let par_map (type a b) ?progress (items : a list) (f : a -> b) : b list =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let njobs = Stdlib.max 1 (Stdlib.min (jobs ()) n) in
+  let results : b option array = Array.make n None in
+  let records : metrics list array = Array.make n [] in
+  let next = Atomic.make 0 in
+  let mu = Mutex.create () in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match progress with
+        | None -> ()
+        | Some p ->
+            Mutex.lock mu;
+            (try p i items.(i) with e -> Mutex.unlock mu; raise e);
+            Mutex.unlock mu);
+        (* Divert this item's metrics records to a private sink so the
+           global registry sees them in item order, not in domain
+           completion order. *)
+        let sink = ref [] in
+        Domain.DLS.set sink_key (Some sink);
+        let r =
+          Fun.protect
+            ~finally:(fun () -> Domain.DLS.set sink_key None)
+            (fun () -> f items.(i))
+        in
+        results.(i) <- Some r;
+        records.(i) <- List.rev !sink;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers = List.init (njobs - 1) (fun _ -> Domain.spawn worker) in
+  let main_exn = try worker (); None with e -> Some e in
+  let helper_exns =
+    List.filter_map
+      (fun d -> try Domain.join d; None with e -> Some e)
+      helpers
+  in
+  (match (main_exn, helper_exns) with
+  | Some e, _ | None, e :: _ -> raise e
+  | None, [] -> ());
+  Array.iter (fun rs -> List.iter record rs) records;
+  Array.to_list
+    (Array.map
+       (function Some r -> r | None -> assert false)
+       results)
 
 let metrics_csv_header =
   [ "label"; "throughput"; "avg_pause_ms"; "max_pause_ms"; "avg_mark_ms";

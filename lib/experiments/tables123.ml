@@ -26,10 +26,12 @@ let tracing_rates () = if Common.quick () then [ 1.0; 8.0 ] else [ 1.0; 4.0; 8.0
 
 let run_sweep () =
   let ms = if Common.quick () then 2000.0 else 5000.0 in
+  (* The STW baseline runs first (keeping the metrics registry in the
+     serial order), then the tracing-rate runs fan out across host
+     domains — each is an independent simulation. *)
   let stw = Common.specjbb ~label:"STW" ~gc:Config.stw ~ms () in
   let trs =
-    List.map
-      (fun k0 ->
+    Common.par_map (tracing_rates ()) (fun k0 ->
         let gc = { Config.default with Config.k0 } in
         let m, vm =
           Common.specjbb_vm ~label:(Printf.sprintf "TR %.0f" k0) ~gc ~ms
@@ -37,7 +39,6 @@ let run_sweep () =
         in
         let a = Common.analyse_trace vm in
         { k0; m; mmu = a.Cgc_prof.Analysis.mmu })
-      (tracing_rates ())
   in
   { stw; trs }
 

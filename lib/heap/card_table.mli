@@ -25,12 +25,20 @@ val clear_all : t -> unit
 (** Direct reset at collection-cycle initialisation. *)
 
 val dirty_count : t -> int
-(** Number of dirty cards, as committed memory (diagnostic). *)
+(** Number of dirty cards, as committed memory.  O(1): the table keeps
+    an incremental counter (and a word-level bit mirror) updated on
+    every committed dirty/clean transition, so the profiler can sample
+    this every tick without rescanning the table. *)
+
+val recount : t -> int
+(** O(ncards) committed-byte rescan — the reference the incremental
+    {!dirty_count} is checked against by [Cgc_core.Verify]. *)
 
 val snapshot : t -> int list
 (** Step 1 of the cleaning protocol: atomically-per-card register and
     clear each dirty card, returning the registered card indices in
     ascending order.  Charges the per-card probe cost for the full table
-    scan.  Cards dirtied by stores that are still sitting unfenced in a
-    mutator's store buffer are {e not} seen — exactly the race the
+    scan (the simulated cost is unchanged by the host-side word-scan
+    fast path).  Cards dirtied by stores that are still sitting unfenced
+    in a mutator's store buffer are {e not} seen — exactly the race the
     protocol's step 2 exists to close. *)

@@ -178,9 +178,9 @@ let enable_profiler ?(interval_ms = 0.25) t =
       probe "pool-deferred" (fun () -> fi (Pool.occupancy pl).Pool.occ_deferred);
       probe "pool-in-use" (fun () -> fi (Pool.occupancy pl).Pool.occ_in_use);
       probe "pool-entries" (fun () -> fi (Pool.occupancy pl).Pool.occ_entries);
-      (* The dirty count walks the whole card table, so sample it an
-         order of magnitude less often than the cheap counter probes. *)
-      probe "cards-dirty" ~every:8 (fun () ->
+      (* The dirty count is an incrementally-maintained counter (O(1)),
+         so it can be sampled at the same rate as the other probes. *)
+      probe "cards-dirty" (fun () ->
           fi (Card_table.dirty_count (Heap.cards t.hp)));
       probe "heap-free-slots" (fun () -> fi (Heap.free_slots t.hp));
       probe "marked-slots" (fun () ->

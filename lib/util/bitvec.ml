@@ -71,16 +71,52 @@ let clear_range t pos len =
     end
   end
 
+(* 256-entry byte kernels: one table lookup replaces a bit-at-a-time
+   loop, so the scan primitives below touch each word a constant number
+   of times instead of once per bit. *)
+
+let pop8 =
+  Array.init 256 (fun b ->
+      let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+      go b 0)
+
+let ctz8 =
+  Array.init 256 (fun b ->
+      if b = 0 then 8
+      else
+        let rec go b i = if b land 1 <> 0 then i else go (b lsr 1) (i + 1) in
+        go b 0)
+
+(* Population count of one (62-bit) word. *)
+let popcount w =
+  pop8.(w land 0xFF)
+  + pop8.((w lsr 8) land 0xFF)
+  + pop8.((w lsr 16) land 0xFF)
+  + pop8.((w lsr 24) land 0xFF)
+  + pop8.((w lsr 32) land 0xFF)
+  + pop8.((w lsr 40) land 0xFF)
+  + pop8.((w lsr 48) land 0xFF)
+  + pop8.((w lsr 56) land 0xFF)
+
 (* Index of the lowest set bit of a nonzero word. *)
 let lowest_bit w =
-  let rec go w i = if w land 1 <> 0 then i else go (w lsr 1) (i + 1) in
-  (* de Bruijn-free but fast enough: skip bytes first. *)
-  let rec skip w i = if w land 0xFF = 0 then skip (w lsr 8) (i + 8) else go w i in
+  let rec skip w i =
+    if w land 0xFF = 0 then skip (w lsr 8) (i + 8)
+    else i + ctz8.(w land 0xFF)
+  in
   skip w 0
 
+(* Index of the highest set bit of a nonzero word (-1 on zero bytes). *)
+let fls8 =
+  Array.init 256 (fun b ->
+      let rec go b i = if b = 0 then i - 1 else go (b lsr 1) (i + 1) in
+      go b 0)
+
 let highest_bit w =
-  let rec go w i = if w = 0 then i - 1 else go (w lsr 1) (i + 1) in
-  go w 0
+  let rec skip w i =
+    if w lsr 8 = 0 then i + fls8.(w land 0xFF) else skip (w lsr 8) (i + 8)
+  in
+  skip w 0
 
 let next_set t i =
   if i >= t.len then t.len
@@ -140,18 +176,34 @@ let prev_set t i =
     end
   end
 
-let popcount w =
-  let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
-  go w 0
-
 let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 
+let iter_words t f = Array.iteri f t.words
+
 let count_range t pos len =
-  (* Not performance critical: used by diagnostics and tests. *)
-  let acc = ref 0 in
-  let i = ref (next_set t pos) in
-  while !i < pos + len && !i < t.len do
-    incr acc;
-    i := next_set t (!i + 1)
+  if len <= 0 || pos >= t.len then 0
+  else begin
+    let last = min (pos + len) t.len - 1 in
+    let w0 = pos / bits_per_word and w1 = last / bits_per_word in
+    let lo_mask = full_word lsl (pos mod bits_per_word) land full_word in
+    let hi_mask = full_word lsr (bits_per_word - 1 - (last mod bits_per_word)) in
+    if w0 = w1 then popcount (t.words.(w0) land lo_mask land hi_mask)
+    else begin
+      let acc = ref (popcount (t.words.(w0) land lo_mask)) in
+      for w = w0 + 1 to w1 - 1 do
+        acc := !acc + popcount t.words.(w)
+      done;
+      !acc + popcount (t.words.(w1) land hi_mask)
+    end
+  end
+
+let fold_set_ranges t ~lo ~hi ~init ~f =
+  let hi = min hi t.len in
+  let acc = ref init in
+  let i = ref (if lo >= hi then hi else next_set t lo) in
+  while !i < hi do
+    let e = min hi (next_clear t (!i + 1)) in
+    acc := f !acc !i (e - !i);
+    i := if e >= hi then hi else next_set t e
   done;
   !acc

@@ -46,4 +46,32 @@ val count : t -> int
 (** Population count of the whole vector. *)
 
 val count_range : t -> int -> int -> int
-(** [count_range t pos len] is the population count of [\[pos, pos+len)]. *)
+(** [count_range t pos len] is the population count of [\[pos, pos+len)],
+    computed word-at-a-time with masked popcounts. *)
+
+(** {2 Word-level kernels}
+
+    The hot paths of the simulator (bitwise sweep, card snapshot, the
+    profiler's dirty-card probe) operate on whole 62-bit words rather
+    than individual bits; these entry points expose that granularity. *)
+
+val bits_per_word : int
+(** Bits packed per backing word (62, so indices stay immediate). *)
+
+val popcount : int -> int
+(** Population count of one backing word (byte-table kernel). *)
+
+val iter_words : t -> (int -> int -> unit) -> unit
+(** [iter_words t f] calls [f i w] for every backing word in index
+    order, including the all-zero sentinel word past the end.  Bits at
+    or beyond [length t] are never set by any operation, so [f] may
+    popcount or scan [w] without masking. *)
+
+val fold_set_ranges : t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+(** [fold_set_ranges t ~lo ~hi ~init ~f] folds [f acc pos len] over the
+    maximal runs of {e set} bits intersected with [\[lo, hi)], in
+    ascending position order.  Runs are found by word-skipping scans
+    ({!next_set} / {!next_clear}), so the cost is proportional to the
+    number of words plus the number of runs, not the number of bits.
+    This is the kernel under bitwise sweep's gap enumeration and the
+    card-table snapshot. *)

@@ -62,15 +62,17 @@ let mean t = if t.n = 0 then 0.0 else t.total /. float_of_int t.n
 let min t = t.mn
 let max t = t.mx
 
+(* Same nearest-rank rule as [Stats.percentile]; the extremes (rank 1
+   and rank n) and the underflow/overflow buckets answer with the exact
+   observed min/max, so only interior ranks pay the one-bucket-width
+   approximation. *)
 let percentile t p =
   if t.n = 0 then 0.0
-  else if p >= 100.0 then t.mx
   else begin
-    let rank =
-      let r = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
-      Stdlib.max 1 (Stdlib.min t.n r)
-    in
-    if rank <= t.under then t.mn
+    let rank = Stats.nearest_rank ~n:t.n p in
+    if rank >= t.n then t.mx
+    else if rank <= 1 then t.mn
+    else if rank <= t.under then t.mn
     else begin
       let cum = ref t.under in
       let result = ref t.mx (* reached only if rank falls in overflow *) in

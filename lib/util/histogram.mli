@@ -47,10 +47,16 @@ val max : t -> float
 (** Exact; [-inf] when empty (matches {!Stats.max}). *)
 
 val percentile : t -> float -> float
-(** [percentile t p] with [p] in [\[0, 100\]]: the representative value
-    (geometric mean of the bucket bounds, clamped to the observed
-    [\[min, max\]]) of the bucket holding the nearest-rank sample.
-    [p >= 100] returns the exact maximum; 0 when empty. *)
+(** [percentile t p] with [p] in [\[0, 100\]]: ranks with the same
+    {!Stats.nearest_rank} rule as {!Stats.percentile} and answers with
+    the representative value (geometric mean of the bucket bounds,
+    clamped to the observed [\[min, max\]]) of the bucket holding that
+    rank.  Edge ranks delegate to the exact extremes: rank 1 returns the
+    exact minimum, rank [n] (so any [p >= 100.]) the exact maximum, and
+    ranks inside the underflow bucket the exact minimum.  Interior
+    queries therefore agree with {!Stats.percentile} over the same
+    samples to within one bucket width; the extremes agree exactly.
+    0 when empty. *)
 
 val merge : t -> t -> t
 (** Combined histogram; both inputs must share the same geometry

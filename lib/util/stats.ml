@@ -38,14 +38,25 @@ let stddev t =
 let min t = t.mn
 let max t = t.mx
 
+(* The one nearest-rank rule shared by every percentile query in the
+   tree (Histogram delegates its edge cases here): the 1-based rank of
+   percentile [p] over [n] samples is [ceil (p/100 * n)] clamped to
+   [1, n].  So p <= 0 selects the minimum, p >= 100 the maximum, and
+   every query lands on an actual sample — no interpolation. *)
+let nearest_rank ~n p =
+  if n <= 0 then invalid_arg "Stats.nearest_rank: empty sample set";
+  let r = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  Stdlib.max 1 (Stdlib.min n r)
+
 let percentile t p =
   if t.n = 0 then 0.0
   else begin
     let sorted = Array.sub t.data 0 t.n in
-    Array.sort compare sorted;
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
-    let idx = Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)) in
-    sorted.(idx)
+    (* Float.compare, not polymorphic compare: a NaN sample (e.g. from a
+       zero-duration rate division) must order deterministically (first)
+       instead of poisoning the sort. *)
+    Array.sort Float.compare sorted;
+    sorted.(nearest_rank ~n:t.n p - 1)
   end
 
 let samples t = Array.sub t.data 0 t.n

@@ -32,8 +32,18 @@ val min : t -> float
 val max : t -> float
 (** -inf when empty. *)
 
+val nearest_rank : n:int -> float -> int
+(** The single percentile rank rule shared by the whole tree (both this
+    module and {!Histogram} use it): [nearest_rank ~n p] is
+    [ceil (p /. 100. *. n)] clamped to [\[1, n\]], a 1-based rank into
+    the sorted sample vector.  [p <= 0.] selects the minimum, [p >= 100.]
+    the maximum, and every query lands on an actual sample — no
+    interpolation.  Raises [Invalid_argument] when [n <= 0]. *)
+
 val percentile : t -> float -> float
-(** [percentile t p] with [p] in [0,100]; nearest-rank. 0 when empty. *)
+(** [percentile t p] with [p] in [0,100]: the sample at {!nearest_rank}
+    in the sorted sample vector (NaN samples sort first, via
+    [Float.compare]).  0 when empty. *)
 
 val samples : t -> float array
 (** A copy of the samples in insertion order. *)

@@ -198,6 +198,59 @@ let test_card_clear_all () =
   Card_table.clear_all ct;
   check ci "all clean" 0 (Card_table.dirty_count ct)
 
+let test_card_counter_matches_recount () =
+  (* The O(1) incremental dirty counter must track a committed-byte
+     rescan through any interleaving of redundant dirties, clears of
+     clean cards, snapshots and resets. *)
+  let m = Machine.testing () in
+  let ct = Card_table.create m ~ncards:128 in
+  for k = 0 to 999 do
+    let i = k * 13 mod 128 in
+    if k mod 3 = 0 then Card_table.clear ct i else Card_table.dirty ct i;
+    if Card_table.dirty_count ct <> Card_table.recount ct then
+      Alcotest.failf "counter %d <> recount %d after op %d"
+        (Card_table.dirty_count ct) (Card_table.recount ct) k
+  done;
+  ignore (Card_table.snapshot ct);
+  check ci "clean after snapshot" 0 (Card_table.dirty_count ct);
+  check ci "recount agrees" 0 (Card_table.recount ct);
+  Card_table.dirty ct 7;
+  Card_table.clear_all ct;
+  check ci "clean after clear_all" 0 (Card_table.dirty_count ct);
+  check ci "recount agrees after clear_all" 0 (Card_table.recount ct)
+
+let test_card_snapshot_relaxed () =
+  (* Under the Relaxed weak-memory model the snapshot has two paths: the
+     exact byte-loop fallback while stores are in flight, and the
+     word-scan fast path once everything has committed.  Both must leave
+     the incremental counter agreeing with a committed rescan, and the
+     fast path must register the same ascending card list Sc mode
+     would. *)
+  let m, clock, _cpu =
+    Machine.testing_multi ~mode:Cgc_smp.Weakmem.Relaxed ~seed:11 ()
+  in
+  let ct = Card_table.create m ~ncards:64 in
+  List.iter (Card_table.dirty ct) [ 3; 40; 12; 63 ];
+  check ci "counter sees committed bytes" 4 (Card_table.dirty_count ct);
+  check ci "recount agrees" 4 (Card_table.recount ct);
+  (* Stores may still be in flight: whatever subset this snapshot
+     registers, counter and rescan must agree afterwards. *)
+  let first = Card_table.snapshot ct in
+  check ci "counter = recount after in-flight snapshot"
+    (Card_table.recount ct) (Card_table.dirty_count ct);
+  (* Commit everything; a second snapshot (fast path) must register
+     every card the first one missed, in ascending order. *)
+  clock := !clock + 10_000_000;
+  let second = Card_table.snapshot ct in
+  let all = List.sort_uniq compare (first @ second) in
+  check (Alcotest.list Alcotest.int) "every card registered exactly once"
+    [ 3; 12; 40; 63 ] all;
+  check ci "registered count" 4 (List.length first + List.length second);
+  check cb "second snapshot ascending" true
+    (second = List.sort compare second);
+  check ci "clean afterwards" 0 (Card_table.dirty_count ct);
+  check ci "recount clean too" 0 (Card_table.recount ct)
+
 (* ------------------------------ Heap ------------------------------ *)
 
 let mk_heap ?(nslots = 65536) ?fence_policy () =
@@ -363,6 +416,10 @@ let () =
           Alcotest.test_case "dirty/clean" `Quick test_card_table;
           Alcotest.test_case "snapshot protocol" `Quick test_card_snapshot;
           Alcotest.test_case "clear_all" `Quick test_card_clear_all;
+          Alcotest.test_case "incremental counter = recount" `Quick
+            test_card_counter_matches_recount;
+          Alcotest.test_case "snapshot under relaxed memory" `Quick
+            test_card_snapshot_relaxed;
         ] );
       ( "heap",
         [

@@ -88,6 +88,106 @@ let test_object_spanning_region_boundary () =
         Alcotest.failf "free chunk [%d,%d) overlaps live object" addr
           (addr + size))
 
+(* --------------------------- region seams --------------------------- *)
+
+(* 4 workers on 4096 slots split at 1025/2049/3073 (span 1024 from slot
+   1).  The seam cases below are where the per-region first_mark /
+   last_end bookkeeping and the merge's prev_end threading can go wrong. *)
+
+let assert_no_overlap h ~lo ~hi =
+  Freelist.iter (Heap.freelist h) (fun ~addr ~size ->
+      if addr < hi && addr + size > lo then
+        Alcotest.failf "free chunk [%d,%d) overlaps live object [%d,%d)" addr
+          (addr + size) lo hi)
+
+let test_live_ends_at_region_boundary () =
+  (* Object [1005, 1025) ends exactly where region 0 ends: region 0's
+     last_end equals its hi, and region 1's leading gap must start at
+     exactly 1025 — an off-by-one in either direction loses or frees a
+     slot at the seam. *)
+  let h = build 4096 [ (1005, 20); (2000, 10) ] [ 1005; 2000 ] in
+  let live = sweep_with ~workers:4 h in
+  check ci "live" 30 live;
+  check ci "free accounting" (4095 - 30) (Freelist.free_slots (Heap.freelist h));
+  assert_no_overlap h ~lo:1005 ~hi:1025;
+  assert_no_overlap h ~lo:2000 ~hi:2010
+
+let test_empty_leading_region () =
+  (* Regions 0-2 hold no marks at all; the merge must thread one free
+     run from slot 1 through the empty regions up to the first live
+     object in region 3. *)
+  let h = build 4096 [ (3500, 25) ] [ 3500 ] in
+  let live = sweep_with ~workers:4 h in
+  check ci "live" 25 live;
+  check ci "free accounting" (4095 - 25) (Freelist.free_slots (Heap.freelist h));
+  assert_no_overlap h ~lo:3500 ~hi:3525
+
+let test_single_region_heap () =
+  (* One worker, one region covering the whole heap, with a live object
+     ending exactly at the heap end — last_end = nslots must produce no
+     trailing free chunk. *)
+  let h = build 64 [ (10, 6); (50, 14) ] [ 10; 50 ] in
+  let live = sweep_with ~workers:1 h in
+  check ci "live" 20 live;
+  check ci "free accounting" (63 - 20) (Freelist.free_slots (Heap.freelist h));
+  assert_no_overlap h ~lo:50 ~hi:64
+
+let test_lazy_ends_at_window_boundary () =
+  (* Lazy window [1, 257): object [237, 257) ends exactly at the window
+     edge, so the step must park the cursor at 257 without emitting a
+     partial free run into the object. *)
+  let objs = [ (237, 20); (300, 10); (4000, 30) ] in
+  let marked = [ 237; 4000 ] in
+  let h_eager = build 4096 objs marked in
+  let live_eager = sweep_with ~workers:1 h_eager in
+  let free_eager = Freelist.free_slots (Heap.freelist h_eager) in
+  let h = build 4096 objs marked in
+  let lz = Sweep.lazy_begin h in
+  ignore (Sweep.lazy_step h lz ~max_slots:256);
+  check ci "cursor parked exactly at the object end" 257 (Sweep.lazy_pos lz);
+  Sweep.lazy_finish h lz;
+  check ci "lazy live agrees" live_eager (Sweep.lazy_live lz);
+  check ci "lazy free agrees" free_eager
+    (Freelist.free_slots (Heap.freelist h));
+  assert_no_overlap h ~lo:237 ~hi:257
+
+let test_lazy_empty_leading_windows () =
+  (* The first live object sits far past several all-empty windows; each
+     empty step must emit exactly its window as free space. *)
+  let objs = [ (3000, 40) ] in
+  let h_eager = build 4096 objs [ 3000 ] in
+  let live_eager = sweep_with ~workers:1 h_eager in
+  let free_eager = Freelist.free_slots (Heap.freelist h_eager) in
+  let h = build 4096 objs [ 3000 ] in
+  let lz = Sweep.lazy_begin h in
+  ignore (Sweep.lazy_step h lz ~max_slots:256);
+  check ci "one empty window freed" 256
+    (Freelist.free_slots (Heap.freelist h));
+  Sweep.lazy_finish h lz;
+  check ci "lazy live agrees" live_eager (Sweep.lazy_live lz);
+  check ci "lazy free agrees" free_eager
+    (Freelist.free_slots (Heap.freelist h))
+
+let test_lazy_single_window () =
+  (* A window at least as large as the heap: one step sweeps everything
+     and finishes, including the object ending exactly at the heap end. *)
+  let objs = [ (10, 6); (50, 14) ] in
+  let h_eager = build 64 objs [ 10; 50 ] in
+  let live_eager = sweep_with ~workers:1 h_eager in
+  let free_eager = Freelist.free_slots (Heap.freelist h_eager) in
+  let h = build 64 objs [ 10; 50 ] in
+  let lz = Sweep.lazy_begin h in
+  check cb "first step runs" true (Sweep.lazy_step h lz ~max_slots:8192);
+  check ci "cursor reached the heap end" 64 (Sweep.lazy_pos lz);
+  (* The object ending exactly at the heap end leaves the cursor parked
+     at nslots with the finished flag still unset; the next (empty) step
+     closes the sweep. *)
+  Sweep.lazy_finish h lz;
+  check cb "finished" true (Sweep.lazy_finished lz);
+  check ci "lazy live agrees" live_eager (Sweep.lazy_live lz);
+  check ci "lazy free agrees" free_eager
+    (Freelist.free_slots (Heap.freelist h))
+
 let test_allocatable_after_sweep () =
   let h = build 4096 [ (2000, 100) ] [ 2000 ] in
   ignore (sweep_with ~workers:2 h);
@@ -186,6 +286,12 @@ let () =
             test_parallel_matches_serial;
           Alcotest.test_case "spans region boundary" `Quick
             test_object_spanning_region_boundary;
+          Alcotest.test_case "live ends at region boundary" `Quick
+            test_live_ends_at_region_boundary;
+          Alcotest.test_case "empty leading region" `Quick
+            test_empty_leading_region;
+          Alcotest.test_case "single-region heap" `Quick
+            test_single_region_heap;
           Alcotest.test_case "allocatable after sweep" `Quick
             test_allocatable_after_sweep;
           QCheck_alcotest.to_alcotest sweep_model;
@@ -196,5 +302,10 @@ let () =
           Alcotest.test_case "finish" `Quick test_lazy_finish;
           Alcotest.test_case "incremental allocation" `Quick
             test_lazy_incremental_allocation;
+          Alcotest.test_case "live ends at window boundary" `Quick
+            test_lazy_ends_at_window_boundary;
+          Alcotest.test_case "empty leading windows" `Quick
+            test_lazy_empty_leading_windows;
+          Alcotest.test_case "single window" `Quick test_lazy_single_window;
         ] );
     ]

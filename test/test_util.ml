@@ -4,6 +4,7 @@
 module Prng = Cgc_util.Prng
 module Ewma = Cgc_util.Ewma
 module Stats = Cgc_util.Stats
+module Histogram = Cgc_util.Histogram
 module Bitvec = Cgc_util.Bitvec
 module Table = Cgc_util.Table
 
@@ -142,6 +143,29 @@ let test_stats_percentile () =
   check cf "p100" 100.0 (Stats.percentile s 100.0);
   check cf "p1" 1.0 (Stats.percentile s 1.0)
 
+let test_stats_percentile_nan () =
+  (* Regression: [Array.sort compare] on floats leaves a NaN-poisoned
+     ordering (polymorphic compare says NaN < NaN is false but so is
+     NaN >= NaN), which could surface arbitrary samples as percentiles.
+     With [Float.compare] NaN sorts first, so real samples keep their
+     ranks at the top end. *)
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 5.0; 1.0; 3.0; Float.nan; 2.0; 4.0 ];
+  check cf "p100 ignores NaN poisoning" 5.0 (Stats.percentile s 100.0);
+  check cf "p99 lands on a real sample" 5.0 (Stats.percentile s 99.0);
+  check cb "p1 is the NaN (sorts first)" true
+    (Float.is_nan (Stats.percentile s 1.0))
+
+let test_stats_nearest_rank () =
+  check ci "p0 -> rank 1" 1 (Stats.nearest_rank ~n:10 0.0);
+  check ci "p100 -> rank n" 10 (Stats.nearest_rank ~n:10 100.0);
+  check ci "p50 over 10" 5 (Stats.nearest_rank ~n:10 50.0);
+  check ci "p50 over 11" 6 (Stats.nearest_rank ~n:11 50.0);
+  check ci "clamped above" 4 (Stats.nearest_rank ~n:4 250.0);
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Stats.nearest_rank: empty sample set") (fun () ->
+      ignore (Stats.nearest_rank ~n:0 50.0))
+
 let test_stats_growth () =
   (* exercise the internal array doubling *)
   let s = Stats.create () in
@@ -166,6 +190,41 @@ let test_stats_clear () =
   check ci "count after clear" 0 (Stats.count s);
   Stats.add s 3.0;
   check cf "reusable after clear" 3.0 (Stats.mean s)
+
+(* One rank rule, two data structures: Histogram.percentile must agree
+   with Stats.percentile over the same samples to within one bucket
+   width (the histogram's documented resolution), and exactly at the
+   extremes where it delegates to the recorded min/max. *)
+let hist_vs_stats_percentile_test =
+  QCheck.Test.make ~name:"Histogram vs Stats percentile within one bucket"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 200) (int_bound 999_999))
+        (list_of_size Gen.(int_range 1 8) (int_bound 100)))
+    (fun (samples, ps) ->
+      (* Samples span [1e-3, 1e4), the histogram's exact coverage. *)
+      let samples = List.map (fun i -> 1e-3 +. (float_of_int i /. 100.0)) samples in
+      let ps = List.map float_of_int ps in
+      let h = Histogram.create ~lo:1e-3 ~decades:7 ~per_decade:16 () in
+      let s = Stats.create () in
+      List.iter
+        (fun v ->
+          Histogram.add h v;
+          Stats.add s v)
+        samples;
+      let width = 10.0 ** (1.0 /. 16.0) in
+      List.for_all
+        (fun p ->
+          let exact = Stats.percentile s p in
+          let approx = Histogram.percentile h p in
+          (* Within one bucket width either way, and never outside the
+             observed range. *)
+          approx >= Stats.min s -. 1e-12
+          && approx <= Stats.max s +. 1e-12
+          && approx <= (exact *. width) +. 1e-12
+          && approx >= (exact /. width) -. 1e-12)
+        (0.0 :: 100.0 :: ps))
 
 (* ------------------------------ Bitvec ------------------------------ *)
 
@@ -236,6 +295,30 @@ let test_bitvec_count_range () =
   check ci "count_range middle" 2 (Bitvec.count_range v 5 20);
   check ci "count_range all" 3 (Bitvec.count_range v 0 400)
 
+let test_bitvec_fold_set_ranges () =
+  let v = Bitvec.create 200 in
+  Bitvec.set_range v 10 5;
+  Bitvec.set v 61;
+  Bitvec.set v 62;
+  Bitvec.set v 199;
+  let runs =
+    List.rev
+      (Bitvec.fold_set_ranges v ~lo:0 ~hi:200 ~init:[] ~f:(fun acc pos len ->
+           (pos, len) :: acc))
+  in
+  check cb "maximal runs" true (runs = [ (10, 5); (61, 2); (199, 1) ]);
+  (* A window boundary splits the run that straddles it. *)
+  let clipped =
+    List.rev
+      (Bitvec.fold_set_ranges v ~lo:12 ~hi:62 ~init:[] ~f:(fun acc pos len ->
+           (pos, len) :: acc))
+  in
+  check cb "window clips runs" true (clipped = [ (12, 3); (61, 1) ]);
+  check cb "empty window" true
+    (Bitvec.fold_set_ranges v ~lo:20 ~hi:20 ~init:[] ~f:(fun acc p l ->
+         (p, l) :: acc)
+    = [])
+
 (* Property tests: the bit vector against a reference bool array. *)
 
 let bitvec_model_test =
@@ -272,6 +355,24 @@ let bitvec_model_test =
       for i = 0 to n - 1 do
         if Bitvec.next_set v i <> model_next i then failwith "next_set mismatch"
       done;
+      (* count and fold_set_ranges agree with the model: the fold must
+         visit every set bit exactly once, in maximal runs. *)
+      let model_count = Array.fold_left (fun a b -> if b then a + 1 else a) 0 model in
+      if Bitvec.count v <> model_count then failwith "count mismatch";
+      let covered = Array.make n false in
+      Bitvec.fold_set_ranges v ~lo:0 ~hi:n ~init:() ~f:(fun () pos len ->
+          if len <= 0 then failwith "empty run";
+          if pos > 0 && model.(pos - 1) then failwith "run not maximal (left)";
+          if pos + len < n && model.(pos + len) then
+            failwith "run not maximal (right)";
+          for i = pos to pos + len - 1 do
+            if not model.(i) then failwith "run covers clear bit";
+            if covered.(i) then failwith "bit visited twice";
+            covered.(i) <- true
+          done);
+      Array.iteri
+        (fun i b -> if b && not covered.(i) then failwith "set bit missed")
+        model;
       true)
 
 let bitvec_range_test =
@@ -346,9 +447,13 @@ let () =
           Alcotest.test_case "empty" `Quick test_stats_empty;
           Alcotest.test_case "basic" `Quick test_stats_basic;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile NaN (regression)" `Quick
+            test_stats_percentile_nan;
+          Alcotest.test_case "nearest_rank rule" `Quick test_stats_nearest_rank;
           Alcotest.test_case "growth" `Quick test_stats_growth;
           Alcotest.test_case "merge" `Quick test_stats_merge;
           Alcotest.test_case "clear" `Quick test_stats_clear;
+          QCheck_alcotest.to_alcotest hist_vs_stats_percentile_test;
         ] );
       ( "bitvec",
         [
@@ -359,6 +464,8 @@ let () =
           Alcotest.test_case "next_clear" `Quick test_bitvec_next_clear;
           Alcotest.test_case "prev_set" `Quick test_bitvec_prev_set;
           Alcotest.test_case "count_range" `Quick test_bitvec_count_range;
+          Alcotest.test_case "fold_set_ranges" `Quick
+            test_bitvec_fold_set_ranges;
           QCheck_alcotest.to_alcotest bitvec_model_test;
           QCheck_alcotest.to_alcotest bitvec_range_test;
         ] );
