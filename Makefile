@@ -5,7 +5,7 @@
 # when present they are part of the tier-1 bar.
 
 .PHONY: all build test doc fmt-check verify fuzz bench bench-smoke \
-	bench-determinism clean
+	bench-determinism serve-smoke clean
 
 # Number of random configurations `make fuzz` tries.
 FUZZ_COUNT ?= 100
@@ -47,21 +47,21 @@ fuzz: build
 	FUZZ_COUNT=$(FUZZ_COUNT) dune exec test/test_fuzz.exe
 
 # Full benchmark matrix (workloads x thread counts x tracing rates),
-# every cell traced and profiled.  Writes BENCH_PR4.json
+# every cell traced and profiled.  Writes BENCH_PR5.json
 # (schema cgcsim-bench-v1) plus a Chrome trace of cell 0; fails if any
 # cell dropped trace events to ring overflow.  JOBS=N runs the cells on
 # N OCaml domains — simulated results are identical at every N, only
 # the host* timing fields change.
 bench: build
 	dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	  --out BENCH_PR4.json --trace-out bench-cell0.trace.json
+	  --out BENCH_PR5.json --trace-out bench-cell0.trace.json
 
-# Shrunk matrix for CI (<60 s): one SPECjbb and one pBOB cell, then the
-# offline analyzer re-reads the emitted trace and fails on ring drops or
-# a schema mismatch.
+# Shrunk matrix for CI (<60 s): one SPECjbb cell, one pBOB cell and one
+# serve cell, then the offline analyzer re-reads the emitted trace and
+# fails on ring drops or a schema mismatch.
 bench-smoke: build
 	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	  --out BENCH_PR4.json --trace-out bench-cell0.trace.json
+	  --out BENCH_PR5.json --trace-out bench-cell0.trace.json
 	dune exec bin/cgcsim.exe -- analyze \
 	  --trace bench-cell0.trace.json --fail-on-drops
 
@@ -79,6 +79,28 @@ bench-determinism: build
 	diff -u bench-serial.filtered.json bench-par.filtered.json
 	cmp bench-serial.trace.json bench-par.trace.json
 	@echo "bench determinism OK: serial and --jobs 2 agree"
+
+# Short open-loop server run under both collectors, with determinism
+# checks: two same-seed serve runs must produce byte-identical reports
+# and traces, and an overloaded run with an SLO must exit 6.
+serve-smoke: build
+	dune exec bin/cgcsim.exe -- serve -c cgc --rate 6000 --ms 600 \
+	  --heap-mb 16 --seed 1 --json serve-a.json --trace-out serve-a.trace.json
+	dune exec bin/cgcsim.exe -- serve -c cgc --rate 6000 --ms 600 \
+	  --heap-mb 16 --seed 1 --json serve-b.json --trace-out serve-b.trace.json
+	cmp serve-a.json serve-b.json
+	cmp serve-a.trace.json serve-b.trace.json
+	dune exec bin/cgcsim.exe -- serve -c stw --rate 6000 --ms 600 \
+	  --heap-mb 16 --seed 1 --verify > /dev/null
+	dune exec bin/cgcsim.exe -- analyze \
+	  --trace serve-a.trace.json --fail-on-drops > /dev/null
+	@dune exec bin/cgcsim.exe -- serve -c stw --rate 20000 --ms 600 \
+	  --heap-mb 16 --seed 1 --slo-ms 5 > /dev/null 2>&1; st=$$?; \
+	  if [ $$st -ne 6 ]; then \
+	    echo "expected SLO breach (exit 6) under overloaded STW, got $$st"; \
+	    exit 1; \
+	  fi
+	@echo "serve smoke OK: deterministic reports, traces clean, SLO gate fires"
 
 clean:
 	dune clean

@@ -3,7 +3,7 @@
    JSON document (schema cgcsim-bench-v1) — the benchmark trajectory the
    repo tracks across PRs.
 
-     dune exec bench/main.exe -- matrix --jobs 4 --out BENCH_PR4.json \
+     dune exec bench/main.exe -- matrix --jobs 4 --out BENCH_PR5.json \
          --trace-out bench-cell0.trace.json
 
    Cells are independent simulations (each owns its VM, machine, PRNG
@@ -27,6 +27,8 @@ module Analysis = Cgc_prof.Analysis
 module Sampler = Cgc_prof.Sampler
 module Series = Cgc_prof.Series
 module Json = Cgc_prof.Json
+module Server = Cgc_server.Server
+module Server_report = Cgc_server.Report
 
 let bench_schema = "cgcsim-bench-v1"
 
@@ -34,9 +36,14 @@ type cell = {
   workload : string;
   warehouses : int;
   k0 : float;
+  rate : float;  (* offered req/s; serve cells only *)
   ms : float;
   ring : int;  (* per-thread event-ring capacity *)
 }
+
+let cell_label c =
+  if c.workload = "serve" then Printf.sprintf "serve-%.0frps" c.rate
+  else Printf.sprintf "%s-%dwh-k0=%.0f" c.workload c.warehouses c.k0
 
 (* SPECjbb cells get deep rings (a dozen threads saturating 4 CPUs emit
    a lot); pBOB cells spread far fewer events over hundreds of threads,
@@ -46,36 +53,61 @@ let matrix () =
   let ms = if Cgc_experiments.Common.quick () then 800.0 else 1500.0 in
   let spec wh =
     List.map
-      (fun k0 -> { workload = "specjbb"; warehouses = wh; k0; ms; ring = 1 lsl 18 })
+      (fun k0 ->
+        { workload = "specjbb"; warehouses = wh; k0; rate = 0.0; ms;
+          ring = 1 lsl 18 })
       rates
   in
   let pbob wh =
     List.map
-      (fun k0 -> { workload = "pbob"; warehouses = wh; k0; ms; ring = 1 lsl 17 })
+      (fun k0 ->
+        { workload = "pbob"; warehouses = wh; k0; rate = 0.0; ms;
+          ring = 1 lsl 17 })
       rates
   in
-  if Cgc_experiments.Common.quick () then spec 4 @ pbob 8
-  else spec 4 @ spec 8 @ pbob 8 @ pbob 16
+  (* Open-loop server cells (the PR 5 subsystem): CGC at the default
+     tracing rate under increasing offered load. *)
+  let serve rate =
+    { workload = "serve"; warehouses = 0; k0 = 8.0; rate; ms; ring = 1 lsl 17 }
+  in
+  if Cgc_experiments.Common.quick () then spec 4 @ pbob 8 @ [ serve 6000.0 ]
+  else spec 4 @ spec 8 @ pbob 8 @ pbob 16 @ [ serve 4000.0; serve 8000.0 ]
 
 let run_cell c =
   let gc = { Config.default with Config.k0 = c.k0 } in
-  let vm =
+  let vm, srv =
     match c.workload with
     | "specjbb" ->
-        Cgc_workloads.Specjbb.setup ~warehouses:c.warehouses ~gc ~heap_mb:48.0
-          ~ncpus:4 ~seed:1 ~trace:true ~trace_ring:c.ring ()
+        ( Cgc_workloads.Specjbb.setup ~warehouses:c.warehouses ~gc ~heap_mb:48.0
+            ~ncpus:4 ~seed:1 ~trace:true ~trace_ring:c.ring (),
+          None )
     | "pbob" ->
         (* Short think time and a small heap so the cell reaches several
            GC cycles inside the window while keeping the idle fraction
            that lets the background tracers participate. *)
-        Cgc_workloads.Pbob.setup ~warehouses:c.warehouses ~gc ~terminals:10
-          ~heap_mb:32.0 ~ncpus:4 ~seed:1 ~trace:true ~trace_ring:c.ring
-          ~think_mean:1_100_000 ~residency_at:(16, 0.5) ()
+        ( Cgc_workloads.Pbob.setup ~warehouses:c.warehouses ~gc ~terminals:10
+            ~heap_mb:32.0 ~ncpus:4 ~seed:1 ~trace:true ~trace_ring:c.ring
+            ~think_mean:1_100_000 ~residency_at:(16, 0.5) (),
+          None )
+    | "serve" ->
+        (* Smaller heap than the warehouse cells so the short window
+           still contains GC cycles (and their latency inflation). *)
+        let vm =
+          Vm.create
+            (Vm.config ~heap_mb:16.0 ~ncpus:4 ~seed:1 ~gc ~trace:true
+               ~trace_ring:c.ring ())
+        in
+        let scfg =
+          Server.cfg ~rate_per_s:c.rate ~queue_cap:256 ~workers:4 ~slo_ms:50.0
+            ()
+        in
+        (vm, Some (Server.create scfg vm))
     | w -> invalid_arg ("bench matrix: unknown workload " ^ w)
   in
   Vm.enable_profiler vm;
+  Option.iter Server.attach_probes srv;
   Vm.run vm ~ms:c.ms;
-  vm
+  (vm, srv)
 
 let sampler_json vm =
   match Vm.profiler vm with
@@ -92,9 +124,10 @@ let sampler_json vm =
       in
       Json.Obj
         (("ticks", Json.Int (Sampler.ticks p))
-        :: (stat "pool-in-use" @ stat "cards-dirty" @ stat "mutators-running"))
+        :: (stat "pool-in-use" @ stat "cards-dirty" @ stat "mutators-running"
+          @ stat "server-queue-depth" @ stat "server-in-flight"))
 
-let cell_json c vm =
+let cell_json c vm srv =
   let o = Vm.obs vm in
   let a =
     Analysis.analyse ~cycles_per_us:(Vm.cycles_per_us vm) (Obs.events o)
@@ -147,6 +180,12 @@ let cell_json c vm =
               ("fairness", Json.Float bal.fairness);
             ] );
         ("sampler", sampler_json vm);
+        ( "server",
+          match srv with
+          | None -> Json.Null
+          | Some s ->
+              Server_report.to_json (Server.the_cfg s) ~ran_ms:c.ms
+                (Server.totals s) );
       ]
   in
   (json, Obs.dropped o, a)
@@ -161,7 +200,7 @@ type cell_result = {
   host_ms : float;
 }
 
-let run ?(out = "BENCH_PR4.json") ?trace_out ?(jobs = 1) () =
+let run ?(out = "BENCH_PR5.json") ?trace_out ?(jobs = 1) () =
   Cgc_experiments.Common.hdr "Benchmark matrix (cgcsim-bench-v1)";
   let cells = matrix () in
   let ncells = List.length cells in
@@ -174,20 +213,17 @@ let run ?(out = "BENCH_PR4.json") ?trace_out ?(jobs = 1) () =
   let results =
     Cgc_experiments.Common.par_map
       ~progress:(fun _ (i, c) ->
-        Printf.printf "[%d/%d] %s-%dwh-k0=%.0f...\n%!" (i + 1) ncells
-          c.workload c.warehouses c.k0)
+        Printf.printf "[%d/%d] %s...\n%!" (i + 1) ncells (cell_label c))
       (List.mapi (fun i c -> (i, c)) cells)
       (fun (i, c) ->
-        let label =
-          Printf.sprintf "%s-%dwh-k0=%.0f" c.workload c.warehouses c.k0
-        in
+        let label = cell_label c in
         let t0 = Unix.gettimeofday () in
-        let vm = run_cell c in
+        let vm, srv = run_cell c in
         let host_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
         let trace =
           if i = 0 && trace_out <> None then Some (Vm.trace_json vm) else None
         in
-        let json, drops, a = cell_json c vm in
+        let json, drops, a = cell_json c vm srv in
         let json =
           match json with
           | Json.Obj fields -> Json.Obj (fields @ [ ("hostMs", Json.Float host_ms) ])

@@ -8,11 +8,11 @@
      CGC_BENCH_FAST=1 dune exec bench/main.exe   # fast smoke sweep
 
    Targets: fig1 fig2 table1 table2 table3 table4 javac packetmem
-            ablation-fence ablation-cardpass ablation-lazysweep
+            serverlat ablation-fence ablation-cardpass ablation-lazysweep
             ablation-steal ablation-compact itanium micro matrix all
 
    The matrix target additionally honours --out FILE (default
-   BENCH_PR4.json), --trace-out FILE (Chrome trace of cell 0) and
+   BENCH_PR5.json), --trace-out FILE (Chrome trace of cell 0) and
    --jobs N (run cells on N OCaml 5 domains; simulated results are
    identical at every N, only host wall-clock changes).  --jobs also
    fans out the per-target experiment sweeps. *)
@@ -128,6 +128,7 @@ let targets : (string * (unit -> unit)) list =
     ("table4", fun () -> ignore (E.Table4_load_balance.run ()));
     ("javac", fun () -> ignore (E.Javac_exp.run ()));
     ("packetmem", fun () -> ignore (E.Packet_memory.run ()));
+    ("serverlat", fun () -> ignore (E.Server_latency.run ()));
     ("ablation-fence", fun () -> ignore (E.Ablations.fence_batching ()));
     ("ablation-cardpass", fun () -> ignore (E.Ablations.card_passes ()));
     ("ablation-lazysweep", fun () -> ignore (E.Ablations.lazy_sweep ()));
@@ -138,7 +139,7 @@ let targets : (string * (unit -> unit)) list =
   ]
 
 (* --out / --trace-out / --jobs for the matrix target. *)
-let matrix_out = ref "BENCH_PR4.json"
+let matrix_out = ref "BENCH_PR5.json"
 let matrix_trace_out : string option ref = ref None
 let jobs = ref 1
 
@@ -150,6 +151,7 @@ let run_all () =
   ignore (E.Table4_load_balance.run ());
   ignore (E.Javac_exp.run ());
   ignore (E.Packet_memory.run ());
+  ignore (E.Server_latency.run ());
   E.Ablations.run_all ();
   run_micro ()
 

@@ -402,11 +402,241 @@ let analyze_cmd =
       $ ncpus $ ms $ tracing_rate $ seed $ trace_ring $ mmu_windows $ json_out
       $ fail_on_drops)
 
+(* ------------------------------------------------------------------ *)
+(* cgcsim serve — the open-loop request/latency subsystem.
+
+   A deterministic server simulation: an arrival process (Poisson,
+   constant-rate or bursty) feeds a bounded queue drained by worker
+   mutators, with drop-newest shedding and an optional admission
+   throttle.  Prints an SLO report (end-to-end latency decomposed into
+   queueing / service / GC inflation) and optionally writes it as
+   cgcsim-server-v1 JSON.
+
+     cgcsim serve --rate 6000 --collector stw --heap-mb 24 --ms 2000 \
+       --slo-ms 50 --json report.json
+
+   Exit code 6: an SLO was configured (--slo-ms) and attainment fell
+   below --slo-target. *)
+
+module Server = Cgc_server.Server
+module Server_report = Cgc_server.Report
+module Arrival = Cgc_server.Arrival
+
+let serve_cmd =
+  let rate =
+    Arg.(value & opt float 4000.0 & info [ "rate" ] ~doc:"Offered load, requests per simulated second.")
+  in
+  let arrival =
+    let doc = "Arrival process: poisson, constant or bursty." in
+    Arg.(value & opt string "poisson" & info [ "arrival" ] ~doc)
+  in
+  let burst =
+    let doc =
+      "Bursty on/off windows as $(b,ON_MS,OFF_MS,FACTOR) (rate is \
+       FACTOR$(b,x) during bursts, reduced between them to preserve the \
+       average).  Implies $(b,--arrival bursty)."
+    in
+    Arg.(value & opt (some string) None & info [ "burst" ] ~docv:"ON,OFF,X" ~doc)
+  in
+  let queue =
+    Arg.(value & opt int 256 & info [ "queue" ] ~doc:"Request queue bound (drop-newest beyond it).")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Worker mutator threads.")
+  in
+  let timeout_ms =
+    Arg.(value & opt float 0.0 & info [ "timeout-ms" ] ~doc:"Queueing deadline; 0 disables.")
+  in
+  let slo_ms =
+    Arg.(value & opt float 0.0 & info [ "slo-ms" ] ~doc:"End-to-end latency SLO; 0 disables.")
+  in
+  let slo_target =
+    Arg.(value & opt float 0.999 & info [ "slo-target" ] ~doc:"Required SLO attainment fraction.")
+  in
+  let throttle =
+    let doc =
+      "Admission-throttle hysteresis as $(b,HI,LO) queue depths: shed at \
+       the door above HI until the backlog drains to LO."
+    in
+    Arg.(value & opt (some string) None & info [ "throttle" ] ~docv:"HI,LO" ~doc)
+  in
+  let collector =
+    let doc = "Collector: cgc (mostly-concurrent) or stw (baseline)." in
+    Arg.(value & opt string "cgc" & info [ "collector"; "c" ] ~doc)
+  in
+  let heap_mb =
+    Arg.(value & opt float 24.0 & info [ "heap-mb" ] ~doc:"Simulated heap size (MB).")
+  in
+  let ncpus = Arg.(value & opt int 4 & info [ "ncpus" ] ~doc:"Simulated CPUs.") in
+  let ms =
+    Arg.(value & opt float 2000.0 & info [ "ms" ] ~doc:"Simulated milliseconds measured.")
+  in
+  let warmup_ms =
+    Arg.(value & opt float 0.0 & info [ "warmup-ms" ] ~doc:"Warm-up window discarded before measuring.")
+  in
+  let tracing_rate =
+    Arg.(value & opt float 8.0 & info [ "tracing-rate"; "k0" ] ~doc:"Tracing rate K0.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let inject =
+    let doc =
+      "Arm the deterministic fault injector (same scenarios as \
+       $(b,run --inject))."
+    in
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SCENARIOS" ~doc)
+  in
+  let fault_seed =
+    let doc = "Seed for the fault injector (default: the run seed)." in
+    Arg.(value & opt (some int) None & info [ "fault-seed" ] ~doc)
+  in
+  let verify =
+    let doc = "Run the heap invariant verifier at every GC cycle boundary." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let trace_out =
+    let doc = "Write a Chrome trace-event JSON file (arms the event sink)." in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let trace_ring =
+    Arg.(
+      value
+      & opt int (1 lsl 17)
+      & info [ "trace-ring" ] ~doc:"Per-thread event-ring capacity.")
+  in
+  let metrics_out =
+    let doc = "Write per-GC-cycle metrics to $(docv) as CSV." in
+    Arg.(
+      value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let json_out =
+    let doc = "Write the $(b,cgcsim-server-v1) SLO report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let exec rate arrival burst queue workers timeout_ms slo_ms slo_target
+      throttle collector heap_mb ncpus ms warmup_ms tracing_rate seed inject
+      fault_seed verify trace_out trace_ring metrics_out json_out =
+    let parse_floats what spec n =
+      let parts = String.split_on_char ',' spec in
+      match
+        if List.length parts <> n then None
+        else
+          try Some (List.map (fun s -> float_of_string (String.trim s)) parts)
+          with Failure _ -> None
+      with
+      | Some fs -> fs
+      | None ->
+          Printf.eprintf "cgcsim: bad %s %S (expected %d comma-separated numbers)\n"
+            what spec n;
+          exit 1
+    in
+    let arrival_kind =
+      match (burst, arrival) with
+      | Some spec, _ -> (
+          match parse_floats "--burst" spec 3 with
+          | [ on_ms; off_ms; factor ] -> Arrival.Bursty { on_ms; off_ms; factor }
+          | _ -> assert false)
+      | None, "poisson" -> Arrival.Poisson
+      | None, "constant" -> Arrival.Constant
+      | None, "bursty" ->
+          Arrival.Bursty { on_ms = 20.0; off_ms = 80.0; factor = 4.0 }
+      | None, a ->
+          Printf.eprintf "cgcsim: unknown arrival process %S (poisson|constant|bursty)\n" a;
+          exit 1
+    in
+    let throttle_hi, throttle_lo =
+      match throttle with
+      | None -> (0, 0)
+      | Some spec -> (
+          match parse_floats "--throttle" spec 2 with
+          | [ hi; lo ] -> (int_of_float hi, int_of_float lo)
+          | _ -> assert false)
+    in
+    let faults =
+      match inject with
+      | None -> Fault.disabled
+      | Some spec -> (
+          match parse_scenarios spec with
+          | Ok scenarios ->
+              let seed = match fault_seed with Some s -> s | None -> seed in
+              Fault.create ~scenarios ~seed ()
+          | Error msg ->
+              Printf.eprintf "cgcsim: %s\n" msg;
+              exit 1)
+    in
+    let gc =
+      {
+        (if collector = "stw" then Config.stw else Config.default) with
+        Config.k0 = tracing_rate;
+        faults;
+        verify;
+      }
+    in
+    let trace = trace_out <> None in
+    let scfg =
+      try
+        Server.cfg ~arrival:arrival_kind ~queue_cap:queue ~workers ~timeout_ms
+          ~slo_ms ~slo_target ~throttle_hi ~throttle_lo ~rate_per_s:rate ()
+      with Invalid_argument msg ->
+        Printf.eprintf "cgcsim: %s\n" msg;
+        exit 1
+    in
+    let vm =
+      Vm.create
+        (Vm.config ~heap_mb ~ncpus ~seed ~gc ~trace ~trace_ring ())
+    in
+    let srv = Server.create scfg vm in
+    catching_failures (fun () ->
+        if warmup_ms > 0.0 then Vm.run_measured vm ~warmup_ms ~ms
+        else Vm.run vm ~ms);
+    let tot = Server.totals srv in
+    print_string (Server_report.text scfg ~ran_ms:ms tot);
+    (match trace_out with
+    | Some file ->
+        write_or_die "trace" (Vm.write_trace vm) file;
+        Printf.printf "trace written to %s\n" file
+    | None -> ());
+    (match metrics_out with
+    | Some file ->
+        write_or_die "metrics" (Vm.write_metrics vm) file;
+        Printf.printf "per-cycle metrics written to %s\n" file
+    | None -> ());
+    (match json_out with
+    | Some file ->
+        write_or_die "server report"
+          (fun f ->
+            Export.write_file f
+              (Json.to_string ~pretty:true
+                 (Server_report.to_json scfg ~ran_ms:ms tot)))
+          file;
+        Printf.printf "server report written to %s\n" file
+    | None -> ());
+    if Server.slo_breached srv then begin
+      Printf.eprintf
+        "cgcsim: SLO breach — %.1f ms attainment %.4f below target %.4f\n"
+        slo_ms
+        (Server.slo_attainment tot)
+        slo_target;
+      exit 6
+    end
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run the deterministic open-loop request/latency simulation and \
+         print its SLO report."
+  in
+  Cmd.v info
+    Term.(
+      const exec $ rate $ arrival $ burst $ queue $ workers $ timeout_ms
+      $ slo_ms $ slo_target $ throttle $ collector $ heap_mb $ ncpus $ ms
+      $ warmup_ms $ tracing_rate $ seed $ inject $ fault_seed $ verify
+      $ trace_out $ trace_ring $ metrics_out $ json_out)
+
 let experiment_cmd =
   let which =
     let doc =
       "Experiment: fig1, fig2, table1, table2, table3, table4, javac, \
-       packetmem."
+       packetmem, serverlat."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
   in
@@ -441,6 +671,7 @@ let experiment_cmd =
     | "table4" -> ignore (E.Table4_load_balance.run ())
     | "javac" -> ignore (E.Javac_exp.run ())
     | "packetmem" -> ignore (E.Packet_memory.run ())
+    | "serverlat" -> ignore (E.Server_latency.run ())
     | n ->
         Printf.eprintf "unknown experiment %s\n" n;
         exit 1);
@@ -461,4 +692,5 @@ let () =
         "Simulator of the PLDI 2002 parallel, incremental and mostly \
          concurrent garbage collector."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; analyze_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ run_cmd; serve_cmd; analyze_cmd; experiment_cmd ]))

@@ -27,6 +27,11 @@ type code =
   | Oom
   | Verify_pass
   | Incr_factor
+  | Req_arrive
+  | Req_start
+  | Req_done
+  | Req_shed
+  | Req_timeout
 
 type t = { ts : int; dur : int; tid : int; code : code; arg : int }
 
@@ -61,6 +66,11 @@ let name = function
   | Oom -> "out-of-memory"
   | Verify_pass -> "verify-pass"
   | Incr_factor -> "increment-factor"
+  | Req_arrive -> "req-arrive"
+  | Req_start -> "req-start"
+  | Req_done -> "req-done"
+  | Req_shed -> "req-shed"
+  | Req_timeout -> "req-timeout"
 
 let cat = function
   | Cycle_start | Cycle_end -> "cycle"
@@ -78,6 +88,7 @@ let cat = function
       "degrade"
   | Verify_pass -> "verify"
   | Incr_factor -> "phase"
+  | Req_arrive | Req_start | Req_done | Req_shed | Req_timeout -> "server"
 
 let all_codes =
   [
@@ -109,6 +120,11 @@ let all_codes =
     Oom;
     Verify_pass;
     Incr_factor;
+    Req_arrive;
+    Req_start;
+    Req_done;
+    Req_shed;
+    Req_timeout;
   ]
 
 let of_name =

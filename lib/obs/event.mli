@@ -66,6 +66,22 @@ type code =
           1e6 in [arg].  Emitted exactly when the factor is sampled into
           [Gstats.tracing_factor], so trace analysis can reproduce the
           load-balance statistics. *)
+  | Req_arrive
+      (** instant: a request was admitted to the server queue
+          ([cgc_server]); arg = queue depth after enqueue.  Emitted
+          host-side with the synthetic server tid. *)
+  | Req_start
+      (** span: a request's queueing delay — [ts] is the arrival cycle,
+          [dur] the wait until a worker picked it up; arg = request id. *)
+  | Req_done
+      (** span: a request's service time — [ts] is the dispatch cycle,
+          [dur] the service duration; arg = end-to-end latency in µs. *)
+  | Req_shed
+      (** instant: an arrival was dropped by overload control;
+          arg = 0 for queue-full drop-newest, 1 for admission throttle. *)
+  | Req_timeout
+      (** instant: a queued request exceeded its deadline and was
+          abandoned at dispatch; arg = request id. *)
 
 type t = {
   ts : int;  (** simulated cycles at the event (span: at its start) *)
@@ -83,8 +99,8 @@ val name : code -> string
 
 val cat : code -> string
 (** Coarse grouping (["phase"], ["pause"], ["packet"], ["card"],
-    ["sweep"], ["root"], ["fence"], ["cycle"]) — the [cat] field used by
-    trace-viewer filtering. *)
+    ["sweep"], ["root"], ["fence"], ["cycle"], ["server"]) — the [cat]
+    field used by trace-viewer filtering. *)
 
 val all_codes : code list
 (** Every code, in declaration order — lets docs and tests enumerate the

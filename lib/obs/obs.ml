@@ -45,6 +45,16 @@ let span_at t ?(arg = 0) ~ts ~dur code =
   | Null -> ()
   | On a -> push a { Event.ts; dur = max 0 dur; tid = a.tid (); code; arg }
 
+let instant_host t ?(arg = 0) ~tid ~ts code =
+  match t with
+  | Null -> ()
+  | On a -> push a { Event.ts = ts; dur = -1; tid; code; arg }
+
+let span_host t ?(arg = 0) ~tid ~ts ~dur code =
+  match t with
+  | Null -> ()
+  | On a -> push a { Event.ts = ts; dur = max 0 dur; tid; code; arg }
+
 let emitted = function Null -> 0 | On a -> a.count
 
 let dropped = function

@@ -35,6 +35,16 @@ val span_at : t -> ?arg:int -> ts:int -> dur:int -> Event.code -> unit
     bounds after the fact (e.g. the pause length returned by
     [Sched.restart_world]). *)
 
+val instant_host : t -> ?arg:int -> tid:int -> ts:int -> Event.code -> unit
+(** Record a point event from host-side code (e.g. an [on_advance]
+    hook), where the sink's [now]/[tid] closures are not valid: both the
+    timestamp and the emitting thread id are supplied explicitly.  A
+    synthetic [tid] (such as [-1] for the server's arrival process) gets
+    its own ring, keeping per-thread ordering guarantees intact. *)
+
+val span_host : t -> ?arg:int -> tid:int -> ts:int -> dur:int -> Event.code -> unit
+(** {!span_at} with an explicit thread id, for host-side callers. *)
+
 val emitted : t -> int
 (** Total events emitted (including any later overwritten). *)
 

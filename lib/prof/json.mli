@@ -21,3 +21,14 @@ and t_float = float
 val to_string : ?pretty:bool -> t -> string
 (** Compact by default; [pretty] indents with two spaces per level
     (still deterministic). *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset {!to_string} emits (used by schema
+    round-trip checks on the versioned artefacts).  Number literals
+    containing ['.'], ['e'] or ['E'] parse as [Float], all others as
+    [Int] — so [parse (to_string v)] re-serialises to the same bytes.
+    Rejects trailing garbage and malformed input with a message. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] looks up the first binding of [k]; [None] on
+    non-objects. *)

@@ -48,6 +48,7 @@ type t = {
   mutable txs : int;
   mutable ran_ms : float;
   mutable prof : Sampler.t option;
+  mutable reset_hooks : (unit -> unit) list;
 }
 
 let create cfg =
@@ -77,7 +78,7 @@ let create cfg =
   let hp = Heap.create ~fence_policy:cfg.fence_policy mach ~nslots in
   let coll = Collector.create cfg.gc ~sched:sc ~heap:hp in
   { cfg; sc; hp; coll; rng; mutators = []; txs = 0; ran_ms = 0.0;
-    prof = None }
+    prof = None; reset_hooks = [] }
 
 let sched t = t.sc
 let collector t = t.coll
@@ -118,7 +119,10 @@ let reset_stats t =
   Obs.clear mach.Machine.obs;
   Option.iter Sampler.clear t.prof;
   t.txs <- 0;
-  t.ran_ms <- 0.0
+  t.ran_ms <- 0.0;
+  List.iter (fun f -> f ()) (List.rev t.reset_hooks)
+
+let on_reset t f = t.reset_hooks <- f :: t.reset_hooks
 
 let run_measured t ~warmup_ms ~ms =
   run t ~ms:warmup_ms;

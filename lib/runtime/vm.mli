@@ -83,6 +83,11 @@ val run_measured : t -> warmup_ms:float -> ms:float -> unit
 
 val reset_stats : t -> unit
 
+val on_reset : t -> (unit -> unit) -> unit
+(** Register a hook run (in registration order) at the end of every
+    {!reset_stats} — lets subsystems layered on the VM (e.g.
+    [cgc_server]) discard their warm-up statistics in the same sweep. *)
+
 val now_ms : t -> float
 
 val total_transactions : t -> int

@@ -1,0 +1,34 @@
+(** Deterministic open-loop arrival processes.
+
+    An arrival process generates the cycle timestamps at which requests
+    reach the server, {e independently of the system's state} — requests
+    keep arriving while the world is stopped, which is precisely what
+    turns a GC pause into queueing delay and client-visible tail
+    latency.  All randomness comes from a split {!Cgc_util.Prng} stream,
+    so the arrival sequence for a given seed is byte-identical across
+    runs, collectors and host job counts. *)
+
+type kind =
+  | Poisson  (** exponential interarrivals at the offered rate *)
+  | Constant  (** evenly spaced interarrivals (a paced load generator) *)
+  | Bursty of { on_ms : float; off_ms : float; factor : float }
+      (** on/off modulated Poisson: during each [on_ms] window the rate
+          is [factor] times the offered rate; during the following
+          [off_ms] window it is reduced so the {e average} offered rate
+          is preserved (clamped at zero if [factor] is large enough to
+          owe the whole period to the burst). *)
+
+val kind_name : kind -> string
+(** ["poisson"], ["constant"] or ["bursty"]. *)
+
+type t
+
+val create :
+  kind -> rate_per_s:float -> cycles_per_ms:int -> rng:Cgc_util.Prng.t -> t
+(** [rate_per_s] is the average offered load in requests per simulated
+    second; must be positive.  Bursty windows must be positive and
+    [factor >= 1]. *)
+
+val next : t -> int
+(** The next arrival timestamp in simulated cycles.  Non-decreasing;
+    each call advances the process. *)

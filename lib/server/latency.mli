@@ -1,0 +1,51 @@
+(** Per-worker request-latency accounting.
+
+    Each server worker owns one accumulator; {!Server.totals} combines
+    them with {!Cgc_util.Histogram.merge}, so percentiles are computed
+    over the union of all workers' samples while recording stays
+    allocation-free on the request path.  All values are simulated
+    milliseconds. *)
+
+type sample = {
+  queueing_ms : float;  (** enqueue → dispatch *)
+  service_ms : float;  (** dispatch → response *)
+  e2e_ms : float;  (** exactly [queueing_ms +. service_ms] *)
+  gc_ms : float;
+      (** end-to-end inflation attributable to stop-the-world time
+          overlapping the request's lifetime, clamped to
+          [\[0, e2e_ms\]] *)
+}
+
+val decompose :
+  cycles_per_ms:float ->
+  arrival:int ->
+  start:int ->
+  finish:int ->
+  s_arr:int ->
+  s_fin:int ->
+  sample
+(** Pure accounting from cycle timestamps: [arrival] (enqueue), [start]
+    (worker pick-up) and [finish] (response), plus the cumulative
+    stopped-world cycle integral sampled at arrival ([s_arr]) and at
+    completion ([s_fin]). *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> slo_ms:float -> sample -> unit
+(** Record one completed request; counts an SLO violation when
+    [slo_ms > 0] and [e2e_ms > slo_ms]. *)
+
+val handled : t -> int
+val slo_violations : t -> int
+
+val e2e : t -> Cgc_util.Histogram.t
+val queueing : t -> Cgc_util.Histogram.t
+val service : t -> Cgc_util.Histogram.t
+val gc : t -> Cgc_util.Histogram.t
+
+val merge : t -> t -> t
+(** Bucket-wise combination of every histogram plus the counters. *)
+
+val clear : t -> unit

@@ -1,0 +1,116 @@
+module Histogram = Cgc_util.Histogram
+module Json = Cgc_prof.Json
+
+let schema = "cgcsim-server-v1"
+
+let pcts = [ ("p50", 50.0); ("p95", 95.0); ("p99", 99.0); ("p999", 99.9) ]
+
+let hist_json h =
+  let n = Histogram.count h in
+  Json.Obj
+    ([
+       ("count", Json.Int n);
+       ("mean", Json.Float (Histogram.mean h));
+       ("min", Json.Float (if n = 0 then 0.0 else Histogram.min h));
+     ]
+    @ List.map (fun (k, p) -> (k, Json.Float (Histogram.percentile h p))) pcts
+    @ [ ("max", Json.Float (if n = 0 then 0.0 else Histogram.max h)) ])
+
+let arrival_json (cfg : Server.cfg) =
+  let kind = Arrival.kind_name cfg.Server.arrival in
+  match cfg.Server.arrival with
+  | Arrival.Poisson | Arrival.Constant -> Json.Obj [ ("kind", Json.Str kind) ]
+  | Arrival.Bursty { on_ms; off_ms; factor } ->
+      Json.Obj
+        [
+          ("kind", Json.Str kind);
+          ("onMs", Json.Float on_ms);
+          ("offMs", Json.Float off_ms);
+          ("factor", Json.Float factor);
+        ]
+
+let to_json (cfg : Server.cfg) ~ran_ms (tot : Server.totals) =
+  let lat = tot.Server.lat in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("ratePerS", Json.Float cfg.Server.rate_per_s);
+      ("arrival", arrival_json cfg);
+      ("queueCap", Json.Int cfg.Server.queue_cap);
+      ("workers", Json.Int cfg.Server.workers);
+      ("timeoutMs", Json.Float cfg.Server.timeout_ms);
+      ("sloMs", Json.Float cfg.Server.slo_ms);
+      ("sloTarget", Json.Float cfg.Server.slo_target);
+      ("throttleHi", Json.Int cfg.Server.throttle_hi);
+      ("throttleLo", Json.Int cfg.Server.throttle_lo);
+      ("ranMs", Json.Float ran_ms);
+      ( "counts",
+        Json.Obj
+          [
+            ("arrived", Json.Int tot.Server.arrived);
+            ("admitted", Json.Int tot.Server.admitted);
+            ("shedFull", Json.Int tot.Server.shed_full);
+            ("shedThrottled", Json.Int tot.Server.shed_throttled);
+            ("timedOut", Json.Int tot.Server.timed_out);
+            ("completed", Json.Int tot.Server.completed);
+            ("sloViolations", Json.Int tot.Server.slo_violations);
+            ("maxQueueDepth", Json.Int tot.Server.max_depth);
+          ] );
+      ( "completedPerS",
+        Json.Float
+          (if ran_ms <= 0.0 then 0.0
+           else float_of_int tot.Server.completed /. (ran_ms /. 1000.0)) );
+      ("sloAttainment", Json.Float (Server.slo_attainment tot));
+      ( "latencyMs",
+        Json.Obj
+          [
+            ("e2e", hist_json (Latency.e2e lat));
+            ("queueing", hist_json (Latency.queueing lat));
+            ("service", hist_json (Latency.service lat));
+            ("gcInflation", hist_json (Latency.gc lat));
+          ] );
+    ]
+
+let text (cfg : Server.cfg) ~ran_ms (tot : Server.totals) =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let lat = tot.Server.lat in
+  pf "server: %s arrivals at %.0f req/s, %d workers, queue %d, %.1f ms run\n"
+    (Arrival.kind_name cfg.Server.arrival)
+    cfg.Server.rate_per_s cfg.Server.workers cfg.Server.queue_cap ran_ms;
+  pf
+    "  arrived %d  admitted %d  completed %d (%.0f/s)  shed %d+%d  \
+     timed-out %d  max-depth %d\n"
+    tot.Server.arrived tot.Server.admitted tot.Server.completed
+    (if ran_ms <= 0.0 then 0.0
+     else float_of_int tot.Server.completed /. (ran_ms /. 1000.0))
+    tot.Server.shed_full tot.Server.shed_throttled tot.Server.timed_out
+    tot.Server.max_depth;
+  if cfg.Server.slo_ms > 0.0 then
+    pf "  SLO %.1f ms: attainment %.4f (target %.4f), %d violations\n"
+      cfg.Server.slo_ms
+      (Server.slo_attainment tot)
+      cfg.Server.slo_target tot.Server.slo_violations;
+  pf "  %-12s %8s %8s %8s %8s %8s %8s\n" "latency (ms)" "mean" "p50" "p95"
+    "p99" "p99.9" "max";
+  let row name h =
+    let v p = Histogram.percentile h p in
+    pf "  %-12s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n" name (Histogram.mean h)
+      (v 50.0) (v 95.0) (v 99.0) (v 99.9)
+      (if Histogram.count h = 0 then 0.0 else Histogram.max h)
+  in
+  row "end-to-end" (Latency.e2e lat);
+  row "queueing" (Latency.queueing lat);
+  row "service" (Latency.service lat);
+  row "gc-inflation" (Latency.gc lat);
+  Buffer.contents b
+
+let validate s =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok j -> (
+      match Json.member "schema" j with
+      | Some (Json.Str v) when v = schema -> Ok j
+      | Some (Json.Str v) ->
+          Error (Printf.sprintf "schema mismatch: expected %s, got %s" schema v)
+      | _ -> Error "missing schema tag")

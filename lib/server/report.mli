@@ -1,0 +1,18 @@
+(** SLO report for a server run: text summary and versioned JSON.
+
+    The JSON artefact follows the repo's schema conventions: a
+    [schema] tag ({!schema}), deterministic key order, [%.6f] floats —
+    two equal-seed runs serialise to identical bytes. *)
+
+val schema : string
+(** ["cgcsim-server-v1"]. *)
+
+val text : Server.cfg -> ran_ms:float -> Server.totals -> string
+(** Human-readable summary: offered/served rates, the overload-control
+    counters, and the latency decomposition's percentile table. *)
+
+val to_json : Server.cfg -> ran_ms:float -> Server.totals -> Cgc_prof.Json.t
+
+val validate : string -> (Cgc_prof.Json.t, string) result
+(** Parse a serialised report and check its [schema] tag — the server
+    artefact's round-trip guard (exit code 4 territory in the CLI). *)

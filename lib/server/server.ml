@@ -1,0 +1,312 @@
+module Vm = Cgc_runtime.Vm
+module Mutator = Cgc_runtime.Mutator
+module Sched = Cgc_sim.Sched
+module Machine = Cgc_smp.Machine
+module Cost = Cgc_smp.Cost
+module Heap = Cgc_heap.Heap
+module Txmix = Cgc_workloads.Txmix
+module Obs = Cgc_obs.Obs
+module Event = Cgc_obs.Event
+module Prng = Cgc_util.Prng
+module Sampler = Cgc_prof.Sampler
+
+(* Arrival/shed events are emitted host-side, outside any simulated
+   thread; they get a synthetic ring of their own. *)
+let server_tid = -1
+
+type cfg = {
+  rate_per_s : float;
+  arrival : Arrival.kind;
+  queue_cap : int;
+  workers : int;
+  timeout_ms : float;
+  slo_ms : float;
+  slo_target : float;
+  throttle_hi : int;
+  throttle_lo : int;
+  service : Txmix.profile;
+  resident_frac : float;
+  poll_cycles : int;
+}
+
+(* A lighter transaction than the warehouse benchmarks: ~0.1 ms of
+   compute plus a short burst of transient allocation, so a handful of
+   workers saturate in the thousands of requests per second and a
+   stop-the-world pause is many service times long. *)
+let default_service : Txmix.profile =
+  {
+    live_lists = 16;
+    list_len = 400; (* rescaled by create *)
+    node_slots = 6;
+    leaf_fanout = 3;
+    leaf_slots = 8;
+    transient_objs = 20;
+    transient_slots = 8;
+    mutations = 4;
+    tx_work = 60_000;
+    think_mean = 0;
+    large_every = 50;
+    large_slots = 256;
+    junk_roots = true;
+  }
+
+let cfg ?(arrival = Arrival.Poisson) ?(queue_cap = 256) ?(workers = 4)
+    ?(timeout_ms = 0.0) ?(slo_ms = 0.0) ?(slo_target = 0.999)
+    ?(throttle_hi = 0) ?(throttle_lo = 0) ?(service = default_service)
+    ?(resident_frac = 0.5) ?(poll_cycles = 20_000) ~rate_per_s () =
+  if rate_per_s <= 0.0 then invalid_arg "Server.cfg: rate must be positive";
+  if queue_cap < 1 then invalid_arg "Server.cfg: queue capacity < 1";
+  if workers < 1 then invalid_arg "Server.cfg: workers < 1";
+  if throttle_hi > 0 && throttle_lo >= throttle_hi then
+    invalid_arg "Server.cfg: throttle_lo must be below throttle_hi";
+  {
+    rate_per_s;
+    arrival;
+    queue_cap;
+    workers;
+    timeout_ms;
+    slo_ms;
+    slo_target;
+    throttle_hi;
+    throttle_lo;
+    service;
+    resident_frac;
+    poll_cycles;
+  }
+
+type req = {
+  id : int;
+  arrival : int; (* enqueue timestamp, cycles *)
+  s_arr : int; (* stopped-world integral at enqueue *)
+}
+
+type t = {
+  cfg : cfg;
+  vm : Vm.t;
+  cycles_per_ms : float;
+  obs : Obs.t;
+  profile : Txmix.profile; (* residency-scaled service profile *)
+  queue : req Queue.t;
+  lats : Latency.t array;
+  arr : Arrival.t;
+  mutable next_arrival : int;
+  mutable next_id : int;
+  mutable in_flight : int;
+  mutable throttling : bool;
+  mutable arrived : int;
+  mutable admitted : int;
+  mutable shed_full : int;
+  mutable shed_throttled : int;
+  mutable timed_out : int;
+  mutable max_depth : int;
+  (* Dispatch-granularity integral of stopped-world simulated time,
+     maintained by the on_advance hook; requests sample it at enqueue
+     and completion, the difference being the pause overlap. *)
+  mutable stopped_cycles : int;
+  mutable prev_now : int;
+  mutable prev_stopped : bool;
+  mutable probes_attached : bool;
+}
+
+let the_cfg t = t.cfg
+let queue_depth t = Queue.length t.queue
+let in_flight t = t.in_flight
+
+(* ------------------------------------------------------------------ *)
+(* Admission (host side, from the scheduler hook)                      *)
+
+let arrive t ~ts =
+  t.arrived <- t.arrived + 1;
+  let depth = Queue.length t.queue in
+  if t.cfg.throttle_hi > 0 then
+    if depth >= t.cfg.throttle_hi then t.throttling <- true
+    else if depth <= t.cfg.throttle_lo then t.throttling <- false;
+  if depth >= t.cfg.queue_cap then begin
+    t.shed_full <- t.shed_full + 1;
+    Obs.instant_host t.obs ~arg:0 ~tid:server_tid ~ts Event.Req_shed
+  end
+  else if t.throttling then begin
+    t.shed_throttled <- t.shed_throttled + 1;
+    Obs.instant_host t.obs ~arg:1 ~tid:server_tid ~ts Event.Req_shed
+  end
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Queue.push { id; arrival = ts; s_arr = t.stopped_cycles } t.queue;
+    t.admitted <- t.admitted + 1;
+    let depth = depth + 1 in
+    if depth > t.max_depth then t.max_depth <- depth;
+    Obs.instant_host t.obs ~arg:depth ~tid:server_tid ~ts Event.Req_arrive
+  end
+
+let on_tick t now =
+  if t.prev_stopped then
+    t.stopped_cycles <- t.stopped_cycles + (now - t.prev_now);
+  t.prev_now <- now;
+  t.prev_stopped <- Sched.world_stopped (Vm.sched t.vm);
+  while t.next_arrival <= now do
+    arrive t ~ts:t.next_arrival;
+    t.next_arrival <- Arrival.next t.arr
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Workers (simulated mutator threads)                                 *)
+
+let handle t m ~wid ~dir req ~start =
+  t.in_flight <- t.in_flight + 1;
+  Obs.span_at t.obs ~arg:req.id ~ts:req.arrival ~dur:(start - req.arrival)
+    Event.Req_start;
+  Txmix.transaction t.profile m ~dir;
+  let finish = Mutator.now_cycles m in
+  t.in_flight <- t.in_flight - 1;
+  let s =
+    Latency.decompose ~cycles_per_ms:t.cycles_per_ms ~arrival:req.arrival
+      ~start ~finish ~s_arr:req.s_arr ~s_fin:t.stopped_cycles
+  in
+  Latency.observe t.lats.(wid) ~slo_ms:t.cfg.slo_ms s;
+  Obs.span_at t.obs
+    ~arg:(int_of_float (s.Latency.e2e_ms *. 1000.0))
+    ~ts:start ~dur:(finish - start) Event.Req_done
+
+let rec dispatch t m ~wid ~dir =
+  match Queue.take_opt t.queue with
+  | None -> Mutator.think m t.cfg.poll_cycles
+  | Some req ->
+      let now = Mutator.now_cycles m in
+      if
+        t.cfg.timeout_ms > 0.0
+        && float_of_int (now - req.arrival)
+           > t.cfg.timeout_ms *. t.cycles_per_ms
+      then begin
+        t.timed_out <- t.timed_out + 1;
+        Obs.instant t.obs ~arg:req.id Event.Req_timeout;
+        dispatch t m ~wid ~dir
+      end
+      else handle t m ~wid ~dir req ~start:now
+
+let worker t ~wid m =
+  let dir = Txmix.build_resident t.profile m in
+  while not (Mutator.stopped m) do
+    dispatch t m ~wid ~dir
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let reset t =
+  t.arrived <- 0;
+  t.admitted <- 0;
+  t.shed_full <- 0;
+  t.shed_throttled <- 0;
+  t.timed_out <- 0;
+  t.max_depth <- Queue.length t.queue;
+  Array.iter Latency.clear t.lats
+(* The queue, throttle state and stopped-time integral deliberately
+   survive: in-flight warm-up requests finish into the measured window,
+   and the integral is only ever read as a difference. *)
+
+let attach_probes t =
+  match Vm.profiler t.vm with
+  | None -> ()
+  | Some p ->
+      if not t.probes_attached then begin
+        t.probes_attached <- true;
+        Sampler.add_probe p ~name:"server-queue-depth" (fun () ->
+            float_of_int (Queue.length t.queue));
+        Sampler.add_probe p ~name:"server-in-flight" (fun () ->
+            float_of_int t.in_flight)
+      end
+
+let create (cfg : cfg) vm =
+  let mach = Vm.machine vm in
+  let cycles_per_ms = mach.Machine.cost.Cost.cycles_per_ms in
+  (* An own PRNG root, offset from the VM's seed so the arrival stream
+     is not the VM's mutator-split stream. *)
+  let root = Prng.create ((Vm.the_config vm).Vm.seed + 0x5e7fe1d) in
+  let arr =
+    Arrival.create cfg.arrival ~rate_per_s:cfg.rate_per_s ~cycles_per_ms
+      ~rng:(Prng.split root)
+  in
+  let nslots = Heap.nslots (Vm.heap vm) in
+  let target_slots =
+    int_of_float (float_of_int nslots *. cfg.resident_frac)
+    / Stdlib.max 1 cfg.workers
+  in
+  let profile = Txmix.scale_residency cfg.service ~target_slots in
+  let t =
+    {
+      cfg;
+      vm;
+      cycles_per_ms = float_of_int cycles_per_ms;
+      obs = Vm.obs vm;
+      profile;
+      queue = Queue.create ();
+      lats = Array.init cfg.workers (fun _ -> Latency.create ());
+      arr;
+      next_arrival = 0;
+      next_id = 0;
+      in_flight = 0;
+      throttling = false;
+      arrived = 0;
+      admitted = 0;
+      shed_full = 0;
+      shed_throttled = 0;
+      timed_out = 0;
+      max_depth = 0;
+      stopped_cycles = 0;
+      prev_now = 0;
+      prev_stopped = false;
+      probes_attached = false;
+    }
+  in
+  t.next_arrival <- Arrival.next t.arr;
+  for wid = 0 to cfg.workers - 1 do
+    Vm.spawn_mutator vm
+      ~name:(Printf.sprintf "server-worker-%d" wid)
+      (worker t ~wid)
+  done;
+  Sched.on_advance (Vm.sched vm) (fun now -> on_tick t now);
+  Vm.on_reset vm (fun () -> reset t);
+  attach_probes t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+type totals = {
+  arrived : int;
+  admitted : int;
+  shed_full : int;
+  shed_throttled : int;
+  timed_out : int;
+  completed : int;
+  slo_violations : int;
+  max_depth : int;
+  lat : Latency.t;
+}
+
+let totals t =
+  let lat =
+    Array.fold_left Latency.merge (Latency.create ()) t.lats
+  in
+  {
+    arrived = t.arrived;
+    admitted = t.admitted;
+    shed_full = t.shed_full;
+    shed_throttled = t.shed_throttled;
+    timed_out = t.timed_out;
+    completed = Latency.handled lat;
+    slo_violations = Latency.slo_violations lat;
+    max_depth = t.max_depth;
+    lat;
+  }
+
+let slo_attainment tot =
+  let resolved =
+    tot.completed + tot.shed_full + tot.shed_throttled + tot.timed_out
+  in
+  if resolved = 0 then 1.0
+  else
+    float_of_int (tot.completed - tot.slo_violations) /. float_of_int resolved
+
+let slo_breached t =
+  t.cfg.slo_ms > 0.0 && slo_attainment (totals t) < t.cfg.slo_target

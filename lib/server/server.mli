@@ -1,0 +1,110 @@
+(** The open-loop request/latency subsystem.
+
+    The paper's collector exists to keep {e server} tails short, yet the
+    closed-loop workloads (SPECjbb, pBOB, javac) can only measure GC
+    pauses — a closed loop stops offering load the instant the world
+    stops, hiding the queueing delay a real client would eat.  This
+    module layers an open-loop request simulation over a {!Vm}:
+
+    {ul
+    {- an {!Arrival} process injects request arrivals from a host-side
+       scheduler hook, so arrivals continue during stop-the-world pauses
+       (the open-loop property);}
+    {- arrivals land in a bounded FIFO queue with two overload-control
+       rungs: {e drop-newest} load shedding when the queue is full, and
+       an optional hysteretic {e admission throttle} that sheds at the
+       door while the backlog is above a high-water mark;}
+    {- worker mutators (plain {!Cgc_runtime.Mutator} threads running a
+       {!Cgc_workloads.Txmix} transaction per request) dispatch FIFO,
+       abandoning requests whose deadline passed while queued;}
+    {- every response is decomposed into queueing / service / GC-pause
+       inflation ({!Latency}) and recorded into per-worker bounded
+       histograms, merged for reporting.}}
+
+    All state changes are driven by the simulated clock and split PRNG
+    streams: same seed ⇒ byte-identical event trace and report. *)
+
+type cfg = {
+  rate_per_s : float;  (** average offered load, requests per second *)
+  arrival : Arrival.kind;
+  queue_cap : int;  (** bound on queued (not yet dispatched) requests *)
+  workers : int;
+  timeout_ms : float;  (** queueing deadline; 0 = none *)
+  slo_ms : float;  (** end-to-end latency SLO; 0 = none *)
+  slo_target : float;
+      (** required attainment fraction (default 0.999) — below it,
+          {!slo_breached} holds and [cgcsim serve] exits 6 *)
+  throttle_hi : int;
+      (** queue depth arming the admission throttle; 0 = disabled *)
+  throttle_lo : int;  (** depth at which the throttle disarms *)
+  service : Cgc_workloads.Txmix.profile;
+      (** per-request service work (its [list_len] is rescaled so all
+          workers' resident sets total [resident_frac] of the heap) *)
+  resident_frac : float;
+  poll_cycles : int;  (** idle-worker queue poll interval *)
+}
+
+val default_service : Cgc_workloads.Txmix.profile
+
+val cfg :
+  ?arrival:Arrival.kind ->
+  ?queue_cap:int ->
+  ?workers:int ->
+  ?timeout_ms:float ->
+  ?slo_ms:float ->
+  ?slo_target:float ->
+  ?throttle_hi:int ->
+  ?throttle_lo:int ->
+  ?service:Cgc_workloads.Txmix.profile ->
+  ?resident_frac:float ->
+  ?poll_cycles:int ->
+  rate_per_s:float ->
+  unit ->
+  cfg
+(** Defaults: Poisson arrivals, queue of 256, 4 workers, no timeout, no
+    SLO, throttle off, {!default_service}, 50% heap residency, ~36 µs
+    poll. *)
+
+type t
+
+val create : cfg -> Cgc_runtime.Vm.t -> t
+(** Spawns the worker mutators, installs the arrival hook, registers a
+    {!Cgc_runtime.Vm.on_reset} hook so warm-up statistics are discarded
+    by [run_measured], and — when a profiler is already enabled —
+    attaches the queue-depth / in-flight probes.  Call before
+    {!Cgc_runtime.Vm.run}. *)
+
+val the_cfg : t -> cfg
+
+val attach_probes : t -> unit
+(** Register the ["server-queue-depth"] and ["server-in-flight"] probes
+    on the VM's profiler (idempotent; no-op when no profiler is
+    enabled).  {!create} calls this automatically if the profiler was
+    enabled first; call it manually after a later
+    [Vm.enable_profiler]. *)
+
+val queue_depth : t -> int
+val in_flight : t -> int
+
+type totals = {
+  arrived : int;  (** every generated arrival, including shed ones *)
+  admitted : int;
+  shed_full : int;  (** dropped because the queue was full *)
+  shed_throttled : int;  (** dropped by the admission throttle *)
+  timed_out : int;  (** abandoned at dispatch: deadline passed in queue *)
+  completed : int;
+  slo_violations : int;  (** completed, but over [slo_ms] end-to-end *)
+  max_depth : int;  (** high-water queue depth *)
+  lat : Latency.t;  (** all workers' accounting, histogram-merged *)
+}
+
+val totals : t -> totals
+
+val slo_attainment : totals -> float
+(** Fraction of {e offered-and-resolved} requests (completed + shed +
+    timed out) that completed within the SLO; 1.0 when none resolved.
+    Sheds and timeouts count as violations — a dropped request is the
+    worst latency of all. *)
+
+val slo_breached : t -> bool
+(** [slo_ms > 0] and attainment below [slo_target]. *)

@@ -40,6 +40,11 @@ val resident_slots : profile -> int
 val scale_residency : profile -> target_slots:int -> profile
 (** Adjust [list_len] so the resident set is close to [target_slots]. *)
 
+val build_resident : profile -> Cgc_runtime.Mutator.t -> int
+(** Build one worker's resident set and return the directory object
+    (rooted at stack slot 0) — for callers that interleave transactions
+    with other control flow, e.g. the [cgc_server] request loop. *)
+
 val body : profile -> Cgc_runtime.Mutator.t -> unit
 (** A worker owning a private resident set: builds it, then loops
     transactions until the simulation stops. *)

@@ -1,0 +1,443 @@
+(* Tests for the open-loop request/latency subsystem (cgc_server):
+   arrival processes, scripted latency accounting, queue-bound shedding,
+   the admission throttle, timeout abandonment, decomposition adding up
+   to end-to-end, Histogram.merge against a concatenated reference, the
+   cgcsim-server-v1 schema round-trip, and same-seed determinism of the
+   whole server report. *)
+
+module Histogram = Cgc_util.Histogram
+module Prng = Cgc_util.Prng
+module Json = Cgc_prof.Json
+module Vm = Cgc_runtime.Vm
+module Config = Cgc_core.Config
+module Obs = Cgc_obs.Obs
+module Event = Cgc_obs.Event
+module Arrival = Cgc_server.Arrival
+module Latency = Cgc_server.Latency
+module Server = Cgc_server.Server
+module Report = Cgc_server.Report
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cf = Alcotest.(float 1e-9)
+let cpm = 550_000 (* Cost.default.cycles_per_ms *)
+
+(* ----------------------------- arrivals ----------------------------- *)
+
+let test_arrival_constant () =
+  let a =
+    Arrival.create Arrival.Constant ~rate_per_s:1000.0 ~cycles_per_ms:cpm
+      ~rng:(Prng.create 7)
+  in
+  (* 1000 req/s = one per ms = one per cpm cycles, exactly spaced. *)
+  for i = 1 to 5 do
+    check ci "constant spacing" (i * cpm) (Arrival.next a)
+  done
+
+let test_arrival_deterministic () =
+  let seq seed =
+    let a =
+      Arrival.create Arrival.Poisson ~rate_per_s:5000.0 ~cycles_per_ms:cpm
+        ~rng:(Prng.create seed)
+    in
+    List.init 200 (fun _ -> Arrival.next a)
+  in
+  check (Alcotest.list ci) "same seed, same arrivals" (seq 3) (seq 3);
+  check cb "different seed differs" true (seq 3 <> seq 4);
+  check cb "non-decreasing" true
+    (let s = seq 3 in
+     List.for_all2 (fun x y -> x <= y) s (List.tl s @ [ max_int ]))
+
+let test_arrival_rates_average () =
+  (* Over a long horizon every process realises the offered average rate
+     (bursty's off-window rate is derived to preserve it). *)
+  List.iter
+    (fun kind ->
+      let a =
+        Arrival.create kind ~rate_per_s:4000.0 ~cycles_per_ms:cpm
+          ~rng:(Prng.create 11)
+      in
+      let n = 40_000 in
+      let last = ref 0 in
+      for _ = 1 to n do
+        last := Arrival.next a
+      done;
+      let secs = float_of_int !last /. float_of_int cpm /. 1000.0 in
+      let rate = float_of_int n /. secs in
+      check cb
+        (Printf.sprintf "%s mean rate %.0f within 5%% of 4000"
+           (Arrival.kind_name kind) rate)
+        true
+        (abs_float (rate -. 4000.0) < 200.0))
+    [
+      Arrival.Poisson;
+      Arrival.Constant;
+      Arrival.Bursty { on_ms = 10.0; off_ms = 40.0; factor = 3.0 };
+    ]
+
+let test_arrival_bursty_modulates () =
+  (* factor 4 with equal windows: on-rate 4x the off-rate-derived
+     remainder — the on windows must contain most arrivals. *)
+  let a =
+    Arrival.create
+      (Arrival.Bursty { on_ms = 10.0; off_ms = 10.0; factor = 1.9 })
+      ~rate_per_s:8000.0 ~cycles_per_ms:cpm ~rng:(Prng.create 5)
+  in
+  let on = ref 0 and off = ref 0 in
+  for _ = 1 to 20_000 do
+    let t = Arrival.next a in
+    let ms = float_of_int t /. float_of_int cpm in
+    if Float.rem ms 20.0 < 10.0 then incr on else incr off
+  done;
+  check cb "bursts dominate" true (!on > 3 * !off)
+
+(* ------------------- scripted latency accounting ------------------- *)
+
+(* Hand-computed latencies for a scripted arrival sequence, fed through
+   the exact accounting code the server's workers use. *)
+let test_scripted_latencies () =
+  let l = Latency.create () in
+  let cpm_f = float_of_int cpm in
+  (* (arrival, start, finish, stopped-integral at arrival / finish) in
+     cycles; cpm cycles = 1 ms. *)
+  let script =
+    [
+      (* no queueing, 2 ms service, no pause overlap *)
+      (0, 0, 2 * cpm, 0, 0);
+      (* 1 ms queueing, 3 ms service, 1 ms of it stopped *)
+      (cpm, 2 * cpm, 5 * cpm, 0, cpm);
+      (* 10 ms queueing (a pause), 1 ms service, pause overlap 10 ms *)
+      (5 * cpm, 15 * cpm, 16 * cpm, cpm, 11 * cpm);
+    ]
+  in
+  List.iter
+    (fun (arrival, start, finish, s_arr, s_fin) ->
+      let s =
+        Latency.decompose ~cycles_per_ms:cpm_f ~arrival ~start ~finish ~s_arr
+          ~s_fin
+      in
+      Latency.observe l ~slo_ms:5.0 s)
+    script;
+  check ci "handled" 3 (Latency.handled l);
+  (* e2e: 2, 4, 11 ms; queueing: 0, 1, 10; service: 2, 3, 1; gc: 0, 1, 10 *)
+  check cf "e2e mean" ((2.0 +. 4.0 +. 11.0) /. 3.0)
+    (Histogram.mean (Latency.e2e l));
+  check cf "e2e min" 2.0 (Histogram.min (Latency.e2e l));
+  check cf "e2e max" 11.0 (Histogram.max (Latency.e2e l));
+  check cf "queueing max" 10.0 (Histogram.max (Latency.queueing l));
+  check cf "service max" 3.0 (Histogram.max (Latency.service l));
+  check cf "gc mean" ((0.0 +. 1.0 +. 10.0) /. 3.0)
+    (Histogram.mean (Latency.gc l));
+  (* nearest-rank p50 over {2,4,11} is the 2nd sample; the bucketed
+     answer is within one bucket width of 4. *)
+  let p50 = Histogram.percentile (Latency.e2e l) 50.0 in
+  check cb "p50 near 4 ms" true (p50 > 3.4 && p50 < 4.7);
+  (* 11 ms > 5 ms SLO; the others are within. *)
+  check ci "slo violations" 1 (Latency.slo_violations l);
+  (* gc is clamped into [0, e2e] *)
+  let s =
+    Latency.decompose ~cycles_per_ms:cpm_f ~arrival:0 ~start:0 ~finish:cpm
+      ~s_arr:0 ~s_fin:(100 * cpm)
+  in
+  check cf "gc clamped to e2e" 1.0 s.Latency.gc_ms;
+  let s =
+    Latency.decompose ~cycles_per_ms:cpm_f ~arrival:0 ~start:cpm
+      ~finish:(2 * cpm) ~s_arr:cpm ~s_fin:0
+  in
+  check cf "gc clamped to zero" 0.0 s.Latency.gc_ms
+
+let test_latency_merge_counters () =
+  let a = Latency.create () and b = Latency.create () in
+  let cpm_f = float_of_int cpm in
+  let obs l ~slo arrival start finish =
+    Latency.observe l ~slo_ms:slo
+      (Latency.decompose ~cycles_per_ms:cpm_f ~arrival ~start ~finish ~s_arr:0
+         ~s_fin:0)
+  in
+  obs a ~slo:1.0 0 0 cpm;
+  obs a ~slo:1.0 0 0 (3 * cpm);
+  obs b ~slo:1.0 0 cpm (2 * cpm);
+  let m = Latency.merge a b in
+  check ci "merged handled" 3 (Latency.handled m);
+  check ci "merged violations" 2 (Latency.slo_violations m);
+  check ci "merged e2e count" 3 (Histogram.count (Latency.e2e m));
+  check cf "merged e2e max" 3.0 (Histogram.max (Latency.e2e m))
+
+(* ----------------------- Histogram.merge property ----------------------- *)
+
+let hist_of samples =
+  let h = Histogram.create () in
+  Array.iter (Histogram.add h) samples;
+  h
+
+let merge_vs_concat_test =
+  QCheck.Test.make ~name:"Histogram.merge == histogram of concatenation"
+    ~count:200
+    QCheck.(
+      let sample = list (float_range 0.0 2000.0) in
+      pair sample sample)
+    (fun (xs, ys) ->
+      let a = hist_of (Array.of_list xs) and b = hist_of (Array.of_list ys) in
+      let m = Histogram.merge a b in
+      let r = hist_of (Array.of_list (xs @ ys)) in
+      let buckets h =
+        Array.to_list (Histogram.nonzero_buckets h)
+        |> List.map (fun (lo, hi, n) -> (lo, hi, n))
+      in
+      Histogram.count m = Histogram.count r
+      && buckets m = buckets r
+      && Histogram.min m = Histogram.min r
+      && Histogram.max m = Histogram.max r
+      && abs_float (Histogram.sum m -. Histogram.sum r) < 1e-6)
+
+(* --------------------------- end-to-end runs --------------------------- *)
+
+let serve ?(rate = 6000.0) ?(queue_cap = 256) ?(workers = 4) ?(timeout_ms = 0.0)
+    ?(slo_ms = 0.0) ?throttle ?(heap_mb = 16.0) ?(ms = 600.0) ?(seed = 1)
+    ?(gc = Config.default) ?(trace = false) () =
+  let vm = Vm.create (Vm.config ~heap_mb ~ncpus:4 ~seed ~gc ~trace ()) in
+  let throttle_hi, throttle_lo =
+    match throttle with Some (hi, lo) -> (hi, lo) | None -> (0, 0)
+  in
+  let scfg =
+    Server.cfg ~rate_per_s:rate ~queue_cap ~workers ~timeout_ms ~slo_ms
+      ~throttle_hi ~throttle_lo ()
+  in
+  let srv = Server.create scfg vm in
+  Vm.run vm ~ms;
+  (vm, srv, scfg)
+
+let test_counts_conserved () =
+  let _, srv, _ = serve () in
+  let t = Server.totals srv in
+  check cb "arrived > 0" true (t.Server.arrived > 0);
+  check ci "arrived = admitted + shed"
+    t.Server.arrived
+    (t.Server.admitted + t.Server.shed_full + t.Server.shed_throttled);
+  (* every admitted request either completed, timed out, or is still
+     queued/in flight at the end *)
+  check cb "completed+timedout <= admitted" true
+    (t.Server.completed + t.Server.timed_out <= t.Server.admitted);
+  check cb "no shedding at moderate load" true
+    (t.Server.shed_full = 0 && t.Server.shed_throttled = 0)
+
+let test_queue_bound_shedding () =
+  (* A 4-deep queue at a rate far above what one worker can serve: the
+     bound must hold and drop-newest shedding must engage. *)
+  let _, srv, _ = serve ~rate:20000.0 ~queue_cap:4 ~workers:1 ~ms:300.0 () in
+  let t = Server.totals srv in
+  check cb "shed_full > 0" true (t.Server.shed_full > 0);
+  check cb "max depth within bound" true (t.Server.max_depth <= 4);
+  check ci "conservation under shedding"
+    t.Server.arrived
+    (t.Server.admitted + t.Server.shed_full + t.Server.shed_throttled)
+
+let test_admission_throttle () =
+  let _, srv, _ =
+    serve ~rate:20000.0 ~queue_cap:64 ~workers:1 ~throttle:(8, 2) ~ms:300.0 ()
+  in
+  let t = Server.totals srv in
+  check cb "throttle shed > 0" true (t.Server.shed_throttled > 0);
+  (* the throttle arms at 8, well below the queue bound, so the queue
+     never fills *)
+  check ci "no queue-full drops behind the throttle" 0 t.Server.shed_full;
+  check cb "depth stays near the throttle mark" true (t.Server.max_depth < 16)
+
+let test_timeouts () =
+  let _, srv, _ =
+    serve ~rate:20000.0 ~queue_cap:256 ~workers:1 ~timeout_ms:1.0 ~ms:300.0 ()
+  in
+  let t = Server.totals srv in
+  check cb "timeouts counted" true (t.Server.timed_out > 0)
+
+let test_decomposition_sums () =
+  let _, srv, _ = serve ~rate:8000.0 ~ms:800.0 () in
+  let t = Server.totals srv in
+  let lat = t.Server.lat in
+  check cb "completed requests recorded" true (t.Server.completed > 100);
+  check ci "queueing count = e2e count"
+    (Histogram.count (Latency.e2e lat))
+    (Histogram.count (Latency.queueing lat));
+  check ci "service count = e2e count"
+    (Histogram.count (Latency.e2e lat))
+    (Histogram.count (Latency.service lat));
+  (* per-sample e2e = queueing + service, so the sums agree too *)
+  let sum h = Histogram.sum h in
+  check
+    (Alcotest.float 1e-6)
+    "sum(e2e) = sum(queueing) + sum(service)"
+    (sum (Latency.e2e lat))
+    (sum (Latency.queueing lat) +. sum (Latency.service lat));
+  (* gc inflation is bounded by end-to-end *)
+  check cb "sum(gc) <= sum(e2e)" true
+    (sum (Latency.gc lat) <= sum (Latency.e2e lat) +. 1e-9)
+
+let test_events_match_counters () =
+  let vm, srv, _ = serve ~rate:20000.0 ~queue_cap:4 ~workers:1 ~ms:300.0
+      ~trace:true () in
+  let t = Server.totals srv in
+  let count code =
+    List.length
+      (List.filter
+         (fun (e : Event.t) -> e.Event.code = code)
+         (Obs.events (Vm.obs vm)))
+  in
+  check ci "req-arrive events = admitted" t.Server.admitted
+    (count Event.Req_arrive);
+  check ci "req-shed events = sheds"
+    (t.Server.shed_full + t.Server.shed_throttled)
+    (count Event.Req_shed);
+  check ci "req-done events = completed" t.Server.completed
+    (count Event.Req_done);
+  (* a request picked up right at the end has its start span but no
+     done span yet *)
+  check ci "req-start spans = completed + in flight"
+    (t.Server.completed + Server.in_flight srv)
+    (count Event.Req_start)
+
+let test_slo_attainment () =
+  let mk ~completed ~viol ~shed ~timed =
+    {
+      Server.arrived = completed + shed + timed;
+      admitted = completed + timed;
+      shed_full = shed;
+      shed_throttled = 0;
+      timed_out = timed;
+      completed;
+      slo_violations = viol;
+      max_depth = 0;
+      lat = Latency.create ();
+    }
+  in
+  check cf "all good" 1.0
+    (Server.slo_attainment (mk ~completed:100 ~viol:0 ~shed:0 ~timed:0));
+  check cf "violations count" 0.9
+    (Server.slo_attainment (mk ~completed:100 ~viol:10 ~shed:0 ~timed:0));
+  check cf "sheds and timeouts count" 0.5
+    (Server.slo_attainment (mk ~completed:50 ~viol:0 ~shed:25 ~timed:25));
+  check cf "empty run attains" 1.0
+    (Server.slo_attainment (mk ~completed:0 ~viol:0 ~shed:0 ~timed:0))
+
+let test_stw_tail_exceeds_cgc () =
+  (* The tentpole claim at test scale: same seed, same offered load,
+     STW's p99.9 end-to-end latency far above CGC's. *)
+  let p999 gc =
+    let _, srv, _ = serve ~rate:6000.0 ~heap_mb:16.0 ~ms:1000.0 ~gc () in
+    Histogram.percentile (Latency.e2e (Server.totals srv).Server.lat) 99.9
+  in
+  let stw = p999 Config.stw and cgc = p999 Config.default in
+  check cb
+    (Printf.sprintf "stw p99.9 (%.2f) > 2x cgc p99.9 (%.2f)" stw cgc)
+    true
+    (stw > 2.0 *. cgc)
+
+let test_reset_discards_warmup () =
+  let vm = Vm.create (Vm.config ~heap_mb:16.0 ~ncpus:4 ~seed:1 ()) in
+  let srv = Server.create (Server.cfg ~rate_per_s:6000.0 ()) vm in
+  Vm.run_measured vm ~warmup_ms:300.0 ~ms:300.0;
+  let t = Server.totals srv in
+  (* ~300 ms at 6000/s: the warmup's ~1800 arrivals must be gone *)
+  check cb "warmup arrivals discarded" true
+    (t.Server.arrived > 1000 && t.Server.arrived < 2600)
+
+(* -------------------------- report / schema -------------------------- *)
+
+let report_of_run () =
+  let _, srv, scfg = serve ~rate:6000.0 ~slo_ms:50.0 ~ms:400.0 () in
+  Report.to_json scfg ~ran_ms:400.0 (Server.totals srv)
+
+let test_schema_roundtrip () =
+  let j = report_of_run () in
+  let s = Json.to_string ~pretty:true j in
+  (match Report.validate s with
+  | Error e -> Alcotest.failf "validate rejected its own report: %s" e
+  | Ok j' ->
+      check Alcotest.string "re-serialises to the same bytes" s
+        (Json.to_string ~pretty:true j'));
+  (* compact form round-trips too *)
+  let c = Json.to_string j in
+  (match Json.parse c with
+  | Error e -> Alcotest.failf "compact parse failed: %s" e
+  | Ok j' -> check Alcotest.string "compact round-trip" c (Json.to_string j'));
+  match Report.validate "{\"schema\":\"cgcsim-bench-v1\"}" with
+  | Ok _ -> Alcotest.fail "accepted a foreign schema"
+  | Error e -> check cb "names the mismatch" true (e <> "")
+
+let test_report_fields () =
+  let j = report_of_run () in
+  check cb "schema tag" true
+    (Json.member "schema" j = Some (Json.Str "cgcsim-server-v1"));
+  List.iter
+    (fun k -> check cb k true (Json.member k j <> None))
+    [ "ratePerS"; "arrival"; "counts"; "latencyMs"; "sloAttainment";
+      "completedPerS" ];
+  match Json.member "latencyMs" j with
+  | Some lat ->
+      List.iter
+        (fun k -> check cb k true (Json.member k lat <> None))
+        [ "e2e"; "queueing"; "service"; "gcInflation" ]
+  | None -> Alcotest.fail "latencyMs missing"
+
+let test_report_determinism () =
+  let run () =
+    let _, srv, scfg =
+      serve ~rate:6000.0 ~slo_ms:50.0 ~ms:400.0 ~trace:true ()
+    in
+    Json.to_string ~pretty:true
+      (Report.to_json scfg ~ran_ms:400.0 (Server.totals srv))
+  in
+  check Alcotest.string "same seed, byte-identical report" (run ()) (run ())
+
+let test_json_parse_rejects () =
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "parsed %S" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "{\"a\":1}x"; "\"unterminated" ]
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "arrival",
+        [
+          Alcotest.test_case "constant spacing" `Quick test_arrival_constant;
+          Alcotest.test_case "deterministic" `Quick test_arrival_deterministic;
+          Alcotest.test_case "average rates" `Quick test_arrival_rates_average;
+          Alcotest.test_case "bursty modulation" `Quick
+            test_arrival_bursty_modulates;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "scripted hand-computed" `Quick
+            test_scripted_latencies;
+          Alcotest.test_case "merge counters" `Quick test_latency_merge_counters;
+          QCheck_alcotest.to_alcotest merge_vs_concat_test;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "counts conserved" `Quick test_counts_conserved;
+          Alcotest.test_case "queue-bound shedding" `Quick
+            test_queue_bound_shedding;
+          Alcotest.test_case "admission throttle" `Quick test_admission_throttle;
+          Alcotest.test_case "timeouts" `Quick test_timeouts;
+          Alcotest.test_case "decomposition sums to e2e" `Quick
+            test_decomposition_sums;
+          Alcotest.test_case "events match counters" `Quick
+            test_events_match_counters;
+          Alcotest.test_case "slo attainment" `Quick test_slo_attainment;
+          Alcotest.test_case "stw tail exceeds cgc" `Quick
+            test_stw_tail_exceeds_cgc;
+          Alcotest.test_case "reset discards warmup" `Quick
+            test_reset_discards_warmup;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "schema round-trip" `Quick test_schema_roundtrip;
+          Alcotest.test_case "fields" `Quick test_report_fields;
+          Alcotest.test_case "byte-identical" `Quick test_report_determinism;
+          Alcotest.test_case "parse rejects malformed" `Quick
+            test_json_parse_rejects;
+        ] );
+    ]

@@ -92,6 +92,45 @@ let test_prng_shuffle_permutation () =
   check cb "shuffle is a permutation" true (sorted = Array.init 100 (fun i -> i));
   check cb "shuffle moved something" true (a <> Array.init 100 (fun i -> i))
 
+(* Same seed ⇒ the whole derived tree of streams replays identically —
+   this is what makes every simulator run reproducible bit-for-bit. *)
+let prng_same_seed_same_sequence_test =
+  QCheck.Test.make ~name:"prng: same seed, same sequence (incl. splits)"
+    ~count:100
+    QCheck.(pair small_nat (int_bound 200))
+    (fun (seed, n) ->
+      let drive rng =
+        let a = Prng.split rng and b = Prng.split rng in
+        List.init n (fun i ->
+            ( Prng.next rng,
+              Prng.next a,
+              Prng.int b (i + 1),
+              Prng.exponential a 3.0 ))
+      in
+      drive (Prng.create seed) = drive (Prng.create seed))
+
+(* Split-stream independence: however far one split stream is advanced,
+   its siblings (and the root) produce exactly the outputs they would
+   have produced anyway.  The server leans on this — arrival sampling
+   must not perturb the mutators' think-time streams. *)
+let prng_split_independent_test =
+  QCheck.Test.make ~name:"prng: advancing one split never perturbs a sibling"
+    ~count:100
+    QCheck.(triple small_nat (int_bound 500) (int_bound 50))
+    (fun (seed, burn, n) ->
+      let outputs ~burn =
+        let root = Prng.create seed in
+        let a = Prng.split root in
+        let b = Prng.split root in
+        for _ = 1 to burn do
+          ignore (Prng.next a)
+        done;
+        let sib = List.init n (fun _ -> Prng.next b) in
+        let rt = List.init n (fun _ -> Prng.next root) in
+        (sib, rt)
+      in
+      outputs ~burn = outputs ~burn:0)
+
 (* ------------------------------ EWMA ------------------------------ *)
 
 let test_ewma_init () =
@@ -111,6 +150,32 @@ let test_ewma_single_step () =
   let e = Ewma.create ~alpha:0.25 ~init:0.0 () in
   Ewma.observe e 8.0;
   check cf "0.25 * 8" 2.0 (Ewma.value e)
+
+(* Closed form: after observations x1..xn starting from init v0,
+   value = (1-a)^n v0 + a * sum (1-a)^(n-i) xi.  The estimate is also
+   always bracketed by the extremes of {init} ∪ observations. *)
+let ewma_closed_form_test =
+  QCheck.Test.make ~name:"ewma: matches closed form and stays bracketed"
+    ~count:200
+    QCheck.(
+      triple (float_range 0.1 1.0) (float_range ~-.50.0 50.0)
+        (list_of_size Gen.(1 -- 40) (float_range ~-.100.0 100.0)))
+    (fun (alpha, init, xs) ->
+      let e = Ewma.create ~alpha ~init () in
+      let expect =
+        List.fold_left
+          (fun acc x ->
+            let v = acc +. (alpha *. (x -. acc)) in
+            Ewma.observe e x;
+            v)
+          init xs
+      in
+      let lo = List.fold_left Float.min init xs
+      and hi = List.fold_left Float.max init xs in
+      abs_float (Ewma.value e -. expect) < 1e-9
+      && Ewma.value e >= lo -. 1e-9
+      && Ewma.value e <= hi +. 1e-9
+      && Ewma.samples e = List.length xs)
 
 let test_ewma_bad_alpha () =
   Alcotest.check_raises "alpha 0 rejected"
@@ -434,6 +499,8 @@ let () =
           Alcotest.test_case "split independent" `Quick test_prng_split_independent;
           Alcotest.test_case "shuffle permutation" `Quick
             test_prng_shuffle_permutation;
+          QCheck_alcotest.to_alcotest prng_same_seed_same_sequence_test;
+          QCheck_alcotest.to_alcotest prng_split_independent_test;
         ] );
       ( "ewma",
         [
@@ -441,6 +508,7 @@ let () =
           Alcotest.test_case "converges" `Quick test_ewma_converges;
           Alcotest.test_case "single step" `Quick test_ewma_single_step;
           Alcotest.test_case "bad alpha" `Quick test_ewma_bad_alpha;
+          QCheck_alcotest.to_alcotest ewma_closed_form_test;
         ] );
       ( "stats",
         [
