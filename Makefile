@@ -4,8 +4,8 @@
 # installed (odoc / ocamlformat are not part of the minimal toolchain);
 # when present they are part of the tier-1 bar.
 
-.PHONY: all build test doc fmt-check verify fuzz bench bench-smoke \
-	bench-determinism serve-smoke clean
+.PHONY: all build test doc doc-strict fmt-check verify fuzz bench \
+	bench-smoke bench-determinism serve-smoke cluster-smoke clean
 
 # Number of random configurations `make fuzz` tries.
 FUZZ_COUNT ?= 100
@@ -29,6 +29,20 @@ doc:
 	  echo "odoc not installed — skipping dune build @doc"; \
 	fi
 
+# Like doc, but odoc warnings (unresolved references, bad markup) in
+# the cluster layer are errors — the lint bar for the newest .mli
+# surface, tightened layer by layer as older docs are cleaned up.
+doc-strict:
+	@if command -v odoc >/dev/null 2>&1; then \
+	  dune build @doc 2>&1 | tee /tmp/odoc.log; \
+	  if grep -i "warning" /tmp/odoc.log | grep -q "cluster"; then \
+	    echo "doc-strict: odoc warnings in lib/cluster are errors"; \
+	    exit 1; \
+	  fi; \
+	else \
+	  echo "odoc not installed — skipping doc-strict"; \
+	fi
+
 # Check formatting if ocamlformat is available; no-op otherwise.
 fmt-check:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
@@ -46,22 +60,23 @@ verify: build test doc fmt-check
 fuzz: build
 	FUZZ_COUNT=$(FUZZ_COUNT) dune exec test/test_fuzz.exe
 
-# Full benchmark matrix (workloads x thread counts x tracing rates),
-# every cell traced and profiled.  Writes BENCH_PR5.json
-# (schema cgcsim-bench-v1) plus a Chrome trace of cell 0; fails if any
-# cell dropped trace events to ring overflow.  JOBS=N runs the cells on
-# N OCaml domains — simulated results are identical at every N, only
-# the host* timing fields change.
+# Full benchmark matrix (workloads x thread counts x tracing rates,
+# plus serve and sharded-cluster cells), every VM cell traced and
+# profiled.  Writes BENCH_PR6.json (schema cgcsim-bench-v1) plus a
+# Chrome trace of cell 0; fails if any cell dropped trace events to
+# ring overflow.  JOBS=N runs the cells on N OCaml domains — simulated
+# results are identical at every N, only the host* timing fields
+# change.
 bench: build
 	dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	  --out BENCH_PR5.json --trace-out bench-cell0.trace.json
+	  --out BENCH_PR6.json --trace-out bench-cell0.trace.json
 
-# Shrunk matrix for CI (<60 s): one SPECjbb cell, one pBOB cell and one
-# serve cell, then the offline analyzer re-reads the emitted trace and
-# fails on ring drops or a schema mismatch.
+# Shrunk matrix for CI (<60 s): one SPECjbb cell, one pBOB cell, one
+# serve cell and one cluster cell, then the offline analyzer re-reads
+# the emitted trace and fails on ring drops or a schema mismatch.
 bench-smoke: build
 	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	  --out BENCH_PR5.json --trace-out bench-cell0.trace.json
+	  --out BENCH_PR6.json --trace-out bench-cell0.trace.json
 	dune exec bin/cgcsim.exe -- analyze \
 	  --trace bench-cell0.trace.json --fail-on-drops
 
@@ -101,6 +116,32 @@ serve-smoke: build
 	    exit 1; \
 	  fi
 	@echo "serve smoke OK: deterministic reports, traces clean, SLO gate fires"
+
+# Sharded-cluster smoke: a 4-shard run twice at different --jobs must
+# produce byte-identical fleet reports and per-shard traces, one shard
+# trace must analyze clean, and an overloaded fleet with an SLO must
+# exit 6.
+cluster-smoke: build
+	dune exec bin/cgcsim.exe -- cluster --shards 4 --policy lqd \
+	  --rate 12000 --slo-ms 50 --heap-mb 16 --ms 600 --seed 1 --jobs 1 \
+	  --json cluster-a.json --trace-out cluster-a
+	dune exec bin/cgcsim.exe -- cluster --shards 4 --policy lqd \
+	  --rate 12000 --slo-ms 50 --heap-mb 16 --ms 600 --seed 1 --jobs 4 \
+	  --json cluster-b.json --trace-out cluster-b
+	cmp cluster-a.json cluster-b.json
+	for k in 0 1 2 3; do \
+	  cmp cluster-a.shard$$k.json cluster-b.shard$$k.json || exit 1; \
+	done
+	dune exec bin/cgcsim.exe -- analyze \
+	  --trace cluster-a.shard0.json --fail-on-drops > /dev/null
+	@dune exec bin/cgcsim.exe -- cluster --shards 2 -c stw --rate 40000 \
+	  --ms 600 --heap-mb 16 --seed 1 --slo-ms 5 --jobs 2 \
+	  > /dev/null 2>&1; st=$$?; \
+	  if [ $$st -ne 6 ]; then \
+	    echo "expected fleet SLO breach (exit 6), got $$st"; \
+	    exit 1; \
+	  fi
+	@echo "cluster smoke OK: fleet report and shard traces deterministic, SLO gate fires"
 
 clean:
 	dune clean

@@ -3,7 +3,7 @@
    JSON document (schema cgcsim-bench-v1) — the benchmark trajectory the
    repo tracks across PRs.
 
-     dune exec bench/main.exe -- matrix --jobs 4 --out BENCH_PR5.json \
+     dune exec bench/main.exe -- matrix --jobs 4 --out BENCH_PR6.json \
          --trace-out bench-cell0.trace.json
 
    Cells are independent simulations (each owns its VM, machine, PRNG
@@ -29,6 +29,9 @@ module Series = Cgc_prof.Series
 module Json = Cgc_prof.Json
 module Server = Cgc_server.Server
 module Server_report = Cgc_server.Report
+module Cluster = Cgc_cluster.Cluster
+module Cluster_report = Cgc_cluster.Report
+module Shard = Cgc_cluster.Shard
 
 let bench_schema = "cgcsim-bench-v1"
 
@@ -36,14 +39,17 @@ type cell = {
   workload : string;
   warehouses : int;
   k0 : float;
-  rate : float;  (* offered req/s; serve cells only *)
+  rate : float;  (* offered req/s; serve and cluster cells only *)
+  shards : int;  (* cluster cells only *)
   ms : float;
   ring : int;  (* per-thread event-ring capacity *)
 }
 
 let cell_label c =
-  if c.workload = "serve" then Printf.sprintf "serve-%.0frps" c.rate
-  else Printf.sprintf "%s-%dwh-k0=%.0f" c.workload c.warehouses c.k0
+  match c.workload with
+  | "serve" -> Printf.sprintf "serve-%.0frps" c.rate
+  | "cluster" -> Printf.sprintf "cluster-%dsh-%.0frps" c.shards c.rate
+  | _ -> Printf.sprintf "%s-%dwh-k0=%.0f" c.workload c.warehouses c.k0
 
 (* SPECjbb cells get deep rings (a dozen threads saturating 4 CPUs emit
    a lot); pBOB cells spread far fewer events over hundreds of threads,
@@ -54,27 +60,57 @@ let matrix () =
   let spec wh =
     List.map
       (fun k0 ->
-        { workload = "specjbb"; warehouses = wh; k0; rate = 0.0; ms;
-          ring = 1 lsl 18 })
+        { workload = "specjbb"; warehouses = wh; k0; rate = 0.0; shards = 0;
+          ms; ring = 1 lsl 18 })
       rates
   in
   let pbob wh =
     List.map
       (fun k0 ->
-        { workload = "pbob"; warehouses = wh; k0; rate = 0.0; ms;
+        { workload = "pbob"; warehouses = wh; k0; rate = 0.0; shards = 0; ms;
           ring = 1 lsl 17 })
       rates
   in
   (* Open-loop server cells (the PR 5 subsystem): CGC at the default
      tracing rate under increasing offered load. *)
   let serve rate =
-    { workload = "serve"; warehouses = 0; k0 = 8.0; rate; ms; ring = 1 lsl 17 }
+    { workload = "serve"; warehouses = 0; k0 = 8.0; rate; shards = 0; ms;
+      ring = 1 lsl 17 }
   in
-  if Cgc_experiments.Common.quick () then spec 4 @ pbob 8 @ [ serve 6000.0 ]
-  else spec 4 @ spec 8 @ pbob 8 @ pbob 16 @ [ serve 4000.0; serve 8000.0 ]
+  (* Sharded-cluster cells (the PR 6 subsystem): shard count x offered
+     fleet load, round-robin routing.  Untraced — a cluster cell's cost
+     is its shard simulations, and its artefact is the embedded
+     cgcsim-cluster-v1 fleet report. *)
+  let cluster shards rate =
+    { workload = "cluster"; warehouses = 0; k0 = 8.0; rate; shards; ms;
+      ring = 1 lsl 17 }
+  in
+  if Cgc_experiments.Common.quick () then
+    spec 4 @ pbob 8 @ [ serve 6000.0; cluster 2 6000.0 ]
+  else
+    spec 4 @ spec 8 @ pbob 8 @ pbob 16
+    @ [ serve 4000.0; serve 8000.0 ]
+    @ [ cluster 4 8000.0; cluster 4 16000.0; cluster 8 16000.0;
+        cluster 8 32000.0 ]
+
+(* A finished cell is either one VM (possibly with a server attached) or
+   a whole fleet result. *)
+type ran = Sim of Vm.t * Server.t option | Fleet of Cluster.result
 
 let run_cell c =
   let gc = { Config.default with Config.k0 = c.k0 } in
+  match c.workload with
+  | "cluster" ->
+      (* The fleet draws on the same domain pool as the matrix itself;
+         the nested batch runs inline on this cell's domain. *)
+      (* 16 MB per shard, like the serve cells: the short window must
+         contain GC cycles for the fleet report to say anything. *)
+      let cfg =
+        Cluster.cfg ~shards:c.shards ~rate_per_s:c.rate ~gc ~slo_ms:50.0
+          ~heap_mb:16.0 ~ms:c.ms ()
+      in
+      Fleet (Cluster.run cfg)
+  | _ ->
   let vm, srv =
     match c.workload with
     | "specjbb" ->
@@ -107,7 +143,7 @@ let run_cell c =
   Vm.enable_profiler vm;
   Option.iter Server.attach_probes srv;
   Vm.run vm ~ms:c.ms;
-  (vm, srv)
+  Sim (vm, srv)
 
 let sampler_json vm =
   match Vm.profiler vm with
@@ -200,7 +236,7 @@ type cell_result = {
   host_ms : float;
 }
 
-let run ?(out = "BENCH_PR5.json") ?trace_out ?(jobs = 1) () =
+let run ?(out = "BENCH_PR6.json") ?trace_out ?(jobs = 1) () =
   Cgc_experiments.Common.hdr "Benchmark matrix (cgcsim-bench-v1)";
   let cells = matrix () in
   let ncells = List.length cells in
@@ -218,37 +254,78 @@ let run ?(out = "BENCH_PR5.json") ?trace_out ?(jobs = 1) () =
       (fun (i, c) ->
         let label = cell_label c in
         let t0 = Unix.gettimeofday () in
-        let vm, srv = run_cell c in
+        let ran = run_cell c in
         let host_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
-        let trace =
-          if i = 0 && trace_out <> None then Some (Vm.trace_json vm) else None
-        in
-        let json, drops, a = cell_json c vm srv in
-        let json =
-          match json with
-          | Json.Obj fields -> Json.Obj (fields @ [ ("hostMs", Json.Float host_ms) ])
-          | j -> j
-        in
-        let mmu20 =
-          match
-            List.find_opt
-              (fun (p : Analysis.mmu_point) -> p.Analysis.window_ms = 20.0)
-              a.Analysis.mmu
-          with
-          | Some p -> p.Analysis.mmu
-          | None -> 0.0
-        in
-        let row =
-          [ label;
-            Printf.sprintf "%.0f" (Vm.throughput vm);
-            string_of_int a.Analysis.n_cycles;
-            Cgc_util.Table.fpct mmu20;
-            Cgc_util.Table.f2 a.Analysis.pauses.Analysis.pause_p99_ms;
-            Cgc_util.Table.f3 a.Analysis.balance.Analysis.factor_mean;
-            Cgc_util.Table.f3 a.Analysis.balance.Analysis.fairness;
-            string_of_int drops ]
-        in
-        { json; drops; row; trace; host_ms })
+        match ran with
+        | Sim (vm, srv) ->
+            let trace =
+              if i = 0 && trace_out <> None then Some (Vm.trace_json vm)
+              else None
+            in
+            let json, drops, a = cell_json c vm srv in
+            let json =
+              match json with
+              | Json.Obj fields ->
+                  Json.Obj (fields @ [ ("hostMs", Json.Float host_ms) ])
+              | j -> j
+            in
+            let mmu20 =
+              match
+                List.find_opt
+                  (fun (p : Analysis.mmu_point) -> p.Analysis.window_ms = 20.0)
+                  a.Analysis.mmu
+              with
+              | Some p -> p.Analysis.mmu
+              | None -> 0.0
+            in
+            let row =
+              [ label;
+                Printf.sprintf "%.0f" (Vm.throughput vm);
+                string_of_int a.Analysis.n_cycles;
+                Cgc_util.Table.fpct mmu20;
+                Cgc_util.Table.f2 a.Analysis.pauses.Analysis.pause_p99_ms;
+                Cgc_util.Table.f3 a.Analysis.balance.Analysis.factor_mean;
+                Cgc_util.Table.f3 a.Analysis.balance.Analysis.fairness;
+                string_of_int drops ]
+            in
+            { json; drops; row; trace; host_ms }
+        | Fleet r ->
+            let tot = Cluster.fleet_totals r in
+            let sum f = Array.fold_left (fun acc s -> acc + f s) 0 r.Cluster.shards in
+            let drops = sum (fun s -> s.Shard.dropped) in
+            let cycles = sum (fun s -> s.Shard.gc_cycles) in
+            let max_pause =
+              Array.fold_left
+                (fun acc (s : Shard.result) ->
+                  Float.max acc s.Shard.max_pause_ms)
+                0.0 r.Cluster.shards
+            in
+            let json =
+              Json.Obj
+                [
+                  ("workload", Json.Str c.workload);
+                  ("shards", Json.Int c.shards);
+                  ("ratePerS", Json.Float c.rate);
+                  ("ms", Json.Float c.ms);
+                  ("seed", Json.Int 1);
+                  ("gcCycles", Json.Int cycles);
+                  ("dropped", Json.Int drops);
+                  ("cluster", Cluster_report.to_json r);
+                  ("hostMs", Json.Float host_ms);
+                ]
+            in
+            let row =
+              [ label;
+                Printf.sprintf "%.0f"
+                  (float_of_int tot.Server.completed /. (c.ms /. 1000.0));
+                string_of_int cycles;
+                "-";
+                Cgc_util.Table.f2 max_pause;
+                "-";
+                "-";
+                string_of_int drops ]
+            in
+            { json; drops; row; trace = None; host_ms })
   in
   let host_wall_ms = 1000.0 *. (Unix.gettimeofday () -. wall0) in
   (match (trace_out, results) with

@@ -8,11 +8,12 @@
      CGC_BENCH_FAST=1 dune exec bench/main.exe   # fast smoke sweep
 
    Targets: fig1 fig2 table1 table2 table3 table4 javac packetmem
-            serverlat ablation-fence ablation-cardpass ablation-lazysweep
-            ablation-steal ablation-compact itanium micro matrix all
+            serverlat clusterlat ablation-fence ablation-cardpass
+            ablation-lazysweep ablation-steal ablation-compact itanium
+            micro matrix all
 
    The matrix target additionally honours --out FILE (default
-   BENCH_PR5.json), --trace-out FILE (Chrome trace of cell 0) and
+   BENCH_PR6.json), --trace-out FILE (Chrome trace of cell 0) and
    --jobs N (run cells on N OCaml 5 domains; simulated results are
    identical at every N, only host wall-clock changes).  --jobs also
    fans out the per-target experiment sweeps. *)
@@ -129,6 +130,7 @@ let targets : (string * (unit -> unit)) list =
     ("javac", fun () -> ignore (E.Javac_exp.run ()));
     ("packetmem", fun () -> ignore (E.Packet_memory.run ()));
     ("serverlat", fun () -> ignore (E.Server_latency.run ()));
+    ("clusterlat", fun () -> ignore (E.Clusterlat.run ()));
     ("ablation-fence", fun () -> ignore (E.Ablations.fence_batching ()));
     ("ablation-cardpass", fun () -> ignore (E.Ablations.card_passes ()));
     ("ablation-lazysweep", fun () -> ignore (E.Ablations.lazy_sweep ()));
@@ -139,7 +141,7 @@ let targets : (string * (unit -> unit)) list =
   ]
 
 (* --out / --trace-out / --jobs for the matrix target. *)
-let matrix_out = ref "BENCH_PR5.json"
+let matrix_out = ref "BENCH_PR6.json"
 let matrix_trace_out : string option ref = ref None
 let jobs = ref 1
 
@@ -152,6 +154,7 @@ let run_all () =
   ignore (E.Javac_exp.run ());
   ignore (E.Packet_memory.run ());
   ignore (E.Server_latency.run ());
+  ignore (E.Clusterlat.run ());
   E.Ablations.run_all ();
   run_micro ()
 

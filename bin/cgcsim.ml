@@ -632,11 +632,278 @@ let serve_cmd =
       $ warmup_ms $ tracing_rate $ seed $ inject $ fault_seed $ verify
       $ trace_out $ trace_ring $ metrics_out $ json_out)
 
+(* ------------------------------------------------------------------ *)
+(* cgcsim cluster — N shard VMs behind a front-end load balancer.
+
+   The balancer draws the fleet arrival stream once, routes every
+   arrival (round-robin, least-queue-depth or consistent-hash), and
+   each shard — a complete VM + collector + server — replays its slice
+   on the persistent domain pool (--jobs).  Prints the fleet SLO report
+   and optionally writes it as cgcsim-cluster-v1 JSON.
+
+     cgcsim cluster --shards 8 --policy lqd --rate 24000 --slo-ms 50 \
+       --ms 3000 --jobs 8 --json fleet.json
+
+   Exit code 6: an SLO was configured and *fleet* attainment fell below
+   --slo-target.  Per-shard traces (--trace-out PREFIX) are written as
+   PREFIX.shard<K>.json, each independently loadable in Perfetto. *)
+
+module Balancer = Cgc_cluster.Balancer
+module Cluster = Cgc_cluster.Cluster
+module Cluster_report = Cgc_cluster.Report
+module Dpool = Cgc_cluster.Dpool
+
+let cluster_cmd =
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Shard VM count.")
+  in
+  let policy =
+    let doc =
+      "Routing policy: round-robin (rr), least-queue (lqd) or \
+       consistent-hash (hash)."
+    in
+    Arg.(value & opt string "round-robin" & info [ "policy" ] ~doc)
+  in
+  let rate =
+    Arg.(value & opt float 16000.0 & info [ "rate" ] ~doc:"Fleet offered load, requests per simulated second.")
+  in
+  let arrival =
+    let doc = "Arrival process: poisson, constant or bursty." in
+    Arg.(value & opt string "poisson" & info [ "arrival" ] ~doc)
+  in
+  let burst =
+    let doc =
+      "Bursty on/off windows as $(b,ON_MS,OFF_MS,FACTOR) (implies \
+       $(b,--arrival bursty))."
+    in
+    Arg.(value & opt (some string) None & info [ "burst" ] ~docv:"ON,OFF,X" ~doc)
+  in
+  let queue =
+    Arg.(value & opt int 256 & info [ "queue" ] ~doc:"Per-shard request queue bound.")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Worker mutator threads per shard.")
+  in
+  let timeout_ms =
+    Arg.(value & opt float 0.0 & info [ "timeout-ms" ] ~doc:"Queueing deadline; 0 disables.")
+  in
+  let slo_ms =
+    Arg.(value & opt float 0.0 & info [ "slo-ms" ] ~doc:"End-to-end latency SLO; 0 disables.")
+  in
+  let slo_target =
+    Arg.(value & opt float 0.999 & info [ "slo-target" ] ~doc:"Required fleet SLO attainment fraction.")
+  in
+  let throttle =
+    let doc = "Per-shard admission-throttle hysteresis as $(b,HI,LO) queue depths." in
+    Arg.(value & opt (some string) None & info [ "throttle" ] ~docv:"HI,LO" ~doc)
+  in
+  let service_est_ms =
+    let doc =
+      "The balancer's mean-service-time estimate (ms), parameterising \
+       the least-queue fluid model."
+    in
+    Arg.(value & opt float 0.12 & info [ "service-est-ms" ] ~doc)
+  in
+  let bin_ms =
+    Arg.(value & opt float 10.0 & info [ "bin-ms" ] ~doc:"Fleet-phenomena timeline bin width (ms).")
+  in
+  let collector =
+    let doc = "Collector: cgc (mostly-concurrent) or stw (baseline)." in
+    Arg.(value & opt string "cgc" & info [ "collector"; "c" ] ~doc)
+  in
+  let heap_mb =
+    Arg.(value & opt float 24.0 & info [ "heap-mb" ] ~doc:"Per-shard simulated heap size (MB).")
+  in
+  let ncpus = Arg.(value & opt int 4 & info [ "ncpus" ] ~doc:"Per-shard simulated CPUs.") in
+  let ms =
+    Arg.(value & opt float 2000.0 & info [ "ms" ] ~doc:"Simulated milliseconds to run.")
+  in
+  let tracing_rate =
+    Arg.(value & opt float 8.0 & info [ "tracing-rate"; "k0" ] ~doc:"Tracing rate K0.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fleet PRNG seed (shard seeds derive from it).") in
+  let jobs =
+    let doc =
+      "Run shards on $(docv) OCaml domains.  Host-side parallelism \
+       only: per-shard traces and the fleet report are byte-identical \
+       at every job count."
+    in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let inject =
+    let doc =
+      "Arm every shard's deterministic fault injector (same scenarios \
+       as $(b,run --inject))."
+    in
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SCENARIOS" ~doc)
+  in
+  let fault_seed =
+    let doc = "Seed for the fault injectors (default: the fleet seed)." in
+    Arg.(value & opt (some int) None & info [ "fault-seed" ] ~doc)
+  in
+  let verify =
+    let doc = "Run the heap invariant verifier in every shard at every GC cycle boundary." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let trace_out =
+    let doc =
+      "Write one Chrome trace-event JSON file per shard, named \
+       $(docv).shard<K>.json (arms every shard's event sink)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"PREFIX" ~doc)
+  in
+  let trace_ring =
+    Arg.(
+      value
+      & opt int (1 lsl 17)
+      & info [ "trace-ring" ] ~doc:"Per-thread event-ring capacity.")
+  in
+  let json_out =
+    let doc = "Write the $(b,cgcsim-cluster-v1) fleet report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let exec shards policy rate arrival burst queue workers timeout_ms slo_ms
+      slo_target throttle service_est_ms bin_ms collector heap_mb ncpus ms
+      tracing_rate seed jobs inject fault_seed verify trace_out trace_ring
+      json_out =
+    let parse_floats what spec n =
+      let parts = String.split_on_char ',' spec in
+      match
+        if List.length parts <> n then None
+        else
+          try Some (List.map (fun s -> float_of_string (String.trim s)) parts)
+          with Failure _ -> None
+      with
+      | Some fs -> fs
+      | None ->
+          Printf.eprintf
+            "cgcsim: bad %s %S (expected %d comma-separated numbers)\n" what
+            spec n;
+          exit 1
+    in
+    let policy =
+      match Balancer.policy_of_name policy with
+      | Some p -> p
+      | None ->
+          Printf.eprintf
+            "cgcsim: unknown policy %S (round-robin|least-queue|consistent-hash)\n"
+            policy;
+          exit 1
+    in
+    let arrival_kind =
+      match (burst, arrival) with
+      | Some spec, _ -> (
+          match parse_floats "--burst" spec 3 with
+          | [ on_ms; off_ms; factor ] -> Arrival.Bursty { on_ms; off_ms; factor }
+          | _ -> assert false)
+      | None, "poisson" -> Arrival.Poisson
+      | None, "constant" -> Arrival.Constant
+      | None, "bursty" ->
+          Arrival.Bursty { on_ms = 20.0; off_ms = 80.0; factor = 4.0 }
+      | None, a ->
+          Printf.eprintf
+            "cgcsim: unknown arrival process %S (poisson|constant|bursty)\n" a;
+          exit 1
+    in
+    let throttle_hi, throttle_lo =
+      match throttle with
+      | None -> (0, 0)
+      | Some spec -> (
+          match parse_floats "--throttle" spec 2 with
+          | [ hi; lo ] -> (int_of_float hi, int_of_float lo)
+          | _ -> assert false)
+    in
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs expects a positive integer, got %d\n" jobs;
+      exit 1
+    end;
+    Dpool.set_size jobs;
+    let faults =
+      match inject with
+      | None -> Fault.disabled
+      | Some spec -> (
+          match parse_scenarios spec with
+          | Ok scenarios ->
+              let seed = match fault_seed with Some s -> s | None -> seed in
+              Fault.create ~scenarios ~seed ()
+          | Error msg ->
+              Printf.eprintf "cgcsim: %s\n" msg;
+              exit 1)
+    in
+    let gc =
+      {
+        (if collector = "stw" then Config.stw else Config.default) with
+        Config.k0 = tracing_rate;
+        faults;
+        verify;
+      }
+    in
+    let ccfg =
+      try
+        Cluster.cfg ~shards ~policy ~arrival:arrival_kind ~queue_cap:queue
+          ~workers ~timeout_ms ~slo_ms ~slo_target ~throttle_hi ~throttle_lo
+          ~service_est_ms ~bin_ms ~gc ~heap_mb ~ncpus ~seed ~ms
+          ~trace:(trace_out <> None) ~trace_ring ~rate_per_s:rate ()
+      with Invalid_argument msg ->
+        Printf.eprintf "cgcsim: %s\n" msg;
+        exit 1
+    in
+    let result = catching_failures (fun () -> Cluster.run ccfg) in
+    print_string (Cluster_report.text result);
+    (match trace_out with
+    | Some prefix ->
+        Array.iter
+          (fun (s : Cgc_cluster.Shard.result) ->
+            match s.Cgc_cluster.Shard.trace with
+            | Some trace ->
+                let file =
+                  Printf.sprintf "%s.shard%d.json" prefix
+                    s.Cgc_cluster.Shard.id
+                in
+                write_or_die "trace"
+                  (fun f -> Export.write_file f trace)
+                  file;
+                Printf.printf "shard %d trace written to %s\n"
+                  s.Cgc_cluster.Shard.id file
+            | None -> ())
+          result.Cluster.shards
+    | None -> ());
+    (match json_out with
+    | Some file ->
+        write_or_die "cluster report"
+          (fun f ->
+            Export.write_file f
+              (Json.to_string ~pretty:true (Cluster_report.to_json result)))
+          file;
+        Printf.printf "cluster report written to %s\n" file
+    | None -> ());
+    if Cluster.slo_breached result then begin
+      Printf.eprintf
+        "cgcsim: fleet SLO breach — %.1f ms attainment %.4f below target %.4f\n"
+        slo_ms
+        (Cluster.slo_attainment result)
+        slo_target;
+      exit 6
+    end
+  in
+  let info =
+    Cmd.info "cluster"
+      ~doc:
+        "Run N shard VMs behind a front-end load balancer on the \
+         persistent domain pool and print the fleet SLO report."
+  in
+  Cmd.v info
+    Term.(
+      const exec $ shards $ policy $ rate $ arrival $ burst $ queue $ workers
+      $ timeout_ms $ slo_ms $ slo_target $ throttle $ service_est_ms $ bin_ms
+      $ collector $ heap_mb $ ncpus $ ms $ tracing_rate $ seed $ jobs $ inject
+      $ fault_seed $ verify $ trace_out $ trace_ring $ json_out)
+
 let experiment_cmd =
   let which =
     let doc =
       "Experiment: fig1, fig2, table1, table2, table3, table4, javac, \
-       packetmem, serverlat."
+       packetmem, serverlat, clusterlat."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
   in
@@ -672,6 +939,7 @@ let experiment_cmd =
     | "javac" -> ignore (E.Javac_exp.run ())
     | "packetmem" -> ignore (E.Packet_memory.run ())
     | "serverlat" -> ignore (E.Server_latency.run ())
+    | "clusterlat" -> ignore (E.Clusterlat.run ())
     | n ->
         Printf.eprintf "unknown experiment %s\n" n;
         exit 1);
@@ -693,4 +961,6 @@ let () =
          concurrent garbage collector."
   in
   exit
-    (Cmd.eval (Cmd.group info [ run_cmd; serve_cmd; analyze_cmd; experiment_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; serve_cmd; cluster_cmd; analyze_cmd; experiment_cmd ]))

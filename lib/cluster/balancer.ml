@@ -1,0 +1,99 @@
+module Prng = Cgc_util.Prng
+
+type policy = Round_robin | Least_queue | Consistent_hash
+
+let policy_name = function
+  | Round_robin -> "round-robin"
+  | Least_queue -> "least-queue"
+  | Consistent_hash -> "consistent-hash"
+
+let policy_of_name = function
+  | "round-robin" | "rr" -> Some Round_robin
+  | "least-queue" | "lqd" | "least-queue-depth" -> Some Least_queue
+  | "consistent-hash" | "hash" -> Some Consistent_hash
+  | _ -> None
+
+let all_policies = [ Round_robin; Least_queue; Consistent_hash ]
+
+(* SplitMix64 finalizer — the ring and the session keys need a mixer,
+   not a stream, so shard placement is a pure function of shard id. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let vnodes = 64
+
+let route policy ~nshards ~workers ~service_est_ms ~cycles_per_ms ~rng ts =
+  if nshards < 1 then invalid_arg "Balancer.route: nshards < 1";
+  let n = Array.length ts in
+  match policy with
+  | Round_robin -> Array.init n (fun i -> i mod nshards)
+  | Least_queue ->
+      (* Fluid backlog model: shard [s] drains [drain] requests per
+         cycle; each arrival joins the shallowest modelled queue. *)
+      let drain =
+        float_of_int workers
+        /. (service_est_ms *. float_of_int cycles_per_ms)
+      in
+      let depth = Array.make nshards 0.0 in
+      let last = Array.make nshards 0 in
+      let rr = ref 0 in
+      let assign = Array.make n 0 in
+      (* Explicit loop: the model is stateful, so arrivals must be
+         routed strictly in timestamp order. *)
+      for i = 0 to n - 1 do
+        let t = ts.(i) in
+        let dmin = ref infinity in
+        for s = 0 to nshards - 1 do
+          depth.(s) <-
+            Float.max 0.0
+              (depth.(s) -. (float_of_int (t - last.(s)) *. drain));
+          last.(s) <- t;
+          if depth.(s) < !dmin then dmin := depth.(s)
+        done;
+        (* Ties break round-robin, not lowest-id: at low load every
+           modelled queue drains to zero between arrivals, and a fixed
+           tie-break would herd the whole fleet onto shard 0. *)
+        let best = ref !rr in
+        let found = ref false in
+        for k = 0 to nshards - 1 do
+          let s = (!rr + k) mod nshards in
+          if (not !found) && depth.(s) <= !dmin +. 1e-9 then begin
+            best := s;
+            found := true
+          end
+        done;
+        rr := (!best + 1) mod nshards;
+        depth.(!best) <- depth.(!best) +. 1.0;
+        assign.(i) <- !best
+      done;
+      assign
+  | Consistent_hash ->
+      (* [vnodes] ring points per shard; requests carry a session key
+         drawn from the balancer's stream. *)
+      let ring =
+        Array.init (nshards * vnodes) (fun i ->
+            let shard = i / vnodes and replica = i mod vnodes in
+            ( mix64 (Int64.of_int ((shard * 0x10001) + (replica * 0x9e37) + 1)),
+              shard ))
+      in
+      Array.sort compare ring;
+      let npoints = Array.length ring in
+      let lookup h =
+        (* first ring point with hash >= h, wrapping past the top *)
+        let lo = ref 0 and hi = ref npoints in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if fst ring.(mid) < h then lo := mid + 1 else hi := mid
+        done;
+        snd ring.(if !lo = npoints then 0 else !lo)
+      in
+      let assign = Array.make n 0 in
+      (* Explicit loop: session keys must be drawn in arrival order. *)
+      for i = 0 to n - 1 do
+        assign.(i) <- lookup (mix64 (Prng.next rng))
+      done;
+      assign

@@ -1,0 +1,57 @@
+(** Front-end request routing across shards.
+
+    The balancer runs {e before} any shard simulation: it draws the
+    fleet arrival stream once, assigns every arrival to a shard, and
+    hands each shard its slice to replay
+    ({!Cgc_server.Arrival.scripted}).  Routing therefore uses only
+    front-end knowledge — arrival times and the balancer's own model of
+    each shard's backlog — never oracle visibility into shard state,
+    exactly like a real L7 balancer tracking its outstanding requests
+    per backend.  The payoff is that shard simulations stay mutually
+    independent: they can run on any number of host domains and remain
+    byte-identical.
+
+    Three policies:
+
+    {ul
+    {- {e round-robin} — arrival [i] goes to shard [i mod n];}
+    {- {e least-queue-depth} — each shard's backlog is modelled as a
+       fluid queue draining at [workers / service_est_ms]; every
+       arrival goes to the shard whose modelled depth is lowest, ties
+       breaking round-robin (a fixed tie-break would herd the whole
+       fleet onto shard 0 whenever the modelled queues are empty).
+       This is join-shortest-queue as seen from the front end;}
+    {- {e consistent-hash} — shards own [vnodes] points each on a hash
+       ring; every arrival draws a session key from the balancer's PRNG
+       stream and goes to the first shard point clockwise of the key's
+       hash.  Keyed routing concentrates hot sessions, so expect worse
+       tail balance than round-robin at equal load — that skew is the
+       point of measuring it.}} *)
+
+type policy = Round_robin | Least_queue | Consistent_hash
+
+val policy_name : policy -> string
+(** ["round-robin"], ["least-queue"] or ["consistent-hash"]. *)
+
+val policy_of_name : string -> policy option
+(** Accepts the {!policy_name} forms plus the CLI short forms ["rr"],
+    ["lqd"] and ["hash"]. *)
+
+val all_policies : policy list
+
+val route :
+  policy ->
+  nshards:int ->
+  workers:int ->
+  service_est_ms:float ->
+  cycles_per_ms:int ->
+  rng:Cgc_util.Prng.t ->
+  int array ->
+  int array
+(** [route p ~nshards ... ts] maps each arrival timestamp in [ts]
+    (non-decreasing, cycles) to a shard id in [0, nshards).
+    [workers] and [service_est_ms] parameterise the least-queue fluid
+    model (ignored by the other policies); [rng] draws consistent-hash
+    session keys (ignored by the other policies — callers pass a
+    dedicated split stream so policies stay comparable under one
+    seed). *)

@@ -1,0 +1,173 @@
+module Prng = Cgc_util.Prng
+module Cost = Cgc_smp.Cost
+module Server = Cgc_server.Server
+module Arrival = Cgc_server.Arrival
+module Latency = Cgc_server.Latency
+
+type cfg = {
+  shards : int;
+  policy : Balancer.policy;
+  rate_per_s : float;
+  server : Server.cfg;
+  service_est_ms : float;
+  bin_ms : float;
+  gc : Cgc_core.Config.t;
+  heap_mb : float;
+  ncpus : int;
+  seed : int;
+  ms : float;
+  trace : bool;
+  trace_ring : int;
+}
+
+let cfg ?(shards = 4) ?(policy = Balancer.Round_robin)
+    ?(arrival = Arrival.Poisson) ?(queue_cap = 256) ?(workers = 4)
+    ?(timeout_ms = 0.0) ?(slo_ms = 0.0) ?(slo_target = 0.999)
+    ?(throttle_hi = 0) ?(throttle_lo = 0) ?(service_est_ms = 0.12)
+    ?(bin_ms = 10.0) ?(gc = Cgc_core.Config.default) ?(heap_mb = 24.0)
+    ?(ncpus = 4) ?(seed = 1) ?(ms = 2000.0) ?(trace = false)
+    ?(trace_ring = 1 lsl 16) ~rate_per_s () =
+  if shards < 1 then invalid_arg "Cluster.cfg: shards < 1";
+  if service_est_ms <= 0.0 then
+    invalid_arg "Cluster.cfg: service_est_ms must be positive";
+  if bin_ms <= 0.0 then invalid_arg "Cluster.cfg: bin_ms must be positive";
+  if ms <= 0.0 then invalid_arg "Cluster.cfg: ms must be positive";
+  let server =
+    Server.cfg ~arrival ~queue_cap ~workers ~timeout_ms ~slo_ms ~slo_target
+      ~throttle_hi ~throttle_lo
+      ~rate_per_s:(rate_per_s /. float_of_int shards)
+      ()
+  in
+  {
+    shards;
+    policy;
+    rate_per_s;
+    server;
+    service_est_ms;
+    bin_ms;
+    gc;
+    heap_mb;
+    ncpus;
+    seed;
+    ms;
+    trace;
+    trace_ring;
+  }
+
+(* Shard seeds fan out from the fleet seed with a large odd stride, so
+   neighbouring shards' SplitMix64 roots are far apart; +1 keeps shard 0
+   distinct from a plain [cgcsim serve] run at the same seed. *)
+let shard_seed (cfg : cfg) k = cfg.seed + ((k + 1) * 0x632bd5)
+
+type result = { cfg : cfg; shards : Shard.result array }
+
+(* Phase 1a: the fleet arrival stream, drawn once up to the horizon. *)
+let fleet_arrivals (cfg : cfg) ~cycles_per_ms ~rng =
+  let horizon = int_of_float (cfg.ms *. float_of_int cycles_per_ms) in
+  let arr =
+    Arrival.create cfg.server.Server.arrival ~rate_per_s:cfg.rate_per_s
+      ~cycles_per_ms ~rng
+  in
+  let acc = ref [] in
+  let n = ref 0 in
+  let rec go t =
+    if t <= horizon then begin
+      acc := t :: !acc;
+      incr n;
+      go (Arrival.next arr)
+    end
+  in
+  go (Arrival.next arr);
+  let ts = Array.make !n 0 in
+  let i = ref (!n - 1) in
+  List.iter
+    (fun t ->
+      ts.(!i) <- t;
+      decr i)
+    !acc;
+  ts
+
+(* Phase 1b: slice the routed stream into per-shard arrays, preserving
+   arrival order within each shard. *)
+let slice ~nshards ts assign =
+  let counts = Array.make nshards 0 in
+  Array.iter (fun s -> counts.(s) <- counts.(s) + 1) assign;
+  let slices = Array.init nshards (fun s -> Array.make counts.(s) 0) in
+  let fill = Array.make nshards 0 in
+  Array.iteri
+    (fun i s ->
+      slices.(s).(fill.(s)) <- ts.(i);
+      fill.(s) <- fill.(s) + 1)
+    assign;
+  slices
+
+let run ?pool (cfg : cfg) =
+  let pool = match pool with Some p -> p | None -> Dpool.global () in
+  let cycles_per_ms = Cost.default.Cost.cycles_per_ms in
+  (* An own PRNG root, offset from the fleet seed; one split stream for
+     the arrival process, one for consistent-hash session keys, so the
+     arrival stream is identical across routing policies. *)
+  let root = Prng.create (cfg.seed + 0xc1a57e5) in
+  let arr_rng = Prng.split root in
+  let key_rng = Prng.split root in
+  let ts = fleet_arrivals cfg ~cycles_per_ms ~rng:arr_rng in
+  let assign =
+    Balancer.route cfg.policy ~nshards:cfg.shards
+      ~workers:cfg.server.Server.workers ~service_est_ms:cfg.service_est_ms
+      ~cycles_per_ms ~rng:key_rng ts
+  in
+  let slices = slice ~nshards:cfg.shards ts assign in
+  let shard_cfg k : Shard.cfg =
+    {
+      Shard.id = k;
+      seed = shard_seed cfg k;
+      heap_mb = cfg.heap_mb;
+      ncpus = cfg.ncpus;
+      gc = cfg.gc;
+      trace = cfg.trace;
+      trace_ring = cfg.trace_ring;
+      server = cfg.server;
+      bin_ms = cfg.bin_ms;
+      ms = cfg.ms;
+    }
+  in
+  let results =
+    Dpool.map pool
+      (fun k -> Shard.run (shard_cfg k) ~arrivals:slices.(k))
+      (Array.init cfg.shards Fun.id)
+  in
+  { cfg; shards = results }
+
+let fleet_totals (r : result) =
+  Array.fold_left
+    (fun (acc : Server.totals) (s : Shard.result) ->
+      let t = s.Shard.totals in
+      {
+        Server.arrived = acc.Server.arrived + t.Server.arrived;
+        admitted = acc.Server.admitted + t.Server.admitted;
+        shed_full = acc.Server.shed_full + t.Server.shed_full;
+        shed_throttled = acc.Server.shed_throttled + t.Server.shed_throttled;
+        timed_out = acc.Server.timed_out + t.Server.timed_out;
+        completed = acc.Server.completed + t.Server.completed;
+        slo_violations = acc.Server.slo_violations + t.Server.slo_violations;
+        max_depth = Stdlib.max acc.Server.max_depth t.Server.max_depth;
+        lat = Latency.merge acc.Server.lat t.Server.lat;
+      })
+    {
+      Server.arrived = 0;
+      admitted = 0;
+      shed_full = 0;
+      shed_throttled = 0;
+      timed_out = 0;
+      completed = 0;
+      slo_violations = 0;
+      max_depth = 0;
+      lat = Latency.create ();
+    }
+    r.shards
+
+let slo_attainment r = Server.slo_attainment (fleet_totals r)
+
+let slo_breached (r : result) =
+  r.cfg.server.Server.slo_ms > 0.0
+  && slo_attainment r < r.cfg.server.Server.slo_target

@@ -1,0 +1,97 @@
+(** The sharded multi-VM cluster: N shard simulations behind a
+    front-end load balancer, executed on the persistent domain pool.
+
+    A run has three phases:
+
+    {ol
+    {- {e front end} (serial, deterministic): draw the fleet arrival
+       stream once from a dedicated PRNG root, route every arrival to a
+       shard with {!Balancer.route};}
+    {- {e shards} (parallel): each shard replays its routed slice as a
+       complete, self-contained VM + server simulation
+       ({!Shard.run}), distributed over the {!Dpool};}
+    {- {e merge} (serial): per-shard totals fold into fleet totals and
+       the {!Report} derives fleet phenomena from the shards' timeline
+       bins.}}
+
+    Because phase 1 is serial and phase 2's simulations share no state,
+    every per-shard trace and report — and therefore the fleet report —
+    is byte-identical at any pool size. *)
+
+type cfg = {
+  shards : int;
+  policy : Balancer.policy;
+  rate_per_s : float;  (** {e fleet} offered load, requests per second *)
+  server : Cgc_server.Server.cfg;
+      (** per-shard server parameters; its [rate_per_s] is the nominal
+          per-shard share [rate_per_s /. shards] *)
+  service_est_ms : float;
+      (** the balancer's estimate of mean service time, parameterising
+          the least-queue fluid model *)
+  bin_ms : float;  (** fleet-phenomena timeline bin width *)
+  gc : Cgc_core.Config.t;
+  heap_mb : float;  (** per-shard heap *)
+  ncpus : int;  (** per-shard simulated CPUs *)
+  seed : int;  (** fleet seed; shard seeds are derived from it *)
+  ms : float;
+  trace : bool;  (** arm every shard's event sink *)
+  trace_ring : int;
+}
+
+val cfg :
+  ?shards:int ->
+  ?policy:Balancer.policy ->
+  ?arrival:Cgc_server.Arrival.kind ->
+  ?queue_cap:int ->
+  ?workers:int ->
+  ?timeout_ms:float ->
+  ?slo_ms:float ->
+  ?slo_target:float ->
+  ?throttle_hi:int ->
+  ?throttle_lo:int ->
+  ?service_est_ms:float ->
+  ?bin_ms:float ->
+  ?gc:Cgc_core.Config.t ->
+  ?heap_mb:float ->
+  ?ncpus:int ->
+  ?seed:int ->
+  ?ms:float ->
+  ?trace:bool ->
+  ?trace_ring:int ->
+  rate_per_s:float ->
+  unit ->
+  cfg
+(** Defaults: 4 shards, round-robin, Poisson arrivals, per-shard queue
+    of 256 and 4 workers, no timeout/SLO/throttle, 0.12 ms service
+    estimate, 10 ms bins, CGC with paper parameters, 24 MB heap and
+    4 CPUs per shard, seed 1, 2000 ms, tracing off.  The server
+    overload-control options mirror [cgcsim serve]; [rate_per_s] is the
+    whole fleet's offered load.  Raises [Invalid_argument] on
+    non-positive shard count, bin width or service estimate, and
+    whatever {!Cgc_server.Server.cfg} rejects. *)
+
+val shard_seed : cfg -> int -> int
+(** The derived VM seed for shard [k] — exposed so a single shard can
+    be re-run standalone (e.g. to re-trace one shard of a campaign). *)
+
+type result = {
+  cfg : cfg;
+  shards : Shard.result array;  (** indexed by shard id *)
+}
+
+val run : ?pool:Dpool.t -> cfg -> result
+(** Execute the three phases.  [pool] defaults to {!Dpool.global} (so
+    [--jobs] controls shard parallelism); a shard that raises is
+    re-raised here after the remaining shards finish. *)
+
+val fleet_totals : result -> Cgc_server.Server.totals
+(** Sum of every shard's counters, maximum of queue high-water marks,
+    histogram-merge of latency accounting — the same shape a single
+    server reports, so SLO accounting composes. *)
+
+val slo_attainment : result -> float
+(** {!Cgc_server.Server.slo_attainment} of {!fleet_totals}. *)
+
+val slo_breached : result -> bool
+(** An SLO was configured and {e fleet} attainment is below target —
+    the [cgcsim cluster] exit-6 condition. *)

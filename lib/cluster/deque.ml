@@ -1,0 +1,39 @@
+(* SPMC array deque: the owner advances [tail] (plain writes — the pool
+   publishes the filled deque to consumers with an atomic release, so
+   pushes happen-before every take), consumers race on [head] with a
+   CAS.  Slots hold job indices; a power-of-two ring keeps the index
+   math branch-free. *)
+
+type t = {
+  mask : int;
+  buf : int array;
+  head : int Atomic.t; (* next slot to take *)
+  tail : int Atomic.t; (* next slot to fill; stored atomically so a
+                          thief's bounds check reads a published value *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ~capacity =
+  let cap = pow2 (Stdlib.max 1 capacity) 1 in
+  {
+    mask = cap - 1;
+    buf = Array.make cap (-1);
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let push t job =
+  let tl = Atomic.get t.tail in
+  if tl - Atomic.get t.head > t.mask then invalid_arg "Deque.push: full";
+  t.buf.(tl land t.mask) <- job;
+  Atomic.set t.tail (tl + 1)
+
+let rec take t =
+  let hd = Atomic.get t.head in
+  if hd >= Atomic.get t.tail then None
+  else
+    let job = t.buf.(hd land t.mask) in
+    if Atomic.compare_and_set t.head hd (hd + 1) then Some job else take t
+
+let length t = Stdlib.max 0 (Atomic.get t.tail - Atomic.get t.head)

@@ -1,0 +1,34 @@
+(** Single-producer multi-consumer work deque.
+
+    The {!Dpool} scheduler gives every worker domain one of these: the
+    owner pushes its assigned jobs at the tail, and {e any} domain —
+    owner included — takes from the head with a CAS, so an idle worker
+    steals the oldest job of a loaded peer (the
+    work-stealing-scheduler idiom of ebsl's [spmc_queue.ml] /
+    [scheduler.ml]).  Taking from the head keeps steals FIFO, which
+    favours large, early jobs — the right granularity when each job is
+    a whole simulation.
+
+    Only the owner may call {!push}, and only before consumers start
+    taking (the pool distributes a batch up front, then publishes it);
+    {!take} is safe from any number of domains concurrently. *)
+
+type t
+
+val create : capacity:int -> t
+(** A deque able to hold [capacity] jobs (rounded up to a power of
+    two).  Jobs are integers — the pool indexes its batch array. *)
+
+val push : t -> int -> unit
+(** Owner-only tail push.  Raises [Invalid_argument] when full — the
+    pool sizes each deque for its whole share of the batch, so a full
+    deque is a scheduler bug, not a recoverable condition. *)
+
+val take : t -> int option
+(** Pop the oldest job, racing any other consumer for it; [None] when
+    the deque is (momentarily) empty.  Each pushed job is returned by
+    exactly one successful [take] across all domains. *)
+
+val length : t -> int
+(** Jobs currently enqueued (racy under concurrent takes; exact once
+    consumers are quiescent). *)

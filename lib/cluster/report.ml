@@ -1,0 +1,268 @@
+module Json = Cgc_prof.Json
+module Server = Cgc_server.Server
+module Server_report = Cgc_server.Report
+module Latency = Cgc_server.Latency
+
+let schema = "cgcsim-cluster-v1"
+
+(* ------------------------------------------------------------------ *)
+(* Derived views                                                       *)
+
+type spread = { min : int; max : int; mean : float; cv : float }
+
+let spread_of xs =
+  let n = Array.length xs in
+  if n = 0 then { min = 0; max = 0; mean = 0.0; cv = 0.0 }
+  else begin
+    let mn = ref xs.(0) and mx = ref xs.(0) and sum = ref 0 in
+    Array.iter
+      (fun x ->
+        if x < !mn then mn := x;
+        if x > !mx then mx := x;
+        sum := !sum + x)
+      xs;
+    let mean = float_of_int !sum /. float_of_int n in
+    let var =
+      Array.fold_left
+        (fun acc x ->
+          let d = float_of_int x -. mean in
+          acc +. (d *. d))
+        0.0 xs
+      /. float_of_int n
+    in
+    let cv = if mean = 0.0 then 0.0 else sqrt var /. mean in
+    { min = !mn; max = !mx; mean; cv }
+  end
+
+type phenomena = {
+  bins : int;
+  co_max_stopped : int;  (** most shards stopped in one bin *)
+  co_frac : float;  (** fraction of bins with >= 2 shards stopped *)
+  shed_total : int;
+  shed_peak_bin : int;  (** most fleet sheds in one bin *)
+  shed_max_shards : int;  (** most shards shedding in one bin *)
+  shed_frac : float;  (** fraction of bins with any shed *)
+}
+
+let phenomena (r : Cluster.result) =
+  let shards = r.Cluster.shards in
+  let bins =
+    Array.fold_left
+      (fun acc s -> Stdlib.max acc (Array.length s.Shard.stopped_ms))
+      1 shards
+  in
+  let co_max = ref 0 and co_bins = ref 0 in
+  let shed_total = ref 0
+  and shed_peak = ref 0
+  and shed_max_shards = ref 0
+  and shed_bins = ref 0 in
+  for b = 0 to bins - 1 do
+    let stopped = ref 0 and shedding = ref 0 and bin_sheds = ref 0 in
+    Array.iter
+      (fun s ->
+        if b < Array.length s.Shard.stopped_ms && s.Shard.stopped_ms.(b) > 0.0
+        then incr stopped;
+        if b < Array.length s.Shard.sheds && s.Shard.sheds.(b) > 0 then begin
+          incr shedding;
+          bin_sheds := !bin_sheds + s.Shard.sheds.(b)
+        end)
+      shards;
+    if !stopped > !co_max then co_max := !stopped;
+    if !stopped >= 2 then incr co_bins;
+    shed_total := !shed_total + !bin_sheds;
+    if !bin_sheds > !shed_peak then shed_peak := !bin_sheds;
+    if !shedding > !shed_max_shards then shed_max_shards := !shedding;
+    if !bin_sheds > 0 then incr shed_bins
+  done;
+  let frac n = float_of_int n /. float_of_int bins in
+  {
+    bins;
+    co_max_stopped = !co_max;
+    co_frac = frac !co_bins;
+    shed_total = !shed_total;
+    shed_peak_bin = !shed_peak;
+    shed_max_shards = !shed_max_shards;
+    shed_frac = frac !shed_bins;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let spread_json s =
+  Json.Obj
+    [
+      ("min", Json.Int s.min);
+      ("max", Json.Int s.max);
+      ("mean", Json.Float s.mean);
+      ("cv", Json.Float s.cv);
+    ]
+
+let shard_json (cfg : Cluster.cfg) (s : Shard.result) =
+  Json.Obj
+    [
+      ("id", Json.Int s.Shard.id);
+      ("seed", Json.Int s.Shard.seed);
+      ("routed", Json.Int s.Shard.routed);
+      ("gcCycles", Json.Int s.Shard.gc_cycles);
+      ("maxPauseMs", Json.Float s.Shard.max_pause_ms);
+      ("droppedEvents", Json.Int s.Shard.dropped);
+      ( "server",
+        Server_report.to_json cfg.Cluster.server ~ran_ms:cfg.Cluster.ms
+          s.Shard.totals );
+    ]
+
+let to_json (r : Cluster.result) =
+  let cfg = r.Cluster.cfg in
+  let tot = Cluster.fleet_totals r in
+  let lat = tot.Server.lat in
+  let ph = phenomena r in
+  let per_shard f = Array.map f r.Cluster.shards in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("shards", Json.Int cfg.Cluster.shards);
+      ("policy", Json.Str (Balancer.policy_name cfg.Cluster.policy));
+      ("ratePerS", Json.Float cfg.Cluster.rate_per_s);
+      ("sloMs", Json.Float cfg.Cluster.server.Server.slo_ms);
+      ("sloTarget", Json.Float cfg.Cluster.server.Server.slo_target);
+      ("ranMs", Json.Float cfg.Cluster.ms);
+      ("binMs", Json.Float cfg.Cluster.bin_ms);
+      ( "fleet",
+        Json.Obj
+          [
+            ( "counts",
+              Json.Obj
+                [
+                  ("arrived", Json.Int tot.Server.arrived);
+                  ("admitted", Json.Int tot.Server.admitted);
+                  ("shedFull", Json.Int tot.Server.shed_full);
+                  ("shedThrottled", Json.Int tot.Server.shed_throttled);
+                  ("timedOut", Json.Int tot.Server.timed_out);
+                  ("completed", Json.Int tot.Server.completed);
+                  ("sloViolations", Json.Int tot.Server.slo_violations);
+                  ("maxQueueDepth", Json.Int tot.Server.max_depth);
+                ] );
+            ( "completedPerS",
+              Json.Float
+                (if cfg.Cluster.ms <= 0.0 then 0.0
+                 else
+                   float_of_int tot.Server.completed
+                   /. (cfg.Cluster.ms /. 1000.0)) );
+            ("sloAttainment", Json.Float (Server.slo_attainment tot));
+            ( "latencyMs",
+              Json.Obj
+                [
+                  ("e2e", Server_report.hist_json (Latency.e2e lat));
+                  ("queueing", Server_report.hist_json (Latency.queueing lat));
+                  ("service", Server_report.hist_json (Latency.service lat));
+                  ("gcInflation", Server_report.hist_json (Latency.gc lat));
+                ] );
+          ] );
+      ( "balance",
+        Json.Obj
+          [
+            ( "routed",
+              spread_json (spread_of (per_shard (fun s -> s.Shard.routed))) );
+            ( "completed",
+              spread_json
+                (spread_of
+                   (per_shard (fun s -> s.Shard.totals.Server.completed))) );
+          ] );
+      ( "phenomena",
+        Json.Obj
+          [
+            ("bins", Json.Int ph.bins);
+            ( "coStopped",
+              Json.Obj
+                [
+                  ("maxShardsStopped", Json.Int ph.co_max_stopped);
+                  ("binsAtLeast2Frac", Json.Float ph.co_frac);
+                ] );
+            ( "shedStorm",
+              Json.Obj
+                [
+                  ("totalSheds", Json.Int ph.shed_total);
+                  ("peakBinSheds", Json.Int ph.shed_peak_bin);
+                  ("maxShardsShedding", Json.Int ph.shed_max_shards);
+                  ("binsWithShedsFrac", Json.Float ph.shed_frac);
+                ] );
+          ] );
+      ("perShard", Json.Arr (Array.to_list (per_shard (shard_json cfg))));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Text                                                                *)
+
+let text (r : Cluster.result) =
+  let cfg = r.Cluster.cfg in
+  let tot = Cluster.fleet_totals r in
+  let ph = phenomena r in
+  let b = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "cluster: %d shards, %s routing, %.0f req/s fleet, %.1f ms run\n"
+    cfg.Cluster.shards
+    (Balancer.policy_name cfg.Cluster.policy)
+    cfg.Cluster.rate_per_s cfg.Cluster.ms;
+  pf "  %-5s %9s %9s %9s %9s %6s %9s\n" "shard" "routed" "completed" "shed"
+    "timedout" "gc" "maxP(ms)";
+  Array.iter
+    (fun (s : Shard.result) ->
+      let t = s.Shard.totals in
+      pf "  %-5d %9d %9d %9d %9d %6d %9.3f\n" s.Shard.id s.Shard.routed
+        t.Server.completed
+        (t.Server.shed_full + t.Server.shed_throttled)
+        t.Server.timed_out s.Shard.gc_cycles s.Shard.max_pause_ms)
+    r.Cluster.shards;
+  let routed = spread_of (Array.map (fun s -> s.Shard.routed) r.Cluster.shards)
+  and completed =
+    spread_of
+      (Array.map (fun s -> s.Shard.totals.Server.completed) r.Cluster.shards)
+  in
+  pf "  balance: routed %d..%d (cv %.4f), completed %d..%d (cv %.4f)\n"
+    routed.min routed.max routed.cv completed.min completed.max completed.cv;
+  pf
+    "  fleet: arrived %d  completed %d (%.0f/s)  shed %d+%d  timed-out %d  \
+     max-depth %d\n"
+    tot.Server.arrived tot.Server.completed
+    (if cfg.Cluster.ms <= 0.0 then 0.0
+     else float_of_int tot.Server.completed /. (cfg.Cluster.ms /. 1000.0))
+    tot.Server.shed_full tot.Server.shed_throttled tot.Server.timed_out
+    tot.Server.max_depth;
+  if cfg.Cluster.server.Server.slo_ms > 0.0 then
+    pf "  fleet SLO %.1f ms: attainment %.4f (target %.4f), %d violations\n"
+      cfg.Cluster.server.Server.slo_ms
+      (Server.slo_attainment tot)
+      cfg.Cluster.server.Server.slo_target tot.Server.slo_violations;
+  pf
+    "  phenomena (%d bins of %.0f ms): co-stopped max %d shards \
+     (>=2 in %.1f%% of bins); sheds %d total, peak bin %d, max %d shards \
+     shedding (%.1f%% of bins)\n"
+    ph.bins cfg.Cluster.bin_ms ph.co_max_stopped
+    (100.0 *. ph.co_frac)
+    ph.shed_total ph.shed_peak_bin ph.shed_max_shards
+    (100.0 *. ph.shed_frac);
+  let lat = tot.Server.lat in
+  let module Histogram = Cgc_util.Histogram in
+  pf "  %-12s %8s %8s %8s %8s %8s %8s\n" "latency (ms)" "mean" "p50" "p95"
+    "p99" "p99.9" "max";
+  let row name h =
+    let v p = Histogram.percentile h p in
+    pf "  %-12s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n" name (Histogram.mean h)
+      (v 50.0) (v 95.0) (v 99.0) (v 99.9)
+      (if Histogram.count h = 0 then 0.0 else Histogram.max h)
+  in
+  row "end-to-end" (Latency.e2e lat);
+  row "queueing" (Latency.queueing lat);
+  row "service" (Latency.service lat);
+  row "gc-inflation" (Latency.gc lat);
+  Buffer.contents b
+
+let validate s =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok j -> (
+      match Json.member "schema" j with
+      | Some (Json.Str v) when v = schema -> Ok j
+      | Some (Json.Str v) ->
+          Error (Printf.sprintf "schema mismatch: expected %s, got %s" schema v)
+      | _ -> Error "missing schema tag")

@@ -1,0 +1,104 @@
+module Vm = Cgc_runtime.Vm
+module Sched = Cgc_sim.Sched
+module Machine = Cgc_smp.Machine
+module Cost = Cgc_smp.Cost
+module Server = Cgc_server.Server
+module Arrival = Cgc_server.Arrival
+module Obs = Cgc_obs.Obs
+module Gstats = Cgc_core.Gstats
+module Histogram = Cgc_util.Histogram
+
+type cfg = {
+  id : int;
+  seed : int;
+  heap_mb : float;
+  ncpus : int;
+  gc : Cgc_core.Config.t;
+  trace : bool;
+  trace_ring : int;
+  server : Server.cfg;
+  bin_ms : float;
+  ms : float;
+}
+
+type result = {
+  id : int;
+  seed : int;
+  routed : int;
+  totals : Server.totals;
+  gc_cycles : int;
+  max_pause_ms : float;
+  stopped_ms : float array;
+  sheds : int array;
+  trace : string option;
+  dropped : int;
+}
+
+let nbins ~ms ~bin_ms =
+  if bin_ms <= 0.0 then invalid_arg "Shard.nbins: bin_ms must be positive";
+  Stdlib.max 1 (int_of_float (Float.ceil (ms /. bin_ms)))
+
+(* The timeline sampler: an [on_advance] hook registered after the
+   server's, so by the time it runs at timestamp [now] the server has
+   already admitted/shed every arrival up to [now].  It integrates
+   stopped-world time the same way [Server.on_tick] does (previous
+   stopped flag times the elapsed interval) and differences the
+   monotone shed counter; both land in the bin of the interval start,
+   which is exact to within one scheduler tick — far finer than a
+   bin. *)
+let install_sampler vm srv ~nbins ~bin_cycles ~stopped ~sheds =
+  ignore (nbins : int);
+  let last = Array.length stopped - 1 in
+  let bin t = Stdlib.min last (t / bin_cycles) in
+  let prev_now = ref 0 in
+  let prev_stopped = ref false in
+  let prev_shed = ref 0 in
+  Sched.on_advance (Vm.sched vm) (fun now ->
+      if !prev_stopped then
+        stopped.(bin !prev_now) <-
+          stopped.(bin !prev_now) + (now - !prev_now);
+      prev_now := now;
+      prev_stopped := Sched.world_stopped (Vm.sched vm);
+      let s = Server.shed_now srv in
+      if s <> !prev_shed then begin
+        sheds.(bin now) <- sheds.(bin now) + (s - !prev_shed);
+        prev_shed := s
+      end)
+
+let run (cfg : cfg) ~arrivals =
+  let vm =
+    Vm.create
+      (Vm.config ~heap_mb:cfg.heap_mb ~ncpus:cfg.ncpus ~seed:cfg.seed
+         ~gc:cfg.gc ~trace:cfg.trace ~trace_ring:cfg.trace_ring ())
+  in
+  let srv =
+    Server.create ~arrivals:(Arrival.scripted arrivals) cfg.server vm
+  in
+  let mach = Vm.machine vm in
+  let cycles_per_ms = mach.Machine.cost.Cost.cycles_per_ms in
+  let nb = nbins ~ms:cfg.ms ~bin_ms:cfg.bin_ms in
+  let bin_cycles =
+    Stdlib.max 1 (int_of_float (cfg.bin_ms *. float_of_int cycles_per_ms))
+  in
+  let stopped = Array.make nb 0 in
+  let sheds = Array.make nb 0 in
+  install_sampler vm srv ~nbins:nb ~bin_cycles ~stopped ~sheds;
+  Vm.run vm ~ms:cfg.ms;
+  let gs = Vm.gc_stats vm in
+  let pauses = gs.Gstats.pause_ms in
+  {
+    id = cfg.id;
+    seed = cfg.seed;
+    routed = Array.length arrivals;
+    totals = Server.totals srv;
+    gc_cycles = gs.Gstats.cycles;
+    max_pause_ms =
+      (if Histogram.count pauses = 0 then 0.0 else Histogram.max pauses);
+    stopped_ms =
+      Array.map
+        (fun c -> float_of_int c /. float_of_int cycles_per_ms)
+        stopped;
+    sheds;
+    trace = (if cfg.trace then Some (Vm.trace_json vm) else None);
+    dropped = Obs.dropped (Vm.obs vm);
+  }

@@ -1,0 +1,55 @@
+(** One shard: a complete VM + collector + open-loop server, replaying
+    its routed slice of the fleet arrival stream.
+
+    A shard is a self-contained simulation — its own heap, collector,
+    PRNG streams and event sink — so shards run on any host domain with
+    no shared mutable state, and a shard's trace, report and totals are
+    byte-identical at every [--jobs] count.  The only cluster-specific
+    machinery is a scheduler hook that samples stop-the-world time and
+    shed counts into fixed [bin_ms] timeline bins, which is what lets
+    the fleet report detect {e correlated} phenomena (co-stopped shards,
+    shed storms) without the shards ever communicating. *)
+
+type cfg = {
+  id : int;  (** shard index in [0, shards) *)
+  seed : int;  (** this shard's VM seed (derived from the fleet seed) *)
+  heap_mb : float;
+  ncpus : int;
+  gc : Cgc_core.Config.t;
+  trace : bool;  (** arm the event sink (costs memory on long runs) *)
+  trace_ring : int;
+  server : Cgc_server.Server.cfg;
+      (** per-shard server parameters; its [rate_per_s] is the nominal
+          fleet share — the actual arrivals are the scripted slice *)
+  bin_ms : float;  (** timeline bin width for fleet-phenomena sampling *)
+  ms : float;  (** simulated milliseconds to run *)
+}
+
+type result = {
+  id : int;
+  seed : int;
+  routed : int;  (** arrivals the balancer sent this shard *)
+  totals : Cgc_server.Server.totals;
+  gc_cycles : int;
+  max_pause_ms : float;
+  stopped_ms : float array;
+      (** per timeline bin: simulated ms this shard's world was stopped *)
+  sheds : int array;  (** per timeline bin: requests shed in that bin *)
+  trace : string option;  (** Chrome trace JSON when [cfg.trace] *)
+  dropped : int;  (** events lost to ring overflow (exit-5 territory) *)
+}
+(** Plain values only — the worker domain extracts everything from the
+    VM before returning, so no simulation state escapes the domain that
+    ran it. *)
+
+val nbins : ms:float -> bin_ms:float -> int
+(** Timeline bin count for a run: [ceil (ms / bin_ms)], at least 1.
+    Exposed so {!Report} can label bins without re-deriving it. *)
+
+val run : cfg -> arrivals:int array -> result
+(** Build the VM, attach the server with
+    [Cgc_server.Arrival.scripted arrivals], install the timeline
+    sampler, run for [cfg.ms] simulated milliseconds and extract the
+    result.  Raises whatever the simulation raises
+    ([Cgc_core.Collector.Out_of_memory], invariant violations) — the
+    pool re-raises in the caller. *)

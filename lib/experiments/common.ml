@@ -70,62 +70,52 @@ let reset_recorded () = recorded_rev := []
    Prng, Sched, Obs) is a self-contained value, so distinct items can
    run in distinct domains without sharing any mutable simulation state.
    The simulated results are identical at every job count; only host
-   wall-clock changes. *)
+   wall-clock changes.
 
-let jobs_ref = ref 1
-let set_jobs n = jobs_ref := Stdlib.max 1 n
-let jobs () = !jobs_ref
+   Since the cluster PR the domains come from the persistent
+   work-stealing pool ({!Cgc_cluster.Dpool}) shared with the cluster
+   layer and the bench matrix: --jobs resizes one process-wide pool
+   instead of every par_map spawning and joining its own domains. *)
+
+module Dpool = Cgc_cluster.Dpool
+
+let set_jobs n = Dpool.set_size n
+let jobs () = Dpool.global_size ()
 
 let par_map (type a b) ?progress (items : a list) (f : a -> b) : b list =
   let items = Array.of_list items in
   let n = Array.length items in
-  let njobs = Stdlib.max 1 (Stdlib.min (jobs ()) n) in
   let results : b option array = Array.make n None in
   let records : metrics list array = Array.make n [] in
-  let next = Atomic.make 0 in
   let mu = Mutex.create () in
-  let worker () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (match progress with
-        | None -> ()
-        | Some p ->
-            Mutex.lock mu;
-            (try p i items.(i) with e -> Mutex.unlock mu; raise e);
-            Mutex.unlock mu);
-        (* Divert this item's metrics records to a private sink so the
-           global registry sees them in item order, not in domain
-           completion order. *)
-        let sink = ref [] in
-        Domain.DLS.set sink_key (Some sink);
-        let r =
-          Fun.protect
-            ~finally:(fun () -> Domain.DLS.set sink_key None)
-            (fun () -> f items.(i))
-        in
-        results.(i) <- Some r;
-        records.(i) <- List.rev !sink;
-        loop ()
-      end
-    in
-    loop ()
-  in
-  let helpers = List.init (njobs - 1) (fun _ -> Domain.spawn worker) in
-  let main_exn = try worker (); None with e -> Some e in
-  let helper_exns =
-    List.filter_map
-      (fun d -> try Domain.join d; None with e -> Some e)
-      helpers
-  in
-  (match (main_exn, helper_exns) with
-  | Some e, _ | None, e :: _ -> raise e
-  | None, [] -> ());
+  Dpool.run (Dpool.global ()) ~n (fun i ->
+      (match progress with
+      | None -> ()
+      | Some p ->
+          Mutex.lock mu;
+          (try p i items.(i)
+           with e ->
+             Mutex.unlock mu;
+             raise e);
+          Mutex.unlock mu);
+      (* Divert this item's metrics records to a private sink so the
+         global registry sees them in item order, not in domain
+         completion order.  The previous sink is restored on the way
+         out, so a nested par_map (which the pool runs inline) splices
+         its records into the enclosing item's sink. *)
+      let sink = ref [] in
+      let saved = Domain.DLS.get sink_key in
+      Domain.DLS.set sink_key (Some sink);
+      let r =
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set sink_key saved)
+          (fun () -> f items.(i))
+      in
+      results.(i) <- Some r;
+      records.(i) <- List.rev !sink);
   Array.iter (fun rs -> List.iter record rs) records;
   Array.to_list
-    (Array.map
-       (function Some r -> r | None -> assert false)
-       results)
+    (Array.map (function Some r -> r | None -> assert false) results)
 
 let metrics_csv_header =
   [ "label"; "throughput"; "avg_pause_ms"; "max_pause_ms"; "avg_mark_ms";

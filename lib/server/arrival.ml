@@ -10,13 +10,25 @@ let kind_name = function
   | Constant -> "constant"
   | Bursty _ -> "bursty"
 
-type t = {
+type gen = {
   kind : kind;
   rate_ms : float; (* average arrivals per simulated millisecond *)
   cycles_per_ms : float;
   rng : Prng.t;
   mutable t_ms : float; (* the arrival process's own clock *)
 }
+
+type t =
+  | Gen of gen
+  | Scripted of { ts : int array; mutable i : int }
+
+let scripted ts =
+  let n = Array.length ts in
+  for i = 1 to n - 1 do
+    if ts.(i) < ts.(i - 1) then
+      invalid_arg "Arrival.scripted: timestamps must be non-decreasing"
+  done;
+  Scripted { ts; i = 0 }
 
 let create kind ~rate_per_s ~cycles_per_ms ~rng =
   if rate_per_s <= 0.0 then invalid_arg "Arrival.create: rate must be positive";
@@ -26,13 +38,14 @@ let create kind ~rate_per_s ~cycles_per_ms ~rng =
         invalid_arg "Arrival.create: bursty windows must be positive";
       if factor < 1.0 then invalid_arg "Arrival.create: burst factor < 1"
   | Poisson | Constant -> ());
-  {
-    kind;
-    rate_ms = rate_per_s /. 1000.0;
-    cycles_per_ms = float_of_int cycles_per_ms;
-    rng;
-    t_ms = 0.0;
-  }
+  Gen
+    {
+      kind;
+      rate_ms = rate_per_s /. 1000.0;
+      cycles_per_ms = float_of_int cycles_per_ms;
+      rng;
+      t_ms = 0.0;
+    }
 
 (* Instantaneous rate (arrivals/ms) at time [ms].  The bursty off-window
    rate is derived so the period average equals [rate_ms]:
@@ -60,7 +73,7 @@ let boundary_after t ms =
    carrying the residual across window boundaries (the standard
    inversion for non-homogeneous processes).  Constant spacing is the
    degenerate case with a budget of exactly 1. *)
-let next t =
+let next_gen t =
   let budget =
     match t.kind with
     | Constant -> 1.0
@@ -83,3 +96,13 @@ let next t =
   in
   consume budget;
   int_of_float (t.t_ms *. t.cycles_per_ms)
+
+let next = function
+  | Gen g -> next_gen g
+  | Scripted s ->
+      if s.i >= Array.length s.ts then max_int
+      else begin
+        let ts = s.ts.(s.i) in
+        s.i <- s.i + 1;
+        ts
+      end

@@ -29,6 +29,16 @@ val create :
     second; must be positive.  Bursty windows must be positive and
     [factor >= 1]. *)
 
+val scripted : int array -> t
+(** An arrival process that replays a precomputed, non-decreasing list
+    of cycle timestamps, then returns [max_int] forever.  This is how
+    the cluster front end feeds each shard its routed share of the
+    fleet arrival stream: the balancer draws the fleet process once
+    (host-side, deterministic), routes every arrival to a shard, and
+    each shard replays its slice — so shard simulations stay
+    independent of each other and of the host domain count.  Raises
+    [Invalid_argument] on a decreasing timestamp. *)
+
 val next : t -> int
 (** The next arrival timestamp in simulated cycles.  Non-decreasing;
     each call advances the process. *)

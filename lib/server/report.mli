@@ -7,6 +7,11 @@
 val schema : string
 (** ["cgcsim-server-v1"]. *)
 
+val hist_json : Cgc_util.Histogram.t -> Cgc_prof.Json.t
+(** The percentile-object shape shared by every latency block
+    ([count]/[mean]/[min]/[p50]/[p95]/[p99]/[p999]/[max]) — exposed so
+    the cluster report renders fleet-merged histograms identically. *)
+
 val text : Server.cfg -> ran_ms:float -> Server.totals -> string
 (** Human-readable summary: offered/served rates, the overload-control
     counters, and the latency decomposition's percentile table. *)

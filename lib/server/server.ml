@@ -111,6 +111,7 @@ type t = {
 let the_cfg t = t.cfg
 let queue_depth t = Queue.length t.queue
 let in_flight t = t.in_flight
+let shed_now t = t.shed_full + t.shed_throttled
 
 (* ------------------------------------------------------------------ *)
 (* Admission (host side, from the scheduler hook)                      *)
@@ -216,15 +217,19 @@ let attach_probes t =
             float_of_int t.in_flight)
       end
 
-let create (cfg : cfg) vm =
+let create ?arrivals (cfg : cfg) vm =
   let mach = Vm.machine vm in
   let cycles_per_ms = mach.Machine.cost.Cost.cycles_per_ms in
   (* An own PRNG root, offset from the VM's seed so the arrival stream
-     is not the VM's mutator-split stream. *)
-  let root = Prng.create ((Vm.the_config vm).Vm.seed + 0x5e7fe1d) in
+     is not the VM's mutator-split stream.  A cluster shard passes the
+     balancer's routed timestamp slice as [arrivals] instead. *)
   let arr =
-    Arrival.create cfg.arrival ~rate_per_s:cfg.rate_per_s ~cycles_per_ms
-      ~rng:(Prng.split root)
+    match arrivals with
+    | Some a -> a
+    | None ->
+        let root = Prng.create ((Vm.the_config vm).Vm.seed + 0x5e7fe1d) in
+        Arrival.create cfg.arrival ~rate_per_s:cfg.rate_per_s ~cycles_per_ms
+          ~rng:(Prng.split root)
   in
   let nslots = Heap.nslots (Vm.heap vm) in
   let target_slots =

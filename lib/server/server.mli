@@ -67,12 +67,17 @@ val cfg :
 
 type t
 
-val create : cfg -> Cgc_runtime.Vm.t -> t
+val create : ?arrivals:Arrival.t -> cfg -> Cgc_runtime.Vm.t -> t
 (** Spawns the worker mutators, installs the arrival hook, registers a
     {!Cgc_runtime.Vm.on_reset} hook so warm-up statistics are discarded
     by [run_measured], and — when a profiler is already enabled —
     attaches the queue-depth / in-flight probes.  Call before
-    {!Cgc_runtime.Vm.run}. *)
+    {!Cgc_runtime.Vm.run}.
+
+    [arrivals] overrides the arrival process built from the [cfg]
+    fields — the cluster layer passes {!Arrival.scripted} slices of the
+    routed fleet stream here, so a shard serves exactly the requests
+    the balancer sent it. *)
 
 val the_cfg : t -> cfg
 
@@ -85,6 +90,10 @@ val attach_probes : t -> unit
 
 val queue_depth : t -> int
 val in_flight : t -> int
+
+val shed_now : t -> int
+(** Requests shed so far (queue-full + throttled) — an O(1) read the
+    cluster shard's timeline sampler polls every scheduler tick. *)
 
 type totals = {
   arrived : int;  (** every generated arrival, including shed ones *)

@@ -1,0 +1,348 @@
+(* Tests for the cluster layer (cgc_cluster): the SPMC work deque under
+   concurrent consumers, the persistent domain pool (exactly-once,
+   order-identical results at every size, exception propagation, the
+   par_map registry splicing), the three routing policies, shard/fleet
+   determinism across pool sizes (byte-identical traces and report),
+   and the cgcsim-cluster-v1 schema round-trip. *)
+
+module Json = Cgc_prof.Json
+module Deque = Cgc_cluster.Deque
+module Dpool = Cgc_cluster.Dpool
+module Balancer = Cgc_cluster.Balancer
+module Cluster = Cgc_cluster.Cluster
+module Shard = Cgc_cluster.Shard
+module Cluster_report = Cgc_cluster.Report
+module Server = Cgc_server.Server
+module Arrival = Cgc_server.Arrival
+module Prng = Cgc_util.Prng
+module Common = Cgc_experiments.Common
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cpm = 550_000 (* Cost.default.cycles_per_ms *)
+
+(* ------------------------------ deque ------------------------------ *)
+
+let test_deque_fifo () =
+  let d = Deque.create ~capacity:16 in
+  for i = 0 to 9 do
+    Deque.push d i
+  done;
+  check ci "length" 10 (Deque.length d);
+  for i = 0 to 9 do
+    check (Alcotest.option ci) "fifo order" (Some i) (Deque.take d)
+  done;
+  check (Alcotest.option ci) "empty" None (Deque.take d)
+
+let test_deque_concurrent_take_once () =
+  (* 4 consumer domains race on one deque; every job must be taken
+     exactly once. *)
+  let n = 10_000 in
+  let d = Deque.create ~capacity:(1 lsl 14) in
+  for i = 0 to n - 1 do
+    Deque.push d i
+  done;
+  let seen = Array.init n (fun _ -> Atomic.make 0) in
+  let taker () =
+    let rec go () =
+      match Deque.take d with
+      | Some job ->
+          Atomic.incr seen.(job);
+          go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let doms = List.init 4 (fun _ -> Domain.spawn taker) in
+  List.iter Domain.join doms;
+  check ci "deque drained" 0 (Deque.length d);
+  Array.iteri
+    (fun i c ->
+      if Atomic.get c <> 1 then
+        Alcotest.failf "job %d taken %d times" i (Atomic.get c))
+    seen
+
+(* ------------------------------ dpool ------------------------------ *)
+
+let test_pool_exactly_once () =
+  let pool = Dpool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Dpool.shutdown pool)
+    (fun () ->
+      let n = 1000 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Dpool.run pool ~n (fun i -> Atomic.incr hits.(i));
+      Array.iteri
+        (fun i c ->
+          if Atomic.get c <> 1 then
+            Alcotest.failf "job %d ran %d times" i (Atomic.get c))
+        hits)
+
+let test_pool_exception () =
+  let pool = Dpool.create ~domains:3 in
+  Fun.protect
+    ~finally:(fun () -> Dpool.shutdown pool)
+    (fun () ->
+      let ran = Array.init 20 (fun _ -> Atomic.make 0) in
+      (match
+         Dpool.run pool ~n:20 (fun i ->
+             Atomic.incr ran.(i);
+             if i = 7 then failwith "job 7")
+       with
+      | () -> Alcotest.fail "expected the job's exception"
+      | exception Failure msg -> check Alcotest.string "message" "job 7" msg);
+      (* every other job still ran *)
+      Array.iter (fun c -> check ci "ran once" 1 (Atomic.get c)) ran)
+
+let qcheck_pool_map_matches_serial =
+  QCheck.Test.make
+    ~name:"dpool: map result order-identical to serial at any size"
+    ~count:60
+    QCheck.(triple (int_range 1 8) (int_range 0 64) small_int)
+    (fun (domains, n, salt) ->
+      let items = Array.init n (fun i -> i + salt) in
+      let f x = (x * x) + (x lxor 0x55) in
+      let pool = Dpool.create ~domains in
+      let got =
+        Fun.protect
+          ~finally:(fun () -> Dpool.shutdown pool)
+          (fun () -> Dpool.map pool f items)
+      in
+      got = Array.map f items)
+
+let qcheck_par_map_matches_serial =
+  (* Common.par_map rides the global pool; output order (and therefore
+     every experiment table) must not depend on the pool size. *)
+  QCheck.Test.make
+    ~name:"par_map: order-identical to List.map at any --jobs" ~count:40
+    QCheck.(pair (int_range 1 8) (list_of_size Gen.(0 -- 40) small_int))
+    (fun (jobs, items) ->
+      Common.set_jobs jobs;
+      let f x = (x * 3) + 1 in
+      let got =
+        Fun.protect
+          ~finally:(fun () -> Common.set_jobs 1)
+          (fun () -> Common.par_map items f)
+      in
+      got = List.map f items)
+
+let test_pool_nested_runs_inline () =
+  let pool = Dpool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Dpool.shutdown pool)
+    (fun () ->
+      (* An inner map issued from inside a pool job must complete (not
+         deadlock) and produce the same values. *)
+      let outer =
+        Dpool.map pool
+          (fun i ->
+            let inner = Dpool.map pool (fun j -> i + j) [| 1; 2; 3 |] in
+            Array.fold_left ( + ) 0 inner)
+          [| 10; 20 |]
+      in
+      check (Alcotest.array ci) "nested values" [| 36; 66 |] outer)
+
+(* ----------------------------- balancer ----------------------------- *)
+
+let route policy ?(nshards = 4) ?(rng = Prng.create 9) ts =
+  Balancer.route policy ~nshards ~workers:4 ~service_est_ms:0.12
+    ~cycles_per_ms:cpm ~rng ts
+
+let test_balancer_round_robin () =
+  let ts = Array.init 10 (fun i -> i * cpm) in
+  check (Alcotest.array ci) "i mod n"
+    [| 0; 1; 2; 3; 0; 1; 2; 3; 0; 1 |]
+    (route Balancer.Round_robin ts)
+
+let test_balancer_least_queue_low_load () =
+  (* Widely spaced arrivals: every modelled queue drains to zero, so
+     the round-robin tie-break must spread them uniformly. *)
+  let ts = Array.init 12 (fun i -> i * cpm) in
+  check (Alcotest.array ci) "ties spread round-robin"
+    [| 0; 1; 2; 3; 0; 1; 2; 3; 0; 1; 2; 3 |]
+    (route Balancer.Least_queue ts)
+
+let test_balancer_least_queue_balances_burst () =
+  (* Simultaneous arrivals never drain between assignments: join-the-
+     shortest-queue must keep the modelled depths within one of each
+     other. *)
+  let assign = route Balancer.Least_queue (Array.make 1000 0) in
+  let counts = Array.make 4 0 in
+  Array.iter (fun s -> counts.(s) <- counts.(s) + 1) assign;
+  Array.iter (fun c -> check ci "even split" 250 c) counts
+
+let test_balancer_hash_properties () =
+  let ts = Array.init 4000 (fun i -> i * 1000) in
+  let a1 = route Balancer.Consistent_hash ~rng:(Prng.create 9) ts in
+  let a2 = route Balancer.Consistent_hash ~rng:(Prng.create 9) ts in
+  check cb "same key stream, same assignment" true (a1 = a2);
+  let a3 = route Balancer.Consistent_hash ~rng:(Prng.create 10) ts in
+  check cb "different key stream differs" true (a1 <> a3);
+  let counts = Array.make 4 0 in
+  Array.iter
+    (fun s ->
+      check cb "in range" true (s >= 0 && s < 4);
+      counts.(s) <- counts.(s) + 1)
+    a1;
+  Array.iter
+    (fun c ->
+      (* 64 vnodes per shard keeps the skew bounded: no shard owns less
+         than ~5% or more than ~60% of a uniform key stream. *)
+      check cb "no starved shard" true (c > 200);
+      check cb "no hot shard owning most keys" true (c < 2400))
+    counts
+
+(* ------------------------- shard determinism ------------------------ *)
+
+let small_cfg ?(trace = false) () =
+  Cluster.cfg ~shards:3 ~policy:Balancer.Least_queue ~rate_per_s:6000.0
+    ~slo_ms:50.0 ~heap_mb:16.0 ~ms:300.0 ~trace ~trace_ring:(1 lsl 17) ()
+
+let test_cluster_determinism_across_pool_sizes () =
+  let run domains =
+    let pool = Dpool.create ~domains in
+    Fun.protect
+      ~finally:(fun () -> Dpool.shutdown pool)
+      (fun () -> Cluster.run ~pool (small_cfg ~trace:true ()))
+  in
+  let r1 = run 1 and r8 = run 8 in
+  check Alcotest.string "fleet report byte-identical at 1 vs 8 domains"
+    (Json.to_string ~pretty:true (Cluster_report.to_json r1))
+    (Json.to_string ~pretty:true (Cluster_report.to_json r8));
+  Array.iteri
+    (fun k (s1 : Shard.result) ->
+      let s8 = r8.Cluster.shards.(k) in
+      check ci "dropped events" 0 s1.Shard.dropped;
+      match (s1.Shard.trace, s8.Shard.trace) with
+      | Some t1, Some t8 ->
+          check cb
+            (Printf.sprintf "shard %d trace byte-identical" k)
+            true (t1 = t8)
+      | _ -> Alcotest.fail "expected traces on both runs")
+    r1.Cluster.shards
+
+let test_cluster_conservation () =
+  let r = Cluster.run (small_cfg ()) in
+  let tot = Cluster.fleet_totals r in
+  let routed =
+    Array.fold_left (fun acc s -> acc + s.Shard.routed) 0 r.Cluster.shards
+  in
+  check cb "every arrival routed to some shard" true (routed > 0);
+  (* A shard's server sees exactly the arrivals it was routed, except
+     possibly ones scripted at the very end of the horizon. *)
+  check cb "arrived <= routed" true (tot.Server.arrived <= routed);
+  check cb "arrived nearly routed" true
+    (routed - tot.Server.arrived <= 3 * r.Cluster.cfg.Cluster.shards);
+  check ci "admitted = arrived - shed"
+    (tot.Server.arrived - tot.Server.shed_full - tot.Server.shed_throttled)
+    tot.Server.admitted;
+  check cb "attainment in [0,1]" true
+    (let a = Cluster.slo_attainment r in
+     a >= 0.0 && a <= 1.0)
+
+let test_cluster_policies_share_arrival_stream () =
+  (* The arrival stream is drawn before routing: every policy must see
+     the same fleet arrival count. *)
+  let arrived policy =
+    let cfg =
+      Cluster.cfg ~shards:2 ~policy ~rate_per_s:4000.0 ~heap_mb:16.0
+        ~ms:200.0 ()
+    in
+    Array.fold_left
+      (fun acc (s : Shard.result) -> acc + s.Shard.routed)
+      0 (Cluster.run cfg).Cluster.shards
+  in
+  let rr = arrived Balancer.Round_robin in
+  check ci "least-queue same stream" rr (arrived Balancer.Least_queue);
+  check ci "consistent-hash same stream" rr
+    (arrived Balancer.Consistent_hash)
+
+(* ------------------------------ report ------------------------------ *)
+
+let test_report_schema_roundtrip () =
+  let r = Cluster.run (small_cfg ()) in
+  let s = Json.to_string ~pretty:true (Cluster_report.to_json r) in
+  (match Cluster_report.validate s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "round-trip rejected: %s" e);
+  (match Cluster_report.validate "{}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing schema accepted");
+  match Cluster_report.validate "{\"schema\": \"cgcsim-server-v1\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong schema accepted"
+
+let test_report_phenomena_counts () =
+  let r = Cluster.run (small_cfg ()) in
+  let ph = Cluster_report.phenomena r in
+  check cb "bins cover the run" true (ph.Cluster_report.bins >= 30);
+  check cb "co-stopped bounded by shards" true
+    (ph.Cluster_report.co_max_stopped <= r.Cluster.cfg.Cluster.shards);
+  let tot = Cluster.fleet_totals r in
+  check ci "binned sheds equal counter"
+    (tot.Server.shed_full + tot.Server.shed_throttled)
+    ph.Cluster_report.shed_total
+
+(* ----------------------------- scripted ----------------------------- *)
+
+let test_scripted_arrivals () =
+  let a = Arrival.scripted [| 5; 5; 9 |] in
+  check ci "first" 5 (Arrival.next a);
+  check ci "equal timestamps fine" 5 (Arrival.next a);
+  check ci "third" 9 (Arrival.next a);
+  check ci "exhausted" max_int (Arrival.next a);
+  check cb "decreasing rejected" true
+    (match Arrival.scripted [| 3; 2 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "cluster"
+    [
+      ( "deque",
+        [
+          Alcotest.test_case "fifo" `Quick test_deque_fifo;
+          Alcotest.test_case "concurrent take exactly once" `Quick
+            test_deque_concurrent_take_once;
+        ] );
+      ( "dpool",
+        [
+          Alcotest.test_case "exactly once" `Quick test_pool_exactly_once;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+          Alcotest.test_case "nested runs inline" `Quick
+            test_pool_nested_runs_inline;
+          q qcheck_pool_map_matches_serial;
+          q qcheck_par_map_matches_serial;
+        ] );
+      ( "balancer",
+        [
+          Alcotest.test_case "round-robin exact" `Quick
+            test_balancer_round_robin;
+          Alcotest.test_case "least-queue low load" `Quick
+            test_balancer_least_queue_low_load;
+          Alcotest.test_case "least-queue burst balance" `Quick
+            test_balancer_least_queue_balances_burst;
+          Alcotest.test_case "consistent-hash properties" `Quick
+            test_balancer_hash_properties;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "determinism across pool sizes" `Slow
+            test_cluster_determinism_across_pool_sizes;
+          Alcotest.test_case "conservation" `Quick test_cluster_conservation;
+          Alcotest.test_case "policies share arrival stream" `Quick
+            test_cluster_policies_share_arrival_stream;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "schema round-trip" `Quick
+            test_report_schema_roundtrip;
+          Alcotest.test_case "phenomena counts" `Quick
+            test_report_phenomena_counts;
+        ] );
+      ( "scripted",
+        [ Alcotest.test_case "scripted arrivals" `Quick test_scripted_arrivals ] );
+    ]
