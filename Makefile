@@ -5,13 +5,18 @@
 # when present they are part of the tier-1 bar.
 
 .PHONY: all build test doc doc-strict fmt-check verify fuzz bench \
-	bench-smoke bench-determinism serve-smoke cluster-smoke clean
+	bench-smoke bench-determinism serve-smoke cluster-smoke chaos-smoke \
+	clean
 
 # Number of random configurations `make fuzz` tries.
 FUZZ_COUNT ?= 100
 
 # Host domains the benchmark matrix fans its cells over.
 JOBS ?= 1
+
+# Every generated artefact (bench JSON, traces, smoke outputs) lands
+# here, keeping the repo root clean; the directory is gitignored.
+ART ?= _artifacts
 
 all: build
 
@@ -68,47 +73,53 @@ fuzz: build
 # results are identical at every N, only the host* timing fields
 # change.
 bench: build
+	mkdir -p $(ART)
 	dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	  --out BENCH_PR6.json --trace-out bench-cell0.trace.json
+	  --out $(ART)/BENCH_PR6.json --trace-out $(ART)/bench-cell0.trace.json
 
 # Shrunk matrix for CI (<60 s): one SPECjbb cell, one pBOB cell, one
 # serve cell and one cluster cell, then the offline analyzer re-reads
 # the emitted trace and fails on ring drops or a schema mismatch.
 bench-smoke: build
+	mkdir -p $(ART)
 	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	  --out BENCH_PR6.json --trace-out bench-cell0.trace.json
+	  --out $(ART)/BENCH_PR6.json --trace-out $(ART)/bench-cell0.trace.json
 	dune exec bin/cgcsim.exe -- analyze \
-	  --trace bench-cell0.trace.json --fail-on-drops
+	  --trace $(ART)/bench-cell0.trace.json --fail-on-drops
 
 # Run the smoke matrix twice — serial and on 2 domains — and fail if
 # the simulated results differ anywhere: the JSON bodies must match
 # once the host* timing fields are dropped, and the cell-0 traces must
 # be byte-identical.
 bench-determinism: build
+	mkdir -p $(ART)
 	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix \
-	  --out bench-serial.json --trace-out bench-serial.trace.json
+	  --out $(ART)/bench-serial.json --trace-out $(ART)/bench-serial.trace.json
 	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix --jobs 2 \
-	  --out bench-par.json --trace-out bench-par.trace.json
-	grep -v '"host' bench-serial.json > bench-serial.filtered.json
-	grep -v '"host' bench-par.json > bench-par.filtered.json
-	diff -u bench-serial.filtered.json bench-par.filtered.json
-	cmp bench-serial.trace.json bench-par.trace.json
+	  --out $(ART)/bench-par.json --trace-out $(ART)/bench-par.trace.json
+	grep -v '"host' $(ART)/bench-serial.json > $(ART)/bench-serial.filtered.json
+	grep -v '"host' $(ART)/bench-par.json > $(ART)/bench-par.filtered.json
+	diff -u $(ART)/bench-serial.filtered.json $(ART)/bench-par.filtered.json
+	cmp $(ART)/bench-serial.trace.json $(ART)/bench-par.trace.json
 	@echo "bench determinism OK: serial and --jobs 2 agree"
 
 # Short open-loop server run under both collectors, with determinism
 # checks: two same-seed serve runs must produce byte-identical reports
 # and traces, and an overloaded run with an SLO must exit 6.
 serve-smoke: build
+	mkdir -p $(ART)
 	dune exec bin/cgcsim.exe -- serve -c cgc --rate 6000 --ms 600 \
-	  --heap-mb 16 --seed 1 --json serve-a.json --trace-out serve-a.trace.json
+	  --heap-mb 16 --seed 1 --json $(ART)/serve-a.json \
+	  --trace-out $(ART)/serve-a.trace.json
 	dune exec bin/cgcsim.exe -- serve -c cgc --rate 6000 --ms 600 \
-	  --heap-mb 16 --seed 1 --json serve-b.json --trace-out serve-b.trace.json
-	cmp serve-a.json serve-b.json
-	cmp serve-a.trace.json serve-b.trace.json
+	  --heap-mb 16 --seed 1 --json $(ART)/serve-b.json \
+	  --trace-out $(ART)/serve-b.trace.json
+	cmp $(ART)/serve-a.json $(ART)/serve-b.json
+	cmp $(ART)/serve-a.trace.json $(ART)/serve-b.trace.json
 	dune exec bin/cgcsim.exe -- serve -c stw --rate 6000 --ms 600 \
 	  --heap-mb 16 --seed 1 --verify > /dev/null
 	dune exec bin/cgcsim.exe -- analyze \
-	  --trace serve-a.trace.json --fail-on-drops > /dev/null
+	  --trace $(ART)/serve-a.trace.json --fail-on-drops > /dev/null
 	@dune exec bin/cgcsim.exe -- serve -c stw --rate 20000 --ms 600 \
 	  --heap-mb 16 --seed 1 --slo-ms 5 > /dev/null 2>&1; st=$$?; \
 	  if [ $$st -ne 6 ]; then \
@@ -122,18 +133,20 @@ serve-smoke: build
 # trace must analyze clean, and an overloaded fleet with an SLO must
 # exit 6.
 cluster-smoke: build
+	mkdir -p $(ART)
 	dune exec bin/cgcsim.exe -- cluster --shards 4 --policy lqd \
 	  --rate 12000 --slo-ms 50 --heap-mb 16 --ms 600 --seed 1 --jobs 1 \
-	  --json cluster-a.json --trace-out cluster-a
+	  --json $(ART)/cluster-a.json --trace-out $(ART)/cluster-a
 	dune exec bin/cgcsim.exe -- cluster --shards 4 --policy lqd \
 	  --rate 12000 --slo-ms 50 --heap-mb 16 --ms 600 --seed 1 --jobs 4 \
-	  --json cluster-b.json --trace-out cluster-b
-	cmp cluster-a.json cluster-b.json
+	  --json $(ART)/cluster-b.json --trace-out $(ART)/cluster-b
+	cmp $(ART)/cluster-a.json $(ART)/cluster-b.json
 	for k in 0 1 2 3; do \
-	  cmp cluster-a.shard$$k.json cluster-b.shard$$k.json || exit 1; \
+	  cmp $(ART)/cluster-a.shard$$k.json $(ART)/cluster-b.shard$$k.json \
+	    || exit 1; \
 	done
 	dune exec bin/cgcsim.exe -- analyze \
-	  --trace cluster-a.shard0.json --fail-on-drops > /dev/null
+	  --trace $(ART)/cluster-a.shard0.json --fail-on-drops > /dev/null
 	@dune exec bin/cgcsim.exe -- cluster --shards 2 -c stw --rate 40000 \
 	  --ms 600 --heap-mb 16 --seed 1 --slo-ms 5 --jobs 2 \
 	  > /dev/null 2>&1; st=$$?; \
@@ -143,5 +156,35 @@ cluster-smoke: build
 	  fi
 	@echo "cluster smoke OK: fleet report and shard traces deterministic, SLO gate fires"
 
+# Fleet chaos smoke: the same shard-crash campaign at --jobs 1 and
+# --jobs 4 must produce byte-identical fleet reports and per-incarnation
+# traces (the crash victim's trace included), a trace must analyze
+# clean, and a fleet whose degradation ladder bottoms out must exit 7.
+chaos-smoke: build
+	mkdir -p $(ART)
+	dune exec bin/cgcsim.exe -- cluster --shards 4 --policy lqd \
+	  --rate 8000 --slo-ms 50 --heap-mb 16 --ms 600 --seed 1 --jobs 1 \
+	  --chaos shard-crash --json $(ART)/chaos-a.json \
+	  --trace-out $(ART)/chaos-a
+	dune exec bin/cgcsim.exe -- cluster --shards 4 --policy lqd \
+	  --rate 8000 --slo-ms 50 --heap-mb 16 --ms 600 --seed 1 --jobs 4 \
+	  --chaos shard-crash --json $(ART)/chaos-b.json \
+	  --trace-out $(ART)/chaos-b
+	cmp $(ART)/chaos-a.json $(ART)/chaos-b.json
+	for f in $(ART)/chaos-a.shard*.json; do \
+	  cmp $$f $$(echo $$f | sed 's/chaos-a/chaos-b/') || exit 1; \
+	done
+	dune exec bin/cgcsim.exe -- analyze \
+	  --trace $(ART)/chaos-a.shard0.json --fail-on-drops > /dev/null
+	@dune exec bin/cgcsim.exe -- cluster --shards 1 --rate 4000 --ms 600 \
+	  --heap-mb 16 --seed 1 --chaos shard-crash --give-up 10 \
+	  > /dev/null 2>&1; st=$$?; \
+	  if [ $$st -ne 7 ]; then \
+	    echo "expected Fleet_unavailable (exit 7), got $$st"; \
+	    exit 1; \
+	  fi
+	@echo "chaos smoke OK: chaos campaigns deterministic, exit-7 gate fires"
+
 clean:
 	dune clean
+	rm -rf $(ART)

@@ -32,6 +32,7 @@ module Server_report = Cgc_server.Report
 module Cluster = Cgc_cluster.Cluster
 module Cluster_report = Cgc_cluster.Report
 module Shard = Cgc_cluster.Shard
+module Cluster_fault = Cgc_fault.Cluster_fault
 
 let bench_schema = "cgcsim-bench-v1"
 
@@ -41,6 +42,7 @@ type cell = {
   k0 : float;
   rate : float;  (* offered req/s; serve and cluster cells only *)
   shards : int;  (* cluster cells only *)
+  chaos : Cluster_fault.scenario option;  (* cluster cells only *)
   ms : float;
   ring : int;  (* per-thread event-ring capacity *)
 }
@@ -48,7 +50,11 @@ type cell = {
 let cell_label c =
   match c.workload with
   | "serve" -> Printf.sprintf "serve-%.0frps" c.rate
-  | "cluster" -> Printf.sprintf "cluster-%dsh-%.0frps" c.shards c.rate
+  | "cluster" -> (
+      let base = Printf.sprintf "cluster-%dsh-%.0frps" c.shards c.rate in
+      match c.chaos with
+      | None -> base
+      | Some sc -> base ^ "-" ^ Cluster_fault.to_name sc)
   | _ -> Printf.sprintf "%s-%dwh-k0=%.0f" c.workload c.warehouses c.k0
 
 (* SPECjbb cells get deep rings (a dozen threads saturating 4 CPUs emit
@@ -61,37 +67,43 @@ let matrix () =
     List.map
       (fun k0 ->
         { workload = "specjbb"; warehouses = wh; k0; rate = 0.0; shards = 0;
-          ms; ring = 1 lsl 18 })
+          chaos = None; ms; ring = 1 lsl 18 })
       rates
   in
   let pbob wh =
     List.map
       (fun k0 ->
-        { workload = "pbob"; warehouses = wh; k0; rate = 0.0; shards = 0; ms;
-          ring = 1 lsl 17 })
+        { workload = "pbob"; warehouses = wh; k0; rate = 0.0; shards = 0;
+          chaos = None; ms; ring = 1 lsl 17 })
       rates
   in
   (* Open-loop server cells (the PR 5 subsystem): CGC at the default
      tracing rate under increasing offered load. *)
   let serve rate =
-    { workload = "serve"; warehouses = 0; k0 = 8.0; rate; shards = 0; ms;
-      ring = 1 lsl 17 }
+    { workload = "serve"; warehouses = 0; k0 = 8.0; rate; shards = 0;
+      chaos = None; ms; ring = 1 lsl 17 }
   in
   (* Sharded-cluster cells (the PR 6 subsystem): shard count x offered
      fleet load, round-robin routing.  Untraced — a cluster cell's cost
      is its shard simulations, and its artefact is the embedded
-     cgcsim-cluster-v1 fleet report. *)
-  let cluster shards rate =
-    { workload = "cluster"; warehouses = 0; k0 = 8.0; rate; shards; ms;
-      ring = 1 lsl 17 }
+     cgcsim-cluster-v2 fleet report.  The chaos cells (PR 7) track the
+     failover path: availability and retry counts under a deterministic
+     shard restart live in the embedded report's chaos block. *)
+  let cluster ?chaos shards rate =
+    { workload = "cluster"; warehouses = 0; k0 = 8.0; rate; shards; chaos;
+      ms; ring = 1 lsl 17 }
   in
   if Cgc_experiments.Common.quick () then
-    spec 4 @ pbob 8 @ [ serve 6000.0; cluster 2 6000.0 ]
+    spec 4 @ pbob 8
+    @ [ serve 6000.0; cluster 2 6000.0;
+        cluster ~chaos:Cluster_fault.Shard_restart 2 6000.0 ]
   else
     spec 4 @ spec 8 @ pbob 8 @ pbob 16
     @ [ serve 4000.0; serve 8000.0 ]
     @ [ cluster 4 8000.0; cluster 4 16000.0; cluster 8 16000.0;
-        cluster 8 32000.0 ]
+        cluster 8 32000.0;
+        cluster ~chaos:Cluster_fault.Shard_restart 4 16000.0;
+        cluster ~chaos:Cluster_fault.Ring_flap 8 16000.0 ]
 
 (* A finished cell is either one VM (possibly with a server attached) or
    a whole fleet result. *)
@@ -107,7 +119,7 @@ let run_cell c =
          contain GC cycles for the fleet report to say anything. *)
       let cfg =
         Cluster.cfg ~shards:c.shards ~rate_per_s:c.rate ~gc ~slo_ms:50.0
-          ~heap_mb:16.0 ~ms:c.ms ()
+          ~heap_mb:16.0 ~ms:c.ms ?chaos:c.chaos ()
       in
       Fleet (Cluster.run cfg)
   | _ ->
@@ -305,6 +317,10 @@ let run ?(out = "BENCH_PR6.json") ?trace_out ?(jobs = 1) () =
                 [
                   ("workload", Json.Str c.workload);
                   ("shards", Json.Int c.shards);
+                  ( "chaos",
+                    match c.chaos with
+                    | None -> Json.Null
+                    | Some sc -> Json.Str (Cluster_fault.to_name sc) );
                   ("ratePerS", Json.Float c.rate);
                   ("ms", Json.Float c.ms);
                   ("seed", Json.Int 1);

@@ -8,9 +8,9 @@
      CGC_BENCH_FAST=1 dune exec bench/main.exe   # fast smoke sweep
 
    Targets: fig1 fig2 table1 table2 table3 table4 javac packetmem
-            serverlat clusterlat ablation-fence ablation-cardpass
-            ablation-lazysweep ablation-steal ablation-compact itanium
-            micro matrix all
+            serverlat clusterlat clusterchaos ablation-fence
+            ablation-cardpass ablation-lazysweep ablation-steal
+            ablation-compact itanium micro matrix all
 
    The matrix target additionally honours --out FILE (default
    BENCH_PR6.json), --trace-out FILE (Chrome trace of cell 0) and
@@ -131,6 +131,7 @@ let targets : (string * (unit -> unit)) list =
     ("packetmem", fun () -> ignore (E.Packet_memory.run ()));
     ("serverlat", fun () -> ignore (E.Server_latency.run ()));
     ("clusterlat", fun () -> ignore (E.Clusterlat.run ()));
+    ("clusterchaos", fun () -> ignore (E.Clusterchaos.run ()));
     ("ablation-fence", fun () -> ignore (E.Ablations.fence_batching ()));
     ("ablation-cardpass", fun () -> ignore (E.Ablations.card_passes ()));
     ("ablation-lazysweep", fun () -> ignore (E.Ablations.lazy_sweep ()));

@@ -17,6 +17,7 @@ module Config = Cgc_core.Config
 module Collector = Cgc_core.Collector
 module Verify = Cgc_core.Verify
 module Fault = Cgc_fault.Fault
+module Cluster_fault = Cgc_fault.Cluster_fault
 
 (* Parse the --inject argument: a comma-separated list of scenario names,
    or "all". *)
@@ -37,9 +38,36 @@ let parse_scenarios s =
     in
     go [] names
 
+(* The --help scenario listings are generated from the injector modules
+   themselves, so a scenario added there shows up in the docs without a
+   second edit here. *)
+let inject_doc =
+  Printf.sprintf
+    "Arm the deterministic fault injector with a comma-separated list of \
+     scenarios, or $(b,all).  Scenarios: %s."
+    (String.concat "; "
+       (List.map
+          (fun sc ->
+            Printf.sprintf "$(b,%s) (%s)" (Fault.to_name sc)
+              (Fault.describe sc))
+          Fault.all))
+
+let chaos_doc =
+  Printf.sprintf
+    "Arm one deterministic fleet chaos scenario (seeded by \
+     $(b,--chaos-seed)): %s."
+    (String.concat "; "
+       (List.map
+          (fun sc ->
+            Printf.sprintf "$(b,%s) (%s)"
+              (Cluster_fault.to_name sc)
+              (Cluster_fault.describe sc))
+          Cluster_fault.all))
+
 (* Top-level catch for the typed failure modes: a diagnosed out-of-memory
-   (the degradation ladder was exhausted) and an invariant violation from
-   the --verify checker both exit nonzero with the diagnostic record
+   (the degradation ladder was exhausted), an invariant violation from
+   the --verify checker, and a fleet whose own degradation ladder
+   bottomed out all exit nonzero with the diagnostic record
    pretty-printed instead of an uncaught-exception backtrace. *)
 let catching_failures f =
   try f () with
@@ -49,6 +77,10 @@ let catching_failures f =
   | Verify.Invariant_violation msg ->
       Printf.eprintf "cgcsim: heap invariant violated: %s\n" msg;
       exit 3
+  | Cgc_cluster.Cluster.Fleet_unavailable d ->
+      Printf.eprintf "cgcsim: %s\n"
+        (Cgc_cluster.Cluster.unavailable_to_string d);
+      exit 7
 
 (* Turn an unwritable output path into a clean CLI error instead of an
    uncaught Sys_error. *)
@@ -97,12 +129,10 @@ let run_cmd =
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
   let inject =
-    let doc =
-      "Arm the deterministic fault injector with a comma-separated list \
-       of scenarios (packet-starvation, alloc-burst, mutator-stall, \
-       meter-lowball, card-storm, bg-stall) or $(b,all)."
-    in
-    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SCENARIOS" ~doc)
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SCENARIOS" ~doc:inject_doc)
   in
   let fault_seed =
     let doc = "Seed for the fault injector (default: the run seed)." in
@@ -479,11 +509,10 @@ let serve_cmd =
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
   let inject =
-    let doc =
-      "Arm the deterministic fault injector (same scenarios as \
-       $(b,run --inject))."
-    in
-    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SCENARIOS" ~doc)
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SCENARIOS" ~doc:inject_doc)
   in
   let fault_seed =
     let doc = "Seed for the fault injector (default: the run seed)." in
@@ -636,17 +665,21 @@ let serve_cmd =
 (* cgcsim cluster — N shard VMs behind a front-end load balancer.
 
    The balancer draws the fleet arrival stream once, routes every
-   arrival (round-robin, least-queue-depth or consistent-hash), and
-   each shard — a complete VM + collector + server — replays its slice
-   on the persistent domain pool (--jobs).  Prints the fleet SLO report
-   and optionally writes it as cgcsim-cluster-v1 JSON.
+   arrival (round-robin, least-queue-depth or consistent-hash) through
+   the epoch router, and each shard incarnation — a complete VM +
+   collector + server — replays its slice on the persistent domain pool
+   (--jobs).  Prints the fleet SLO report and optionally writes it as
+   cgcsim-cluster-v2 JSON.
 
      cgcsim cluster --shards 8 --policy lqd --rate 24000 --slo-ms 50 \
-       --ms 3000 --jobs 8 --json fleet.json
+       --ms 3000 --jobs 8 --chaos shard-restart --json fleet.json
 
    Exit code 6: an SLO was configured and *fleet* attainment fell below
-   --slo-target.  Per-shard traces (--trace-out PREFIX) are written as
-   PREFIX.shard<K>.json, each independently loadable in Perfetto. *)
+   --slo-target.  Exit code 7: the fleet degradation ladder bottomed
+   out (--give-up unroutable requests under --chaos).  Per-shard traces
+   (--trace-out PREFIX) are written as PREFIX.shard<K>.json, restarted
+   incarnations as PREFIX.shard<K>.r<I>.json, each independently
+   loadable in Perfetto. *)
 
 module Balancer = Cgc_cluster.Balancer
 module Cluster = Cgc_cluster.Cluster
@@ -731,15 +764,63 @@ let cluster_cmd =
     Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
   let inject =
-    let doc =
-      "Arm every shard's deterministic fault injector (same scenarios \
-       as $(b,run --inject))."
-    in
-    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SCENARIOS" ~doc)
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SCENARIOS" ~doc:inject_doc)
   in
   let fault_seed =
     let doc = "Seed for the fault injectors (default: the fleet seed)." in
     Arg.(value & opt (some int) None & info [ "fault-seed" ] ~doc)
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SCENARIO" ~doc:chaos_doc)
+  in
+  let chaos_seed =
+    let doc = "Seed for the chaos plan (default: the fleet seed)." in
+    Arg.(value & opt (some int) None & info [ "chaos-seed" ] ~doc)
+  in
+  let epoch_ms =
+    let doc =
+      "Balancer liveness re-read interval in ms (default: one \
+       $(b,--bin-ms) timeline bin)."
+    in
+    Arg.(value & opt (some float) None & info [ "epoch-ms" ] ~doc)
+  in
+  let retries =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~doc:"Per-request retry budget when a target shard is dark.")
+  in
+  let retry_base_ms =
+    Arg.(
+      value & opt float 0.25
+      & info [ "retry-base-ms" ]
+          ~doc:"First retry backoff in ms; doubles per attempt.")
+  in
+  let hedge =
+    let doc =
+      "Hedge to a shard whose modelled queue depth undercuts the \
+       primary's by at least $(docv) requests; 0 disables."
+    in
+    Arg.(value & opt float 0.0 & info [ "hedge" ] ~docv:"MARGIN" ~doc)
+  in
+  let fleet_throttle =
+    let doc =
+      "Arm the fleet-wide admission throttle at or below this \
+       balancer-visible live fraction."
+    in
+    Arg.(value & opt float 0.5 & info [ "fleet-throttle" ] ~docv:"FRAC" ~doc)
+  in
+  let give_up =
+    let doc =
+      "Unroutable requests tolerated before the typed \
+       $(b,Fleet_unavailable) failure (exit code 7)."
+    in
+    Arg.(value & opt int 100 & info [ "give-up" ] ~docv:"N" ~doc)
   in
   let verify =
     let doc = "Run the heap invariant verifier in every shard at every GC cycle boundary." in
@@ -759,13 +840,14 @@ let cluster_cmd =
       & info [ "trace-ring" ] ~doc:"Per-thread event-ring capacity.")
   in
   let json_out =
-    let doc = "Write the $(b,cgcsim-cluster-v1) fleet report to $(docv)." in
+    let doc = "Write the $(b,cgcsim-cluster-v2) fleet report to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
   let exec shards policy rate arrival burst queue workers timeout_ms slo_ms
       slo_target throttle service_est_ms bin_ms collector heap_mb ncpus ms
-      tracing_rate seed jobs inject fault_seed verify trace_out trace_ring
-      json_out =
+      tracing_rate seed jobs inject fault_seed chaos chaos_seed epoch_ms
+      retries retry_base_ms hedge fleet_throttle give_up verify trace_out
+      trace_ring json_out =
     let parse_floats what spec n =
       let parts = String.split_on_char ',' spec in
       match
@@ -838,12 +920,28 @@ let cluster_cmd =
         verify;
       }
     in
+    let chaos =
+      match chaos with
+      | None -> None
+      | Some name -> (
+          match Cluster_fault.of_name (String.trim name) with
+          | Some sc -> Some sc
+          | None ->
+              Printf.eprintf
+                "cgcsim: unknown chaos scenario %S (known: %s)\n" name
+                (String.concat ", "
+                   (List.map Cluster_fault.to_name Cluster_fault.all));
+              exit 1)
+    in
+    let chaos_seed = match chaos_seed with Some s -> s | None -> seed in
     let ccfg =
       try
         Cluster.cfg ~shards ~policy ~arrival:arrival_kind ~queue_cap:queue
           ~workers ~timeout_ms ~slo_ms ~slo_target ~throttle_hi ~throttle_lo
           ~service_est_ms ~bin_ms ~gc ~heap_mb ~ncpus ~seed ~ms
-          ~trace:(trace_out <> None) ~trace_ring ~rate_per_s:rate ()
+          ~trace:(trace_out <> None) ~trace_ring ?chaos ~chaos_seed ?epoch_ms
+          ~retries ~retry_base_ms ~hedge_margin:hedge
+          ~fleet_throttle_frac:fleet_throttle ~give_up ~rate_per_s:rate ()
       with Invalid_argument msg ->
         Printf.eprintf "cgcsim: %s\n" msg;
         exit 1
@@ -856,9 +954,15 @@ let cluster_cmd =
           (fun (s : Cgc_cluster.Shard.result) ->
             match s.Cgc_cluster.Shard.trace with
             | Some trace ->
+                (* Incarnation 0 keeps the historical name, so chaos-free
+                   campaigns produce the same files as before. *)
                 let file =
-                  Printf.sprintf "%s.shard%d.json" prefix
-                    s.Cgc_cluster.Shard.id
+                  if s.Cgc_cluster.Shard.incarnation = 0 then
+                    Printf.sprintf "%s.shard%d.json" prefix
+                      s.Cgc_cluster.Shard.id
+                  else
+                    Printf.sprintf "%s.shard%d.r%d.json" prefix
+                      s.Cgc_cluster.Shard.id s.Cgc_cluster.Shard.incarnation
                 in
                 write_or_die "trace"
                   (fun f -> Export.write_file f trace)
@@ -897,13 +1001,15 @@ let cluster_cmd =
       const exec $ shards $ policy $ rate $ arrival $ burst $ queue $ workers
       $ timeout_ms $ slo_ms $ slo_target $ throttle $ service_est_ms $ bin_ms
       $ collector $ heap_mb $ ncpus $ ms $ tracing_rate $ seed $ jobs $ inject
-      $ fault_seed $ verify $ trace_out $ trace_ring $ json_out)
+      $ fault_seed $ chaos $ chaos_seed $ epoch_ms $ retries $ retry_base_ms
+      $ hedge $ fleet_throttle $ give_up $ verify $ trace_out $ trace_ring
+      $ json_out)
 
 let experiment_cmd =
   let which =
     let doc =
       "Experiment: fig1, fig2, table1, table2, table3, table4, javac, \
-       packetmem, serverlat, clusterlat."
+       packetmem, serverlat, clusterlat, clusterchaos."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
   in
@@ -940,6 +1046,7 @@ let experiment_cmd =
     | "packetmem" -> ignore (E.Packet_memory.run ())
     | "serverlat" -> ignore (E.Server_latency.run ())
     | "clusterlat" -> ignore (E.Clusterlat.run ())
+    | "clusterchaos" -> ignore (E.Clusterchaos.run ())
     | n ->
         Printf.eprintf "unknown experiment %s\n" n;
         exit 1);

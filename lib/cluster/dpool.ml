@@ -113,10 +113,17 @@ let shutdown t =
   List.iter Domain.join t.doms;
   t.doms <- []
 
+(* Same exception contract as the parallel path: every job runs, the
+   first exception (in completion order — here, index order) is kept and
+   re-raised after the batch drains.  Without this, a serial pool would
+   abandon the remaining jobs where an 8-domain pool runs them, and
+   "first exception" would mean different things at different sizes. *)
 let run_serial ~n f =
+  let err = ref None in
   for i = 0 to n - 1 do
-    f i
-  done
+    try f i with e -> if !err = None then err := Some e
+  done;
+  match !err with Some e -> raise e | None -> ()
 
 let run t ~n f =
   if n <= 0 then ()

@@ -3,7 +3,9 @@ module Server = Cgc_server.Server
 module Server_report = Cgc_server.Report
 module Latency = Cgc_server.Latency
 
-let schema = "cgcsim-cluster-v1"
+module Cluster_fault = Cgc_fault.Cluster_fault
+
+let schema = "cgcsim-cluster-v2"
 
 (* ------------------------------------------------------------------ *)
 (* Derived views                                                       *)
@@ -45,11 +47,29 @@ type phenomena = {
 }
 
 let phenomena (r : Cluster.result) =
-  let shards = r.Cluster.shards in
+  (* Incarnations of one shard never overlap in time, but a short dark
+     window can put two of them inside one boundary bin — merge per
+     shard id first so "shards stopped" counts shards, not VMs. *)
   let bins =
     Array.fold_left
       (fun acc s -> Stdlib.max acc (Array.length s.Shard.stopped_ms))
-      1 shards
+      1 r.Cluster.shards
+  in
+  let nids = r.Cluster.cfg.Cluster.shards in
+  let stopped_by_id = Array.init nids (fun _ -> Array.make bins 0.0) in
+  let sheds_by_id = Array.init nids (fun _ -> Array.make bins 0) in
+  Array.iter
+    (fun (s : Shard.result) ->
+      let id = s.Shard.id in
+      Array.iteri
+        (fun b v -> stopped_by_id.(id).(b) <- stopped_by_id.(id).(b) +. v)
+        s.Shard.stopped_ms;
+      Array.iteri
+        (fun b v -> sheds_by_id.(id).(b) <- sheds_by_id.(id).(b) + v)
+        s.Shard.sheds)
+    r.Cluster.shards;
+  let shards =
+    Array.init nids (fun id -> (stopped_by_id.(id), sheds_by_id.(id)))
   in
   let co_max = ref 0 and co_bins = ref 0 in
   let shed_total = ref 0
@@ -59,12 +79,12 @@ let phenomena (r : Cluster.result) =
   for b = 0 to bins - 1 do
     let stopped = ref 0 and shedding = ref 0 and bin_sheds = ref 0 in
     Array.iter
-      (fun s ->
-        if b < Array.length s.Shard.stopped_ms && s.Shard.stopped_ms.(b) > 0.0
-        then incr stopped;
-        if b < Array.length s.Shard.sheds && s.Shard.sheds.(b) > 0 then begin
+      (fun (stopped_ms, sheds) ->
+        if b < Array.length stopped_ms && stopped_ms.(b) > 0.0 then
+          incr stopped;
+        if b < Array.length sheds && sheds.(b) > 0 then begin
           incr shedding;
-          bin_sheds := !bin_sheds + s.Shard.sheds.(b)
+          bin_sheds := !bin_sheds + sheds.(b)
         end)
       shards;
     if !stopped > !co_max then co_max := !stopped;
@@ -101,14 +121,56 @@ let shard_json (cfg : Cluster.cfg) (s : Shard.result) =
   Json.Obj
     [
       ("id", Json.Int s.Shard.id);
+      ("incarnation", Json.Int s.Shard.incarnation);
       ("seed", Json.Int s.Shard.seed);
       ("routed", Json.Int s.Shard.routed);
+      ("startMs", Json.Float s.Shard.start_ms);
+      ("runMs", Json.Float s.Shard.run_ms);
+      ("crashed", Json.Bool s.Shard.crashed);
+      ("unfinished", Json.Int s.Shard.unfinished);
       ("gcCycles", Json.Int s.Shard.gc_cycles);
       ("maxPauseMs", Json.Float s.Shard.max_pause_ms);
       ("droppedEvents", Json.Int s.Shard.dropped);
       ( "server",
-        Server_report.to_json cfg.Cluster.server ~ran_ms:cfg.Cluster.ms
+        Server_report.to_json cfg.Cluster.server ~ran_ms:s.Shard.run_ms
           s.Shard.totals );
+    ]
+
+let chaos_json (r : Cluster.result) =
+  let c = r.Cluster.chaos in
+  let plan = c.Cluster.plan in
+  Json.Obj
+    [
+      ( "scenario",
+        match Cluster_fault.scenario plan with
+        | Some s -> Json.Str (Cluster_fault.to_name s)
+        | None -> Json.Null );
+      ("seed", Json.Int (Cluster_fault.seed plan));
+      ("victim", Json.Int (Cluster_fault.victim plan));
+      ("drawn", Json.Int c.Cluster.drawn);
+      ("retried", Json.Int c.Cluster.retried);
+      ("redirected", Json.Int c.Cluster.redirected);
+      ("hedgeWins", Json.Int c.Cluster.hedge_wins);
+      ("shedFleet", Json.Int c.Cluster.shed_fleet);
+      ("lostUnroutable", Json.Int c.Cluster.lost_unroutable);
+      ("lostCrashed", Json.Int (Cluster.lost_crashed r));
+      ("unarrived", Json.Int (Cluster.unarrived r));
+      ("availability", Json.Float (Cluster.availability r));
+      ( "timeToRecoverMs",
+        match c.Cluster.ttr_ms with
+        | Some t -> Json.Float t
+        | None -> Json.Float (-1.0) );
+      ("epochMs", Json.Float c.Cluster.epoch_cfg_ms);
+      ( "liveEpochs",
+        Json.Arr
+          (Array.to_list
+             (Array.map (fun l -> Json.Int l) c.Cluster.live_epochs)) );
+      ( "epochDigests",
+        Json.Arr
+          (Array.to_list
+             (Array.map
+                (fun d -> Json.Str (Printf.sprintf "%016Lx" d))
+                c.Cluster.digests)) );
     ]
 
 let to_json (r : Cluster.result) =
@@ -149,6 +211,7 @@ let to_json (r : Cluster.result) =
                    float_of_int tot.Server.completed
                    /. (cfg.Cluster.ms /. 1000.0)) );
             ("sloAttainment", Json.Float (Server.slo_attainment tot));
+            ("availability", Json.Float (Cluster.availability r));
             ( "latencyMs",
               Json.Obj
                 [
@@ -187,6 +250,7 @@ let to_json (r : Cluster.result) =
                   ("binsWithShedsFrac", Json.Float ph.shed_frac);
                 ] );
           ] );
+      ("chaos", chaos_json r);
       ("perShard", Json.Arr (Array.to_list (per_shard (shard_json cfg))));
     ]
 
@@ -203,15 +267,20 @@ let text (r : Cluster.result) =
     cfg.Cluster.shards
     (Balancer.policy_name cfg.Cluster.policy)
     cfg.Cluster.rate_per_s cfg.Cluster.ms;
-  pf "  %-5s %9s %9s %9s %9s %6s %9s\n" "shard" "routed" "completed" "shed"
+  pf "  %-7s %9s %9s %9s %9s %6s %9s\n" "shard" "routed" "completed" "shed"
     "timedout" "gc" "maxP(ms)";
   Array.iter
     (fun (s : Shard.result) ->
       let t = s.Shard.totals in
-      pf "  %-5d %9d %9d %9d %9d %6d %9.3f\n" s.Shard.id s.Shard.routed
+      let label =
+        if s.Shard.incarnation = 0 then Printf.sprintf "%d" s.Shard.id
+        else Printf.sprintf "%d.r%d" s.Shard.id s.Shard.incarnation
+      in
+      pf "  %-7s %9d %9d %9d %9d %6d %9.3f%s\n" label s.Shard.routed
         t.Server.completed
         (t.Server.shed_full + t.Server.shed_throttled)
-        t.Server.timed_out s.Shard.gc_cycles s.Shard.max_pause_ms)
+        t.Server.timed_out s.Shard.gc_cycles s.Shard.max_pause_ms
+        (if s.Shard.crashed then "  [crashed]" else ""))
     r.Cluster.shards;
   let routed = spread_of (Array.map (fun s -> s.Shard.routed) r.Cluster.shards)
   and completed =
@@ -255,6 +324,35 @@ let text (r : Cluster.result) =
   row "queueing" (Latency.queueing lat);
   row "service" (Latency.service lat);
   row "gc-inflation" (Latency.gc lat);
+  let c = r.Cluster.chaos in
+  (match Cluster_fault.scenario c.Cluster.plan with
+  | None -> ()
+  | Some sc ->
+      pf
+        "  chaos: %s (seed %d, victim shard %d) — availability %.4f, \
+         retried %d, redirected %d, hedge-wins %d, fleet-shed %d, \
+         unroutable %d, lost-in-crash %d\n"
+        (Cluster_fault.to_name sc)
+        (Cluster_fault.seed c.Cluster.plan)
+        (Cluster_fault.victim c.Cluster.plan)
+        (Cluster.availability r) c.Cluster.retried c.Cluster.redirected
+        c.Cluster.hedge_wins c.Cluster.shed_fleet c.Cluster.lost_unroutable
+        (Cluster.lost_crashed r);
+      let distinct =
+        let d = ref 1 in
+        Array.iteri
+          (fun i x -> if i > 0 && x <> c.Cluster.digests.(i - 1) then incr d)
+          c.Cluster.digests;
+        !d
+      in
+      pf
+        "  epochs: %d of %.0f ms, %d routing-table changes, \
+         time-to-recover %s\n"
+        (Array.length c.Cluster.digests)
+        c.Cluster.epoch_cfg_ms (distinct - 1)
+        (match c.Cluster.ttr_ms with
+        | Some t -> Printf.sprintf "%.0f ms" t
+        | None -> "never"));
   Buffer.contents b
 
 let validate s =

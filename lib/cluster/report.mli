@@ -1,28 +1,35 @@
-(** Fleet-wide SLO report: text summary and [cgcsim-cluster-v1] JSON.
+(** Fleet-wide SLO report: text summary and [cgcsim-cluster-v2] JSON.
 
-    Merges the per-shard server reports into one artefact with three
+    Merges the per-shard server reports into one artefact with four
     fleet-level views a single-server report cannot express:
 
     {ul
-    {- {e fleet} — summed counters, merged latency histograms and the
+    {- {e fleet} — summed counters, merged latency histograms, the
        fleet SLO attainment (sheds and timeouts count as violations,
-       exactly as in {!Cgc_server.Server.slo_attainment});}
+       exactly as in {!Cgc_server.Server.slo_attainment}) and the
+       availability (completed fraction of all drawn arrivals);}
     {- {e balance} — min/max/CV of routed and completed requests per
        shard, the direct measure of what the routing policy did;}
     {- {e phenomena} — derived from the shards' [bin_ms] timeline bins:
        {e co-stopped} windows where several shards' worlds were stopped
        at once (unsynchronised collectors drifting into alignment), and
        {e shed storms} where overload control fires across the fleet in
-       the same bin.}}
+       the same bin (incarnations of one shard are merged per shard id
+       first, so the counts are of shards, not VMs);}
+    {- {e chaos} — the v2 block: scenario/seed/victim, the degradation
+       ladder counters (retried / redirected / hedge-wins / fleet-shed /
+       unroutable / lost-in-crash / unarrived), availability,
+       balancer-visible time-to-recover, and the per-epoch live counts
+       and routing-table digests proving when routing changed.}}
 
     Follows the repo's schema conventions: a [schema] tag,
     deterministic key order, [%.6f] floats — equal-seed runs serialise
-    byte-identically.  The per-shard array embeds each shard's
+    byte-identically.  The per-shard array embeds each incarnation's
     [cgcsim-server-v1] report unchanged, so existing tooling can peel
     one shard out of a fleet artefact. *)
 
 val schema : string
-(** ["cgcsim-cluster-v1"]. *)
+(** ["cgcsim-cluster-v2"]. *)
 
 type phenomena = {
   bins : int;  (** timeline bins covering the run *)

@@ -5,8 +5,12 @@ module Cost = Cgc_smp.Cost
 module Server = Cgc_server.Server
 module Arrival = Cgc_server.Arrival
 module Obs = Cgc_obs.Obs
+module Event = Cgc_obs.Event
 module Gstats = Cgc_core.Gstats
 module Histogram = Cgc_util.Histogram
+
+(* Chaos marks are emitted host-side like the server's arrival events. *)
+let server_tid = -1
 
 type cfg = {
   id : int;
@@ -19,6 +23,12 @@ type cfg = {
   server : Server.cfg;
   bin_ms : float;
   ms : float;
+  incarnation : int;
+  start_ms : float;
+  fleet_ms : float;
+  crashed : bool;
+  brownout : (int * int * float) option;
+  marks : (int * int) list;
 }
 
 type result = {
@@ -32,6 +42,11 @@ type result = {
   sheds : int array;
   trace : string option;
   dropped : int;
+  incarnation : int;
+  start_ms : float;
+  run_ms : float;
+  crashed : bool;
+  unfinished : int;
 }
 
 let nbins ~ms ~bin_ms =
@@ -45,11 +60,12 @@ let nbins ~ms ~bin_ms =
    stopped flag times the elapsed interval) and differences the
    monotone shed counter; both land in the bin of the interval start,
    which is exact to within one scheduler tick — far finer than a
-   bin. *)
-let install_sampler vm srv ~nbins ~bin_cycles ~stopped ~sheds =
-  ignore (nbins : int);
+   bin.  [start_cycles] offsets an incarnation's local clock into the
+   fleet timeline, so every incarnation of every shard bins onto the
+   same fleet-wide axis. *)
+let install_sampler vm srv ~bin_cycles ~start_cycles ~stopped ~sheds =
   let last = Array.length stopped - 1 in
-  let bin t = Stdlib.min last (t / bin_cycles) in
+  let bin t = Stdlib.min last ((start_cycles + t) / bin_cycles) in
   let prev_now = ref 0 in
   let prev_stopped = ref false in
   let prev_shed = ref 0 in
@@ -65,32 +81,42 @@ let install_sampler vm srv ~nbins ~bin_cycles ~stopped ~sheds =
         prev_shed := s
       end)
 
-let run (cfg : cfg) ~arrivals =
+let run (cfg : cfg) ~arrivals ?delays () =
   let vm =
     Vm.create
       (Vm.config ~heap_mb:cfg.heap_mb ~ncpus:cfg.ncpus ~seed:cfg.seed
          ~gc:cfg.gc ~trace:cfg.trace ~trace_ring:cfg.trace_ring ())
   in
   let srv =
-    Server.create ~arrivals:(Arrival.scripted arrivals) cfg.server vm
+    Server.create
+      ~arrivals:(Arrival.scripted ?delays arrivals)
+      ?degrade:cfg.brownout cfg.server vm
   in
+  List.iter
+    (fun (ts, arg) ->
+      Obs.instant_host (Vm.obs vm) ~arg ~tid:server_tid ~ts Event.Cluster_fault)
+    cfg.marks;
   let mach = Vm.machine vm in
   let cycles_per_ms = mach.Machine.cost.Cost.cycles_per_ms in
-  let nb = nbins ~ms:cfg.ms ~bin_ms:cfg.bin_ms in
+  let nb = nbins ~ms:cfg.fleet_ms ~bin_ms:cfg.bin_ms in
   let bin_cycles =
     Stdlib.max 1 (int_of_float (cfg.bin_ms *. float_of_int cycles_per_ms))
   in
+  let start_cycles =
+    int_of_float (cfg.start_ms *. float_of_int cycles_per_ms)
+  in
   let stopped = Array.make nb 0 in
   let sheds = Array.make nb 0 in
-  install_sampler vm srv ~nbins:nb ~bin_cycles ~stopped ~sheds;
+  install_sampler vm srv ~bin_cycles ~start_cycles ~stopped ~sheds;
   Vm.run vm ~ms:cfg.ms;
   let gs = Vm.gc_stats vm in
   let pauses = gs.Gstats.pause_ms in
+  let totals = Server.totals srv in
   {
     id = cfg.id;
     seed = cfg.seed;
     routed = Array.length arrivals;
-    totals = Server.totals srv;
+    totals;
     gc_cycles = gs.Gstats.cycles;
     max_pause_ms =
       (if Histogram.count pauses = 0 then 0.0 else Histogram.max pauses);
@@ -101,4 +127,11 @@ let run (cfg : cfg) ~arrivals =
     sheds;
     trace = (if cfg.trace then Some (Vm.trace_json vm) else None);
     dropped = Obs.dropped (Vm.obs vm);
+    incarnation = cfg.incarnation;
+    start_ms = cfg.start_ms;
+    run_ms = cfg.ms;
+    crashed = cfg.crashed;
+    unfinished =
+      totals.Server.admitted - totals.Server.completed
+      - totals.Server.timed_out;
   }

@@ -1,18 +1,22 @@
-(** One shard: a complete VM + collector + open-loop server, replaying
-    its routed slice of the fleet arrival stream.
+(** One shard incarnation: a complete VM + collector + open-loop server,
+    replaying its routed slice of the fleet arrival stream.
 
     A shard is a self-contained simulation — its own heap, collector,
     PRNG streams and event sink — so shards run on any host domain with
     no shared mutable state, and a shard's trace, report and totals are
-    byte-identical at every [--jobs] count.  The only cluster-specific
-    machinery is a scheduler hook that samples stop-the-world time and
-    shed counts into fixed [bin_ms] timeline bins, which is what lets
-    the fleet report detect {e correlated} phenomena (co-stopped shards,
-    shed storms) without the shards ever communicating. *)
+    byte-identical at every [--jobs] count.  Under chaos a shard may run
+    as several {e incarnations}: the initial VM up to a crash, then a
+    fresh VM (empty queue, cold heap — the re-warm is the point) per
+    rejoin.  Each incarnation is its own independent [run]; the only
+    cluster-specific machinery is a scheduler hook that samples
+    stop-the-world time and shed counts into fixed [bin_ms] bins on the
+    {e fleet} timeline (offset by [start_ms]), which is what lets the
+    fleet report detect correlated phenomena (co-stopped shards, shed
+    storms) without the shards ever communicating. *)
 
 type cfg = {
   id : int;  (** shard index in [0, shards) *)
-  seed : int;  (** this shard's VM seed (derived from the fleet seed) *)
+  seed : int;  (** this incarnation's VM seed (derived from fleet seed) *)
   heap_mb : float;
   ncpus : int;
   gc : Cgc_core.Config.t;
@@ -22,21 +26,38 @@ type cfg = {
       (** per-shard server parameters; its [rate_per_s] is the nominal
           fleet share — the actual arrivals are the scripted slice *)
   bin_ms : float;  (** timeline bin width for fleet-phenomena sampling *)
-  ms : float;  (** simulated milliseconds to run *)
+  ms : float;  (** simulated milliseconds {e this incarnation} runs *)
+  incarnation : int;  (** 0 = initial VM, 1.. = cold rejoins *)
+  start_ms : float;  (** fleet time at which this incarnation comes up *)
+  fleet_ms : float;  (** whole-run length — sizes the timeline arrays *)
+  crashed : bool;  (** this incarnation ends in a crash, not the horizon *)
+  brownout : (int * int * float) option;
+      (** [(start, stop, factor)] service inflation window, local cycles *)
+  marks : (int * int) list;
+      (** [(local ts, scenario index)] chaos marks to stamp into the
+          trace as {!Cgc_obs.Event.Cluster_fault} instants *)
 }
 
 type result = {
   id : int;
   seed : int;
-  routed : int;  (** arrivals the balancer sent this shard *)
+  routed : int;  (** arrivals the balancer sent this incarnation *)
   totals : Cgc_server.Server.totals;
   gc_cycles : int;
   max_pause_ms : float;
   stopped_ms : float array;
-      (** per timeline bin: simulated ms this shard's world was stopped *)
-  sheds : int array;  (** per timeline bin: requests shed in that bin *)
+      (** per fleet-timeline bin: simulated ms this shard was stopped *)
+  sheds : int array;  (** per fleet-timeline bin: requests shed *)
   trace : string option;  (** Chrome trace JSON when [cfg.trace] *)
   dropped : int;  (** events lost to ring overflow (exit-5 territory) *)
+  incarnation : int;
+  start_ms : float;
+  run_ms : float;
+  crashed : bool;
+  unfinished : int;
+      (** admitted but neither completed nor timed out when the
+          incarnation ended — lost if [crashed], in flight at the
+          horizon otherwise *)
 }
 (** Plain values only — the worker domain extracts everything from the
     VM before returning, so no simulation state escapes the domain that
@@ -46,10 +67,11 @@ val nbins : ms:float -> bin_ms:float -> int
 (** Timeline bin count for a run: [ceil (ms / bin_ms)], at least 1.
     Exposed so {!Report} can label bins without re-deriving it. *)
 
-val run : cfg -> arrivals:int array -> result
+val run : cfg -> arrivals:int array -> ?delays:int array -> unit -> result
 (** Build the VM, attach the server with
-    [Cgc_server.Arrival.scripted arrivals], install the timeline
-    sampler, run for [cfg.ms] simulated milliseconds and extract the
-    result.  Raises whatever the simulation raises
+    [Cgc_server.Arrival.scripted ?delays arrivals] (timestamps local to
+    the incarnation; [delays] the per-arrival retry backoff), install
+    the timeline sampler, run for [cfg.ms] simulated milliseconds and
+    extract the result.  Raises whatever the simulation raises
     ([Cgc_core.Collector.Out_of_memory], invariant violations) — the
     pool re-raises in the caller. *)

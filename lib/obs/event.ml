@@ -32,6 +32,7 @@ type code =
   | Req_done
   | Req_shed
   | Req_timeout
+  | Cluster_fault
 
 type t = { ts : int; dur : int; tid : int; code : code; arg : int }
 
@@ -71,6 +72,7 @@ let name = function
   | Req_done -> "req-done"
   | Req_shed -> "req-shed"
   | Req_timeout -> "req-timeout"
+  | Cluster_fault -> "cluster-fault"
 
 let cat = function
   | Cycle_start | Cycle_end -> "cycle"
@@ -89,6 +91,7 @@ let cat = function
   | Verify_pass -> "verify"
   | Incr_factor -> "phase"
   | Req_arrive | Req_start | Req_done | Req_shed | Req_timeout -> "server"
+  | Cluster_fault -> "fault"
 
 let all_codes =
   [
@@ -125,6 +128,7 @@ let all_codes =
     Req_done;
     Req_shed;
     Req_timeout;
+    Cluster_fault;
   ]
 
 let of_name =

@@ -82,6 +82,12 @@ type code =
   | Req_timeout
       (** instant: a queued request exceeded its deadline and was
           abandoned at dispatch; arg = request id. *)
+  | Cluster_fault
+      (** instant: a cluster chaos scenario touched this shard — a crash,
+          a cold restart, a brownout window opening, or a ring-flap
+          leave/join; arg = the scenario's [Cgc_fault.Cluster_fault.index].
+          Emitted host-side with the synthetic server tid into the
+          affected shard incarnation's trace. *)
 
 type t = {
   ts : int;  (** simulated cycles at the event (span: at its start) *)

@@ -20,15 +20,26 @@ type gen = {
 
 type t =
   | Gen of gen
-  | Scripted of { ts : int array; mutable i : int }
+  | Scripted of { ts : int array; delays : int array; mutable i : int }
 
-let scripted ts =
+let scripted ?delays ts =
   let n = Array.length ts in
   for i = 1 to n - 1 do
     if ts.(i) < ts.(i - 1) then
       invalid_arg "Arrival.scripted: timestamps must be non-decreasing"
   done;
-  Scripted { ts; i = 0 }
+  let delays =
+    match delays with
+    | None -> [||]
+    | Some d ->
+        if Array.length d <> n then
+          invalid_arg "Arrival.scripted: delays length mismatch";
+        Array.iter
+          (fun x -> if x < 0 then invalid_arg "Arrival.scripted: delay < 0")
+          d;
+        d
+  in
+  Scripted { ts; delays; i = 0 }
 
 let create kind ~rate_per_s ~cycles_per_ms ~rng =
   if rate_per_s <= 0.0 then invalid_arg "Arrival.create: rate must be positive";
@@ -106,3 +117,11 @@ let next = function
         s.i <- s.i + 1;
         ts
       end
+
+let last_delay = function
+  | Gen _ -> 0
+  | Scripted s ->
+      (* Delay of the arrival most recently returned by [next]. *)
+      if Array.length s.delays = 0 || s.i = 0 || s.i > Array.length s.delays
+      then 0
+      else s.delays.(s.i - 1)

@@ -29,16 +29,28 @@ val create :
     second; must be positive.  Bursty windows must be positive and
     [factor >= 1]. *)
 
-val scripted : int array -> t
+val scripted : ?delays:int array -> int array -> t
 (** An arrival process that replays a precomputed, non-decreasing list
     of cycle timestamps, then returns [max_int] forever.  This is how
     the cluster front end feeds each shard its routed share of the
     fleet arrival stream: the balancer draws the fleet process once
     (host-side, deterministic), routes every arrival to a shard, and
     each shard replays its slice — so shard simulations stay
-    independent of each other and of the host domain count.  Raises
-    [Invalid_argument] on a decreasing timestamp. *)
+    independent of each other and of the host domain count.
+
+    [delays] (same length, non-negative) carries per-arrival front-end
+    delay already suffered before the request reached this shard — retry
+    backoff, mostly.  The server subtracts it from the enqueue timestamp
+    when stamping the request's {e arrival}, so queueing and end-to-end
+    latency include the time the balancer spent redirecting.  Raises
+    [Invalid_argument] on a decreasing timestamp, a negative delay, or a
+    length mismatch. *)
 
 val next : t -> int
 (** The next arrival timestamp in simulated cycles.  Non-decreasing;
     each call advances the process. *)
+
+val last_delay : t -> int
+(** The front-end delay of the arrival most recently returned by
+    {!next}; [0] for generated processes and scripts without
+    [delays]. *)

@@ -89,7 +89,11 @@ type t = {
   queue : req Queue.t;
   lats : Latency.t array;
   arr : Arrival.t;
+  (* Brownout window [d0, d1) during which service times are inflated by
+     the factor — the cluster's noisy-neighbour scenario. *)
+  degrade : (int * int * float) option;
   mutable next_arrival : int;
+  mutable next_pre : int;
   mutable next_id : int;
   mutable in_flight : int;
   mutable throttling : bool;
@@ -116,7 +120,7 @@ let shed_now t = t.shed_full + t.shed_throttled
 (* ------------------------------------------------------------------ *)
 (* Admission (host side, from the scheduler hook)                      *)
 
-let arrive t ~ts =
+let arrive ?(pre = 0) t ~ts =
   t.arrived <- t.arrived + 1;
   let depth = Queue.length t.queue in
   if t.cfg.throttle_hi > 0 then
@@ -133,7 +137,9 @@ let arrive t ~ts =
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
-    Queue.push { id; arrival = ts; s_arr = t.stopped_cycles } t.queue;
+    (* Front-end delay (retry backoff) backdates the arrival stamp, so
+       queueing and end-to-end latency charge the redirection time. *)
+    Queue.push { id; arrival = ts - pre; s_arr = t.stopped_cycles } t.queue;
     t.admitted <- t.admitted + 1;
     let depth = depth + 1 in
     if depth > t.max_depth then t.max_depth <- depth;
@@ -146,8 +152,9 @@ let on_tick t now =
   t.prev_now <- now;
   t.prev_stopped <- Sched.world_stopped (Vm.sched t.vm);
   while t.next_arrival <= now do
-    arrive t ~ts:t.next_arrival;
-    t.next_arrival <- Arrival.next t.arr
+    arrive t ~ts:t.next_arrival ~pre:t.next_pre;
+    t.next_arrival <- Arrival.next t.arr;
+    t.next_pre <- Arrival.last_delay t.arr
   done
 
 (* ------------------------------------------------------------------ *)
@@ -158,6 +165,14 @@ let handle t m ~wid ~dir req ~start =
   Obs.span_at t.obs ~arg:req.id ~ts:req.arrival ~dur:(start - req.arrival)
     Event.Req_start;
   Txmix.transaction t.profile m ~dir;
+  (match t.degrade with
+  | Some (d0, d1, factor) when start >= d0 && start < d1 ->
+      (* Noisy neighbour: stretch the transaction by (factor - 1)× its
+         own duration, as if the shard's CPUs were shared away. *)
+      let served = Mutator.now_cycles m - start in
+      if served > 0 && factor > 1.0 then
+        Mutator.think m (int_of_float ((factor -. 1.0) *. float_of_int served))
+  | _ -> ());
   let finish = Mutator.now_cycles m in
   t.in_flight <- t.in_flight - 1;
   let s =
@@ -217,7 +232,7 @@ let attach_probes t =
             float_of_int t.in_flight)
       end
 
-let create ?arrivals (cfg : cfg) vm =
+let create ?arrivals ?degrade (cfg : cfg) vm =
   let mach = Vm.machine vm in
   let cycles_per_ms = mach.Machine.cost.Cost.cycles_per_ms in
   (* An own PRNG root, offset from the VM's seed so the arrival stream
@@ -247,7 +262,9 @@ let create ?arrivals (cfg : cfg) vm =
       queue = Queue.create ();
       lats = Array.init cfg.workers (fun _ -> Latency.create ());
       arr;
+      degrade;
       next_arrival = 0;
+      next_pre = 0;
       next_id = 0;
       in_flight = 0;
       throttling = false;
@@ -264,6 +281,7 @@ let create ?arrivals (cfg : cfg) vm =
     }
   in
   t.next_arrival <- Arrival.next t.arr;
+  t.next_pre <- Arrival.last_delay t.arr;
   for wid = 0 to cfg.workers - 1 do
     Vm.spawn_mutator vm
       ~name:(Printf.sprintf "server-worker-%d" wid)

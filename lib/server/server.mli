@@ -67,7 +67,8 @@ val cfg :
 
 type t
 
-val create : ?arrivals:Arrival.t -> cfg -> Cgc_runtime.Vm.t -> t
+val create :
+  ?arrivals:Arrival.t -> ?degrade:int * int * float -> cfg -> Cgc_runtime.Vm.t -> t
 (** Spawns the worker mutators, installs the arrival hook, registers a
     {!Cgc_runtime.Vm.on_reset} hook so warm-up statistics are discarded
     by [run_measured], and — when a profiler is already enabled —
@@ -77,7 +78,14 @@ val create : ?arrivals:Arrival.t -> cfg -> Cgc_runtime.Vm.t -> t
     [arrivals] overrides the arrival process built from the [cfg]
     fields — the cluster layer passes {!Arrival.scripted} slices of the
     routed fleet stream here, so a shard serves exactly the requests
-    the balancer sent it. *)
+    the balancer sent it.  When the script carries per-arrival [delays]
+    (retry backoff), the request's arrival stamp is backdated by the
+    delay so queueing/end-to-end latency include the redirection time.
+
+    [degrade] is a [(start, stop, factor)] brownout window in this VM's
+    cycles: transactions dispatched inside it are stretched by
+    [(factor - 1)]× their own duration, modelling a noisy neighbour
+    sharing away the shard's CPUs. *)
 
 val the_cfg : t -> cfg
 

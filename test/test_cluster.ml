@@ -1,9 +1,12 @@
 (* Tests for the cluster layer (cgc_cluster): the SPMC work deque under
    concurrent consumers, the persistent domain pool (exactly-once,
-   order-identical results at every size, exception propagation, the
-   par_map registry splicing), the three routing policies, shard/fleet
-   determinism across pool sizes (byte-identical traces and report),
-   and the cgcsim-cluster-v1 schema round-trip. *)
+   order-identical results at every size, exception propagation at
+   every pool size, the par_map registry splicing), the three routing
+   policies and the hash ring's failover monotonicity, shard/fleet
+   determinism across pool sizes (byte-identical traces and report,
+   chaos scenarios included), the fleet degradation ladder's exact
+   request conservation and Fleet_unavailable, and the
+   cgcsim-cluster-v2 schema round-trip. *)
 
 module Json = Cgc_prof.Json
 module Deque = Cgc_cluster.Deque
@@ -16,6 +19,7 @@ module Server = Cgc_server.Server
 module Arrival = Cgc_server.Arrival
 module Prng = Cgc_util.Prng
 module Common = Cgc_experiments.Common
+module Cluster_fault = Cgc_fault.Cluster_fault
 
 let check = Alcotest.check
 let cb = Alcotest.bool
@@ -127,6 +131,66 @@ let qcheck_par_map_matches_serial =
       in
       got = List.map f items)
 
+let test_pool_serial_exception_first_in_index_order () =
+  (* The serial path must match the parallel contract: every job runs,
+     the first exception (index order) is the one re-raised. *)
+  let pool = Dpool.create ~domains:1 in
+  Fun.protect
+    ~finally:(fun () -> Dpool.shutdown pool)
+    (fun () ->
+      let ran = Array.make 10 false in
+      (match
+         Dpool.run pool ~n:10 (fun i ->
+             ran.(i) <- true;
+             if i = 3 then failwith "job 3";
+             if i = 7 then failwith "job 7")
+       with
+      | () -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+          check Alcotest.string "first failing index wins" "job 3" msg);
+      Array.iteri
+        (fun i r ->
+          check cb (Printf.sprintf "job %d still ran" i) true r)
+        ran)
+
+let test_pool_usable_after_exception () =
+  List.iter
+    (fun domains ->
+      let pool = Dpool.create ~domains in
+      Fun.protect
+        ~finally:(fun () -> Dpool.shutdown pool)
+        (fun () ->
+          (match
+             Dpool.run pool ~n:4 (fun i -> if i = 2 then failwith "boom")
+           with
+          | () -> Alcotest.fail "expected an exception"
+          | exception Failure _ -> ());
+          let got = Dpool.map pool (fun x -> x * 2) [| 1; 2; 3 |] in
+          check (Alcotest.array ci)
+            (Printf.sprintf "pool of %d reusable after exception" domains)
+            [| 2; 4; 6 |] got))
+    [ 1; 4 ]
+
+let test_pool_nested_inline_after_exception () =
+  let pool = Dpool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Dpool.shutdown pool)
+    (fun () ->
+      (match
+         Dpool.run pool ~n:8 (fun i -> if i = 0 then failwith "boom")
+       with
+      | () -> Alcotest.fail "expected an exception"
+      | exception Failure _ -> ());
+      let outer =
+        Dpool.map pool
+          (fun i ->
+            let inner = Dpool.map pool (fun j -> i * j) [| 1; 2 |] in
+            inner.(0) + inner.(1))
+          [| 3; 4 |]
+      in
+      check (Alcotest.array ci) "nested map inline after exception"
+        [| 9; 12 |] outer)
+
 let test_pool_nested_runs_inline () =
   let pool = Dpool.create ~domains:4 in
   Fun.protect
@@ -193,6 +257,34 @@ let test_balancer_hash_properties () =
       check cb "no hot shard owning most keys" true (c < 2400))
     counts
 
+let qcheck_ring_remaps_only_failed_shard =
+  (* Consistent hashing's failover contract: taking one shard out moves
+     only the keys that shard owned (nothing else re-shuffles), and
+     putting it back restores the exact prior assignment. *)
+  QCheck.Test.make
+    ~name:"hash ring: removing a shard remaps only its keys; re-add restores"
+    ~count:60
+    QCheck.(triple (int_range 2 10) (int_range 0 9) small_int)
+    (fun (nshards, victim, salt) ->
+      QCheck.assume (victim < nshards);
+      let all = Array.make nshards true in
+      let without = Array.init nshards (fun k -> k <> victim) in
+      let ring_all = Balancer.ring_points ~nshards ~live:all in
+      let ring_cut = Balancer.ring_points ~nshards ~live:without in
+      let ring_back = Balancer.ring_points ~nshards ~live:all in
+      let keys =
+        Array.init 400 (fun i ->
+            Balancer.mix64 (Int64.of_int ((i * 7919) + salt + 1)))
+      in
+      Array.for_all
+        (fun key ->
+          let before = Balancer.ring_lookup ring_all key in
+          let after = Balancer.ring_lookup ring_cut key in
+          after <> victim
+          && (before = victim || after = before)
+          && Balancer.ring_lookup ring_back key = before)
+        keys)
+
 (* ------------------------- shard determinism ------------------------ *)
 
 let small_cfg ?(trace = false) () =
@@ -258,6 +350,133 @@ let test_cluster_policies_share_arrival_stream () =
   check ci "consistent-hash same stream" rr
     (arrived Balancer.Consistent_hash)
 
+(* ------------------------------- chaos ------------------------------ *)
+
+let chaos_cfg ?(trace = false) ?chaos () =
+  Cluster.cfg ~shards:3 ~policy:Balancer.Least_queue ~rate_per_s:6000.0
+    ~slo_ms:50.0 ~heap_mb:16.0 ~ms:300.0 ~trace ~trace_ring:(1 lsl 17)
+    ?chaos ()
+
+let test_chaos_determinism_across_pool_sizes () =
+  List.iter
+    (fun sc ->
+      let name = Cluster_fault.to_name sc in
+      let run domains =
+        let pool = Dpool.create ~domains in
+        Fun.protect
+          ~finally:(fun () -> Dpool.shutdown pool)
+          (fun () -> Cluster.run ~pool (chaos_cfg ~trace:true ~chaos:sc ()))
+      in
+      let r1 = run 1 and r8 = run 8 in
+      check Alcotest.string
+        (name ^ ": fleet report byte-identical at 1 vs 8 domains")
+        (Json.to_string ~pretty:true (Cluster_report.to_json r1))
+        (Json.to_string ~pretty:true (Cluster_report.to_json r8));
+      check ci (name ^ ": same incarnation count")
+        (Array.length r1.Cluster.shards)
+        (Array.length r8.Cluster.shards);
+      Array.iteri
+        (fun k (s1 : Shard.result) ->
+          let s8 = r8.Cluster.shards.(k) in
+          match (s1.Shard.trace, s8.Shard.trace) with
+          | Some t1, Some t8 ->
+              check cb
+                (Printf.sprintf "%s: shard %d.r%d trace byte-identical" name
+                   s1.Shard.id s1.Shard.incarnation)
+                true (t1 = t8)
+          | _ -> Alcotest.fail "expected traces on both runs")
+        r1.Cluster.shards)
+    Cluster_fault.all
+
+let test_chaos_exact_conservation () =
+  (* The ladder's books must balance exactly under every scenario:
+     drawn = routed + fleet-shed + unroutable, and every routed request
+     is accounted for down to the incarnation that held it. *)
+  List.iter
+    (fun chaos ->
+      let name =
+        match chaos with
+        | None -> "none"
+        | Some sc -> Cluster_fault.to_name sc
+      in
+      let r = Cluster.run (chaos_cfg ?chaos ()) in
+      let tot = Cluster.fleet_totals r in
+      let c = r.Cluster.chaos in
+      let routed =
+        Array.fold_left
+          (fun acc s -> acc + s.Shard.routed)
+          0 r.Cluster.shards
+      in
+      check ci
+        (name ^ ": drawn = routed + fleet-shed + unroutable")
+        c.Cluster.drawn
+        (routed + c.Cluster.shed_fleet + c.Cluster.lost_unroutable);
+      check ci
+        (name ^ ": arrived = routed - unarrived")
+        tot.Server.arrived
+        (routed - Cluster.unarrived r);
+      check ci
+        (name ^ ": admitted = arrived - sheds")
+        tot.Server.admitted
+        (tot.Server.arrived - tot.Server.shed_full
+       - tot.Server.shed_throttled);
+      let unfinished =
+        Array.fold_left
+          (fun acc s -> acc + s.Shard.unfinished)
+          0 r.Cluster.shards
+      in
+      check ci
+        (name ^ ": admitted = completed + timed-out + unfinished")
+        tot.Server.admitted
+        (tot.Server.completed + tot.Server.timed_out + unfinished);
+      check cb (name ^ ": unarrived non-negative") true
+        (Cluster.unarrived r >= 0);
+      check cb (name ^ ": lost-in-crash non-negative") true
+        (Cluster.lost_crashed r >= 0);
+      check cb (name ^ ": availability in [0,1]") true
+        (let a = Cluster.availability r in
+         a >= 0.0 && a <= 1.0))
+    (None :: List.map Option.some Cluster_fault.all)
+
+let test_chaos_epoch_digests () =
+  let r0 = Cluster.run (chaos_cfg ()) in
+  let d0 = r0.Cluster.chaos.Cluster.digests in
+  check cb "digests cover the run" true (Array.length d0 > 0);
+  check cb "chaos off: routing table never changes" true
+    (Array.for_all (fun d -> d = d0.(0)) d0);
+  check cb "chaos off: no time-to-recover" true
+    (r0.Cluster.chaos.Cluster.ttr_ms = None);
+  let r =
+    Cluster.run (chaos_cfg ~chaos:Cluster_fault.Shard_restart ())
+  in
+  let c = r.Cluster.chaos in
+  let distinct =
+    List.length (List.sort_uniq compare (Array.to_list c.Cluster.digests))
+  in
+  check cb "restart: routing table changes" true (distinct >= 2);
+  check cb "restart: live count dips" true
+    (Array.exists
+       (fun l -> l < r.Cluster.cfg.Cluster.shards)
+       c.Cluster.live_epochs);
+  check cb "restart: recovers (ttr present)" true (c.Cluster.ttr_ms <> None)
+
+let test_fleet_unavailable_raises () =
+  (* A single-shard fleet whose only shard crashes has nowhere to
+     reroute: the ladder must bottom out in the typed failure. *)
+  let cfg =
+    Cluster.cfg ~shards:1 ~rate_per_s:4000.0 ~heap_mb:16.0 ~ms:300.0
+      ~chaos:Cluster_fault.Shard_crash ~give_up:10 ()
+  in
+  match Cluster.run cfg with
+  | _ -> Alcotest.fail "expected Fleet_unavailable"
+  | exception Cluster.Fleet_unavailable u ->
+      check Alcotest.string "scenario named" "shard-crash"
+        u.Cluster.scenario;
+      check ci "fleet size recorded" 1 u.Cluster.of_shards;
+      check cb "lost at least the give-up budget" true (u.Cluster.lost >= 10);
+      check cb "diagnostic renders" true
+        (String.length (Cluster.unavailable_to_string u) > 0)
+
 (* ------------------------------ report ------------------------------ *)
 
 let test_report_schema_roundtrip () =
@@ -312,6 +531,12 @@ let () =
           Alcotest.test_case "exactly once" `Quick test_pool_exactly_once;
           Alcotest.test_case "exception propagation" `Quick
             test_pool_exception;
+          Alcotest.test_case "serial exception: first in index order"
+            `Quick test_pool_serial_exception_first_in_index_order;
+          Alcotest.test_case "usable after exception" `Quick
+            test_pool_usable_after_exception;
+          Alcotest.test_case "nested inline after exception" `Quick
+            test_pool_nested_inline_after_exception;
           Alcotest.test_case "nested runs inline" `Quick
             test_pool_nested_runs_inline;
           q qcheck_pool_map_matches_serial;
@@ -327,6 +552,7 @@ let () =
             test_balancer_least_queue_balances_burst;
           Alcotest.test_case "consistent-hash properties" `Quick
             test_balancer_hash_properties;
+          q qcheck_ring_remaps_only_failed_shard;
         ] );
       ( "cluster",
         [
@@ -335,6 +561,17 @@ let () =
           Alcotest.test_case "conservation" `Quick test_cluster_conservation;
           Alcotest.test_case "policies share arrival stream" `Quick
             test_cluster_policies_share_arrival_stream;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "determinism across pool sizes" `Slow
+            test_chaos_determinism_across_pool_sizes;
+          Alcotest.test_case "exact conservation" `Quick
+            test_chaos_exact_conservation;
+          Alcotest.test_case "epoch digests" `Quick
+            test_chaos_epoch_digests;
+          Alcotest.test_case "fleet unavailable" `Quick
+            test_fleet_unavailable_raises;
         ] );
       ( "report",
         [

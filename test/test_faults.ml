@@ -182,6 +182,101 @@ let test_starved_defer_recovers () =
   check cb "pool terminated — nothing lost" true (Pool.terminated pool);
   check ci "no corruption" 0 (Tracer.corruptions tracer)
 
+(* --------------------------- chaos plans ---------------------------- *)
+
+module Cluster_fault = Cgc_fault.Cluster_fault
+
+let qcheck_chaos_plan_well_formed =
+  (* The fleet chaos plan is a pure function of its inputs, and the
+     cluster layer leans on its geometry: victim in range, incarnations
+     tiling the victim's uptime in order, live_at agreeing with the
+     incarnation intervals, and recovery only for scenarios that
+     actually recover. *)
+  QCheck.Test.make ~name:"cluster chaos plan: deterministic, well-formed"
+    ~count:200
+    QCheck.(
+      quad (int_range 0 3) (int_range 0 1000) (int_range 1 8)
+        (int_range 100_000 20_000_000))
+    (fun (sci, seed, shards, horizon) ->
+      let scenario = List.nth Cluster_fault.all sci in
+      let p = Cluster_fault.make ~scenario ~seed ~shards ~horizon in
+      let p' = Cluster_fault.make ~scenario ~seed ~shards ~horizon in
+      let v = Cluster_fault.victim p in
+      let ok = ref (v >= 0 && v < shards) in
+      let rec ordered = function
+        | [] -> false
+        | [ (a : Cluster_fault.incarnation) ] ->
+            a.Cluster_fault.start < a.Cluster_fault.stop
+        | a :: (b :: _ as rest) ->
+            a.Cluster_fault.start < a.Cluster_fault.stop
+            && a.Cluster_fault.stop <= b.Cluster_fault.start
+            && ordered rest
+      in
+      for k = 0 to shards - 1 do
+        let incs = Cluster_fault.incarnations p ~shard:k in
+        if incs <> Cluster_fault.incarnations p' ~shard:k then ok := false;
+        (match incs with
+        | { Cluster_fault.index = 0; start = 0; _ } :: _ -> ()
+        | _ -> ok := false);
+        List.iteri
+          (fun i (inc : Cluster_fault.incarnation) ->
+            if inc.Cluster_fault.index <> i then ok := false)
+          incs;
+        if not (ordered incs) then ok := false;
+        if k <> v then begin
+          match incs with
+          | [ { Cluster_fault.crashed = false; stop; _ } ]
+            when stop >= horizon ->
+              ()
+          | _ -> ok := false
+        end;
+        (* live_at is exactly "inside some incarnation" at sampled
+           points across the run *)
+        for s = 0 to 20 do
+          let t = s * (horizon / 21) in
+          let inside =
+            List.exists
+              (fun (i : Cluster_fault.incarnation) ->
+                t >= i.Cluster_fault.start
+                && t < Stdlib.min i.Cluster_fault.stop horizon)
+              incs
+          in
+          if Cluster_fault.live_at p ~shard:k t <> inside then ok := false
+        done;
+        match Cluster_fault.brownout p ~shard:k with
+        | Some (b0, b1, f) ->
+            if scenario <> Cluster_fault.Shard_brownout || k <> v then
+              ok := false;
+            if not (b0 < b1 && b1 < horizon && f > 1.0) then ok := false
+        | None ->
+            if scenario = Cluster_fault.Shard_brownout && k = v then
+              ok := false
+      done;
+      (match Cluster_fault.first_onset p with
+      | Some t -> if t < 0 || t >= horizon then ok := false
+      | None -> ok := false);
+      (match (scenario, Cluster_fault.recovered_at p) with
+      | Cluster_fault.Shard_crash, Some _ ->
+          (* a crash never recovers *)
+          ok := false
+      | Cluster_fault.Shard_crash, None -> ()
+      | _, Some t ->
+          if t <= 0 || t >= horizon then ok := false;
+          (match Cluster_fault.first_onset p with
+          | Some onset -> if onset >= t then ok := false
+          | None -> ok := false)
+      | _, None ->
+          (* restart/brownout windows sit well inside the horizon *)
+          ok := false);
+      let inert = Cluster_fault.none ~shards ~horizon in
+      if Cluster_fault.victim inert <> -1 then ok := false;
+      if Cluster_fault.first_onset inert <> None then ok := false;
+      for k = 0 to shards - 1 do
+        if not (Cluster_fault.live_at inert ~shard:k (horizon / 2)) then
+          ok := false
+      done;
+      !ok)
+
 let () =
   let scen_cases =
     List.map
@@ -209,4 +304,6 @@ let () =
           Alcotest.test_case "deferred packets survive starvation" `Quick
             test_starved_defer_recovers;
         ] );
+      ( "chaos-plan",
+        [ QCheck_alcotest.to_alcotest qcheck_chaos_plan_well_formed ] );
     ]

@@ -397,6 +397,67 @@ let test_json_parse_rejects () =
       | Error _ -> ())
     [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "{\"a\":1}x"; "\"unterminated" ]
 
+(* --------------------- delays and degradation ---------------------- *)
+
+let test_scripted_delay_stream () =
+  let a = Arrival.scripted ~delays:[| 3; 7 |] [| 5; 9 |] in
+  check ci "first arrival" 5 (Arrival.next a);
+  check ci "its delay" 3 (Arrival.last_delay a);
+  check ci "second arrival" 9 (Arrival.next a);
+  check ci "its delay" 7 (Arrival.last_delay a);
+  check ci "exhausted" max_int (Arrival.next a);
+  let plain = Arrival.scripted [| 5 |] in
+  ignore (Arrival.next plain);
+  check ci "no delays means zero" 0 (Arrival.last_delay plain);
+  check cb "delay length mismatch rejected" true
+    (match Arrival.scripted ~delays:[| 1 |] [| 5; 9 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check cb "negative delay rejected" true
+    (match Arrival.scripted ~delays:[| -1 |] [| 5 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let scripted_run ?delays ?degrade ts =
+  let vm = Vm.create (Vm.config ~heap_mb:16.0 ~ncpus:4 ~seed:1 ()) in
+  let scfg = Server.cfg ~rate_per_s:1000.0 ~queue_cap:256 ~workers:4 () in
+  let srv =
+    Server.create ~arrivals:(Arrival.scripted ?delays ts) ?degrade scfg vm
+  in
+  Vm.run vm ~ms:200.0;
+  Server.totals srv
+
+let test_delays_backdate_into_latency () =
+  (* A retry's backoff happened before the shard ever saw the request;
+     the server backdates the arrival so the e2e histogram carries it. *)
+  let ts = Array.init 50 (fun i -> (i + 1) * cpm / 2) in
+  let base = scripted_run ts in
+  let delayed = scripted_run ~delays:(Array.make 50 (2 * cpm)) ts in
+  check ci "same arrivals consumed" base.Server.arrived
+    delayed.Server.arrived;
+  check ci "same completions" base.Server.completed delayed.Server.completed;
+  let m (t : Server.totals) = Histogram.mean (Latency.e2e t.Server.lat) in
+  let dm = m delayed -. m base in
+  check cb "2 ms pre-delay lands in e2e latency" true
+    (dm > 1.5 && dm < 2.5);
+  let q (t : Server.totals) =
+    Histogram.mean (Latency.queueing t.Server.lat)
+  in
+  check cb "pre-delay counts as queueing, not service" true
+    (q delayed -. q base > 1.5)
+
+let test_degrade_inflates_service () =
+  let ts = Array.init 50 (fun i -> (i + 1) * cpm / 2) in
+  let base = scripted_run ts in
+  let slow = scripted_run ~degrade:(0, max_int, 2.0) ts in
+  let sv (t : Server.totals) =
+    Histogram.mean (Latency.service t.Server.lat)
+  in
+  check ci "nothing shed under brownout" base.Server.completed
+    slow.Server.completed;
+  check cb "service time roughly doubles" true
+    (sv slow > 1.7 *. sv base && sv slow < 2.5 *. sv base)
+
 let () =
   Alcotest.run "server"
     [
@@ -431,6 +492,15 @@ let () =
             test_stw_tail_exceeds_cgc;
           Alcotest.test_case "reset discards warmup" `Quick
             test_reset_discards_warmup;
+        ] );
+      ( "chaos-support",
+        [
+          Alcotest.test_case "scripted delay stream" `Quick
+            test_scripted_delay_stream;
+          Alcotest.test_case "delays backdate into latency" `Quick
+            test_delays_backdate_into_latency;
+          Alcotest.test_case "degrade inflates service" `Quick
+            test_degrade_inflates_service;
         ] );
       ( "report",
         [
