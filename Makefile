@@ -6,7 +6,7 @@
 
 .PHONY: all build test doc doc-strict fmt-check verify fuzz bench \
 	bench-smoke bench-determinism serve-smoke cluster-smoke chaos-smoke \
-	clean
+	perf-smoke tails-smoke clean
 
 # Number of random configurations `make fuzz` tries.
 FUZZ_COUNT ?= 100
@@ -17,6 +17,13 @@ JOBS ?= 1
 # Every generated artefact (bench JSON, traces, smoke outputs) lands
 # here, keeping the repo root clean; the directory is gitignored.
 ART ?= _artifacts
+
+# Floor for `make perf-smoke`: minimum host events/sec the fast bench
+# matrix must sustain.  The default sits ~10x below what this container
+# measures (~120k ev/s), so it only fires on large regressions — an
+# accidentally quadratic hot path, a per-event allocation — and not on
+# host noise.
+PERF_MIN_EPS ?= 10000
 
 all: build
 
@@ -67,7 +74,7 @@ fuzz: build
 
 # Full benchmark matrix (workloads x thread counts x tracing rates,
 # plus serve and sharded-cluster cells), every VM cell traced and
-# profiled.  Writes BENCH_PR6.json (schema cgcsim-bench-v1) plus a
+# profiled.  Writes BENCH_PR8.json (schema cgcsim-bench-v1) plus a
 # Chrome trace of cell 0; fails if any cell dropped trace events to
 # ring overflow.  JOBS=N runs the cells on N OCaml domains — simulated
 # results are identical at every N, only the host* timing fields
@@ -75,7 +82,7 @@ fuzz: build
 bench: build
 	mkdir -p $(ART)
 	dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	  --out $(ART)/BENCH_PR6.json --trace-out $(ART)/bench-cell0.trace.json
+	  --out $(ART)/BENCH_PR8.json --trace-out $(ART)/bench-cell0.trace.json
 
 # Shrunk matrix for CI (<60 s): one SPECjbb cell, one pBOB cell, one
 # serve cell and one cluster cell, then the offline analyzer re-reads
@@ -83,7 +90,7 @@ bench: build
 bench-smoke: build
 	mkdir -p $(ART)
 	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	  --out $(ART)/BENCH_PR6.json --trace-out $(ART)/bench-cell0.trace.json
+	  --out $(ART)/BENCH_PR8.json --trace-out $(ART)/bench-cell0.trace.json
 	dune exec bin/cgcsim.exe -- analyze \
 	  --trace $(ART)/bench-cell0.trace.json --fail-on-drops
 
@@ -184,6 +191,63 @@ chaos-smoke: build
 	    exit 1; \
 	  fi
 	@echo "chaos smoke OK: chaos campaigns deterministic, exit-7 gate fires"
+
+# Host-throughput floor: run the fast bench matrix and fail if the
+# whole-matrix hostEventsPerSec (observability events emitted per host
+# second — the one deliberately non-deterministic family of fields)
+# falls below PERF_MIN_EPS.  Catches large regressions in the hot
+# emit/trace path without being flaky on a noisy host.
+perf-smoke: build
+	mkdir -p $(ART)
+	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix --jobs $(JOBS) \
+	  --out $(ART)/BENCH_PR8.json --trace-out $(ART)/perf-cell0.trace.json
+	@eps=$$(sed -n 's/.*"hostEventsPerSec": \([0-9.]*\).*/\1/p' \
+	  $(ART)/BENCH_PR8.json | head -n 1); \
+	if [ -z "$$eps" ]; then \
+	  echo "perf-smoke: hostEventsPerSec missing from BENCH_PR8.json"; \
+	  exit 1; \
+	fi; \
+	ok=$$(awk -v e="$$eps" -v m="$(PERF_MIN_EPS)" \
+	  'BEGIN { print (e + 0 >= m + 0) ? 1 : 0 }'); \
+	if [ "$$ok" -ne 1 ]; then \
+	  echo "perf-smoke: $$eps host events/s is below the $(PERF_MIN_EPS) floor"; \
+	  exit 1; \
+	fi; \
+	echo "perf smoke OK: $$eps host events/s (floor $(PERF_MIN_EPS))"
+
+# Tail-forensics smoke: the same chaos campaign at --jobs 1 and
+# --jobs 4 must produce byte-identical fleet reports, timelines, and
+# tail-forensics artefacts (`analyze --tails` text and JSON); the
+# per-incarnation trace set must expand from its prefix and analyze
+# clean; and both LBO paths (--report and --bench) must distil.
+# Leaves $(ART)/tails.json and $(ART)/lbo.json for CI upload.
+tails-smoke: build
+	mkdir -p $(ART)
+	dune exec bin/cgcsim.exe -- cluster --shards 3 --policy lqd \
+	  --rate 6000 --slo-ms 50 --heap-mb 16 --ms 600 --seed 1 --jobs 1 \
+	  --chaos shard-restart --json $(ART)/tails-a.json \
+	  --trace-out $(ART)/tails-a --timeline-out $(ART)/tails-a.timeline.json
+	dune exec bin/cgcsim.exe -- cluster --shards 3 --policy lqd \
+	  --rate 6000 --slo-ms 50 --heap-mb 16 --ms 600 --seed 1 --jobs 4 \
+	  --chaos shard-restart --json $(ART)/tails-b.json \
+	  --trace-out $(ART)/tails-b --timeline-out $(ART)/tails-b.timeline.json
+	cmp $(ART)/tails-a.json $(ART)/tails-b.json
+	cmp $(ART)/tails-a.timeline.json $(ART)/tails-b.timeline.json
+	dune exec bin/cgcsim.exe -- analyze --report $(ART)/tails-a.json \
+	  --tails 16 --json $(ART)/tails.json
+	dune exec bin/cgcsim.exe -- analyze --report $(ART)/tails-b.json \
+	  --tails 16 --json $(ART)/tails-b.tails.json > /dev/null
+	cmp $(ART)/tails.json $(ART)/tails-b.tails.json
+	dune exec bin/cgcsim.exe -- analyze --report $(ART)/tails-a.json \
+	  --lbo > /dev/null
+	dune exec bin/cgcsim.exe -- analyze --trace $(ART)/tails-a \
+	  --fail-on-drops > /dev/null
+	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix \
+	  --out $(ART)/tails-bench.json \
+	  --trace-out $(ART)/tails-bench.trace.json > /dev/null
+	dune exec bin/cgcsim.exe -- analyze --bench $(ART)/tails-bench.json \
+	  --lbo --json $(ART)/lbo.json
+	@echo "tails smoke OK: forensics byte-identical at --jobs 1 vs 4, LBO distils"
 
 clean:
 	dune clean

@@ -3,7 +3,7 @@
    JSON document (schema cgcsim-bench-v1) — the benchmark trajectory the
    repo tracks across PRs.
 
-     dune exec bench/main.exe -- matrix --jobs 4 --out BENCH_PR6.json \
+     dune exec bench/main.exe -- matrix --jobs 4 --out BENCH_PR8.json \
          --trace-out bench-cell0.trace.json
 
    Cells are independent simulations (each owns its VM, machine, PRNG
@@ -86,7 +86,7 @@ let matrix () =
   (* Sharded-cluster cells (the PR 6 subsystem): shard count x offered
      fleet load, round-robin routing.  Untraced — a cluster cell's cost
      is its shard simulations, and its artefact is the embedded
-     cgcsim-cluster-v2 fleet report.  The chaos cells (PR 7) track the
+     cgcsim-cluster-v3 fleet report.  The chaos cells (PR 7) track the
      failover path: availability and retry counts under a deterministic
      shard restart live in the embedded report's chaos block. *)
   let cluster ?chaos shards rate =
@@ -243,12 +243,13 @@ let cell_json c vm srv =
 type cell_result = {
   json : Json.t;  (* the cell's entry in the document, hostMs included *)
   drops : int;
+  emitted : int;  (* events accepted by the cell's rings (fleet: summed) *)
   row : string list;  (* the progress table row *)
   trace : string option;  (* Chrome trace, kept for cell 0 only *)
   host_ms : float;
 }
 
-let run ?(out = "BENCH_PR6.json") ?trace_out ?(jobs = 1) () =
+let run ?(out = "BENCH_PR8.json") ?trace_out ?(jobs = 1) () =
   Cgc_experiments.Common.hdr "Benchmark matrix (cgcsim-bench-v1)";
   let cells = matrix () in
   let ncells = List.length cells in
@@ -275,10 +276,20 @@ let run ?(out = "BENCH_PR6.json") ?trace_out ?(jobs = 1) () =
               else None
             in
             let json, drops, a = cell_json c vm srv in
+            let emitted = Obs.emitted (Vm.obs vm) in
             let json =
               match json with
               | Json.Obj fields ->
-                  Json.Obj (fields @ [ ("hostMs", Json.Float host_ms) ])
+                  Json.Obj
+                    (fields
+                    @ [
+                        ("hostMs", Json.Float host_ms);
+                        ( "hostEventsPerS",
+                          Json.Float
+                            (if host_ms > 0.0 then
+                               1000.0 *. float_of_int emitted /. host_ms
+                             else 0.0) );
+                      ])
               | j -> j
             in
             let mmu20 =
@@ -300,11 +311,12 @@ let run ?(out = "BENCH_PR6.json") ?trace_out ?(jobs = 1) () =
                 Cgc_util.Table.f3 a.Analysis.balance.Analysis.fairness;
                 string_of_int drops ]
             in
-            { json; drops; row; trace; host_ms }
+            { json; drops; emitted; row; trace; host_ms }
         | Fleet r ->
             let tot = Cluster.fleet_totals r in
             let sum f = Array.fold_left (fun acc s -> acc + f s) 0 r.Cluster.shards in
             let drops = sum (fun s -> s.Shard.dropped) in
+            let emitted = sum (fun s -> s.Shard.emitted) in
             let cycles = sum (fun s -> s.Shard.gc_cycles) in
             let max_pause =
               Array.fold_left
@@ -328,6 +340,11 @@ let run ?(out = "BENCH_PR6.json") ?trace_out ?(jobs = 1) () =
                   ("dropped", Json.Int drops);
                   ("cluster", Cluster_report.to_json r);
                   ("hostMs", Json.Float host_ms);
+                  ( "hostEventsPerS",
+                    Json.Float
+                      (if host_ms > 0.0 then
+                         1000.0 *. float_of_int emitted /. host_ms
+                       else 0.0) );
                 ]
             in
             let row =
@@ -341,7 +358,7 @@ let run ?(out = "BENCH_PR6.json") ?trace_out ?(jobs = 1) () =
                 "-";
                 string_of_int drops ]
             in
-            { json; drops; row; trace = None; host_ms })
+            { json; drops; emitted; row; trace = None; host_ms })
   in
   let host_wall_ms = 1000.0 *. (Unix.gettimeofday () -. wall0) in
   (match (trace_out, results) with
@@ -359,6 +376,18 @@ let run ?(out = "BENCH_PR6.json") ?trace_out ?(jobs = 1) () =
   let host_serial_ms =
     List.fold_left (fun acc r -> acc +. r.host_ms) 0.0 results
   in
+  (* Host event throughput: the perf-smoke signal.  Simulated event
+     counts are deterministic, so dividing by host wall time isolates
+     host-side regressions (the field is host-prefixed and therefore
+     excluded from determinism diffs). *)
+  let total_emitted =
+    List.fold_left (fun acc r -> acc + r.emitted) 0 results
+  in
+  let host_events_per_s =
+    if host_wall_ms > 0.0 then
+      1000.0 *. float_of_int total_emitted /. host_wall_ms
+    else 0.0
+  in
   let doc =
     Json.Obj
       [
@@ -369,6 +398,7 @@ let run ?(out = "BENCH_PR6.json") ?trace_out ?(jobs = 1) () =
         ("hostJobs", Json.Int (max 1 jobs));
         ("hostWallMs", Json.Float host_wall_ms);
         ("hostSerialEstMs", Json.Float host_serial_ms);
+        ("hostEventsPerSec", Json.Float host_events_per_s);
         ( "hostSpeedup",
           Json.Float
             (if host_wall_ms > 0.0 then host_serial_ms /. host_wall_ms else 0.0)

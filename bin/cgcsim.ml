@@ -18,6 +18,7 @@ module Collector = Cgc_core.Collector
 module Verify = Cgc_core.Verify
 module Fault = Cgc_fault.Fault
 module Cluster_fault = Cgc_fault.Cluster_fault
+module Exit_codes = Cgc_cli.Exit_codes
 
 (* Parse the --inject argument: a comma-separated list of scenario names,
    or "all". *)
@@ -73,14 +74,14 @@ let catching_failures f =
   try f () with
   | Collector.Out_of_memory d ->
       Printf.eprintf "cgcsim: %s\n" (Collector.oom_to_string d);
-      exit 2
+      exit Exit_codes.oom
   | Verify.Invariant_violation msg ->
       Printf.eprintf "cgcsim: heap invariant violated: %s\n" msg;
-      exit 3
+      exit Exit_codes.invariant
   | Cgc_cluster.Cluster.Fleet_unavailable d ->
       Printf.eprintf "cgcsim: %s\n"
         (Cgc_cluster.Cluster.unavailable_to_string d);
-      exit 7
+      exit Exit_codes.fleet
 
 (* Turn an unwritable output path into a clean CLI error instead of an
    uncaught Sys_error. *)
@@ -88,7 +89,7 @@ let write_or_die what write file =
   try write file
   with Sys_error msg ->
     Printf.eprintf "cgcsim: cannot write %s: %s\n" what msg;
-    exit 1
+    exit Exit_codes.usage
 
 let run_cmd =
   let workload =
@@ -172,7 +173,7 @@ let run_cmd =
               Fault.create ~scenarios ~seed ()
           | Error msg ->
               Printf.eprintf "cgcsim: %s\n" msg;
-              exit 1)
+              exit Exit_codes.usage)
     in
     let gc =
       {
@@ -201,7 +202,7 @@ let run_cmd =
               Cgc_workloads.Javac.run ~gc ~heap_mb ~ncpus ~seed ~trace ~ms ()
           | w ->
               Printf.eprintf "unknown workload %s (specjbb|pbob|javac)\n" w;
-              exit 1)
+              exit Exit_codes.usage)
     in
     Vm.print_report vm;
     (match trace_out with
@@ -233,16 +234,25 @@ let run_cmd =
    and optionally as versioned JSON.
 
      cgcsim analyze --trace trace.json            # a written trace file
+     cgcsim analyze --trace fleet                 # fleet.shard*.json traces
      cgcsim analyze --metrics runs.csv            # schema-check a CSV dump
      cgcsim analyze --workload specjbb --ms 1000  # run, then analyze live
+     cgcsim analyze --report fleet.json --tails 8 # worst-span forensics
+     cgcsim analyze --report fleet.json --lbo     # distilled GC cost
+     cgcsim analyze --bench BENCH.json --lbo      # distill a bench matrix
 
-   Exit codes: 4 = unreadable/incompatible input (schema mismatch),
-   5 = the trace lost events to ring overflow and --fail-on-drops was
-   given. *)
+   When --trace names no file, it is treated as a cluster --trace-out
+   prefix and every PREFIX.shard<K>.json / PREFIX.shard<K>.r<I>.json
+   trace is analyzed in turn (--fail-on-drops then covers all of them).
+
+   Exit codes: 4 = unreadable/incompatible input (schema mismatch or a
+   broken blame-conservation identity), 5 = the input lost events to
+   ring overflow and --fail-on-drops was given. *)
 
 module Analysis = Cgc_prof.Analysis
 module Prof_report = Cgc_prof.Report
 module Json = Cgc_prof.Json
+module Tails = Cgc_prof.Tails
 module Export = Cgc_obs.Export
 module Obs = Cgc_obs.Obs
 
@@ -257,8 +267,40 @@ let known_csv_schemas =
 
 let analyze_cmd =
   let trace_in =
-    let doc = "Analyze a Chrome trace-event JSON file written by $(b,run --trace-out) (or $(b,bench))." in
+    let doc =
+      "Analyze a Chrome trace-event JSON file written by $(b,run \
+       --trace-out) (or $(b,bench)).  If $(docv) is not a file it is \
+       treated as a $(b,cluster --trace-out) prefix and every \
+       $(docv).shard<K>.json trace is analyzed."
+    in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let report_in =
+    let doc =
+      "Tail forensics on a serialised report ($(b,serve --json) or \
+       $(b,cluster --json), any supported schema version): re-check the \
+       blame conservation identity, then print the fleet blame \
+       decomposition and the worst-request causal chains."
+    in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let bench_in =
+    let doc =
+      "Distill the LBO GC cost from a $(b,cgcsim-bench-v1) document \
+       (requires $(b,--lbo))."
+    in
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"FILE" ~doc)
+  in
+  let tails_n =
+    let doc = "How many worst-request causal chains to show (with --report)." in
+    Arg.(value & opt int 16 & info [ "tails" ] ~docv:"N" ~doc)
+  in
+  let lbo =
+    let doc =
+      "Report the LBO-distilled GC cost: each cell's fractional latency \
+       (or throughput) distance above its group's lower-bound baseline."
+    in
+    Arg.(value & flag & info [ "lbo" ] ~doc)
   in
   let metrics_in =
     let doc =
@@ -305,8 +347,9 @@ let analyze_cmd =
     in
     Arg.(value & flag & info [ "fail-on-drops" ] ~doc)
   in
-  let exec trace_in metrics_in workload warehouses heap_mb ncpus ms
-      tracing_rate seed trace_ring mmu_windows json_out fail_on_drops =
+  let exec trace_in report_in bench_in tails_n lbo metrics_in workload
+      warehouses heap_mb ncpus ms tracing_rate seed trace_ring mmu_windows
+      json_out fail_on_drops =
     let mmu_windows_ms =
       match mmu_windows with
       | None -> None
@@ -318,7 +361,7 @@ let analyze_cmd =
                  (String.split_on_char ',' spec))
           with Failure _ ->
             Printf.eprintf "cgcsim: bad --mmu-windows %S\n" spec;
-            exit 1)
+            exit Exit_codes.usage)
     in
     let finish ~label ~emitted ~dropped events cycles_per_us =
       let a = Analysis.analyse ?mmu_windows_ms ~cycles_per_us events in
@@ -337,35 +380,165 @@ let analyze_cmd =
         Printf.eprintf
           "cgcsim: %d events dropped by ring overflow (--fail-on-drops)\n"
           dropped;
-        exit 5
+        exit Exit_codes.drops
       end
     in
-    match (trace_in, metrics_in, workload) with
-    | Some file, None, None -> (
+    let analyze_trace_file ~label file =
+      let contents =
+        try read_file file
+        with Sys_error msg ->
+          Printf.eprintf "cgcsim: cannot read %s: %s\n" file msg;
+          exit Exit_codes.schema
+      in
+      match Export.parse_chrome_json contents with
+      | Error msg ->
+          Printf.eprintf "cgcsim: %s: %s\n" file msg;
+          exit Exit_codes.schema
+      | Ok (meta, events) ->
+          finish ~label ~emitted:meta.Export.emitted
+            ~dropped:meta.Export.dropped events meta.Export.cycles_per_us
+    in
+    (* Expand a cluster --trace-out prefix into its per-incarnation
+       trace files, sorted so the order is deterministic. *)
+    let expand_trace_prefix prefix =
+      let dir = Filename.dirname prefix in
+      let base = Filename.basename prefix ^ ".shard" in
+      let names = try Sys.readdir dir with Sys_error _ -> [||] in
+      let matches =
+        List.filter
+          (fun n ->
+            String.length n > String.length base
+            && String.sub n 0 (String.length base) = base
+            && Filename.check_suffix n ".json")
+          (Array.to_list names)
+      in
+      List.map (Filename.concat dir) (List.sort compare matches)
+    in
+    match (trace_in, report_in, bench_in, metrics_in, workload) with
+    | Some file, None, None, None, None -> (
+        if Sys.file_exists file then analyze_trace_file ~label:file file
+        else
+          match expand_trace_prefix file with
+          | [] ->
+              Printf.eprintf
+                "cgcsim: cannot read %s: no such file and no %s.shard*.json \
+                 traces\n"
+                file file;
+              exit Exit_codes.schema
+          | [ shard_trace ] -> analyze_trace_file ~label:shard_trace shard_trace
+          | traces ->
+              if json_out <> None then begin
+                Printf.eprintf
+                  "cgcsim: --json is not supported when --trace expands to \
+                   %d shard traces\n"
+                  (List.length traces);
+                exit Exit_codes.usage
+              end;
+              List.iter
+                (fun shard_trace ->
+                  Printf.printf "=== %s ===\n" shard_trace;
+                  analyze_trace_file ~label:shard_trace shard_trace)
+                traces)
+    | None, Some file, None, None, None ->
         let contents =
           try read_file file
           with Sys_error msg ->
             Printf.eprintf "cgcsim: cannot read %s: %s\n" file msg;
-            exit 4
+            exit Exit_codes.schema
         in
-        match Export.parse_chrome_json contents with
+        let t =
+          match Tails.of_report contents with
+          | Ok t -> t
+          | Error msg ->
+              Printf.eprintf "cgcsim: %s: %s\n" file msg;
+              exit Exit_codes.schema
+        in
+        (* Exact-span reports get the full round-trip validation,
+           including the blame conservation identity. *)
+        (if t.Tails.exact then
+           let validate =
+             if t.Tails.source = Cgc_server.Report.schema then
+               Cgc_server.Report.validate
+             else Cgc_cluster.Report.validate
+           in
+           match validate contents with
+           | Ok _ -> ()
+           | Error msg ->
+               Printf.eprintf "cgcsim: %s: %s\n" file msg;
+               exit Exit_codes.schema);
+        if lbo then begin
+          match Tails.lbo_of_report contents with
+          | Error msg ->
+              Printf.eprintf "cgcsim: %s: %s\n" file msg;
+              exit Exit_codes.schema
+          | Ok row ->
+              print_string (Tails.lbo_text [ row ]);
+              (match json_out with
+              | Some out ->
+                  write_or_die "LBO JSON"
+                    (fun f ->
+                      Export.write_file f
+                        (Json.to_string ~pretty:true (Tails.lbo_json [ row ])))
+                    out;
+                  Printf.printf "LBO distillation written to %s\n" out
+              | None -> ())
+        end
+        else begin
+          print_string (Tails.text ~n:tails_n t);
+          match json_out with
+          | Some out ->
+              write_or_die "tails JSON"
+                (fun f ->
+                  Export.write_file f
+                    (Json.to_string ~pretty:true (Tails.to_json ~n:tails_n t)))
+                out;
+              Printf.printf "tail forensics written to %s\n" out
+          | None -> ()
+        end;
+        if fail_on_drops && t.Tails.dropped > 0 then begin
+          Printf.eprintf
+            "cgcsim: %d events dropped by ring overflow across the report's \
+             shards (--fail-on-drops)\n"
+            t.Tails.dropped;
+          exit Exit_codes.drops
+        end
+    | None, None, Some file, None, None ->
+        if not lbo then begin
+          Printf.eprintf "cgcsim: analyze --bench requires --lbo\n";
+          exit Exit_codes.usage
+        end;
+        let contents =
+          try read_file file
+          with Sys_error msg ->
+            Printf.eprintf "cgcsim: cannot read %s: %s\n" file msg;
+            exit Exit_codes.schema
+        in
+        (match Tails.lbo_of_bench contents with
         | Error msg ->
             Printf.eprintf "cgcsim: %s: %s\n" file msg;
-            exit 4
-        | Ok (meta, events) ->
-            finish ~label:file ~emitted:meta.Export.emitted
-              ~dropped:meta.Export.dropped events meta.Export.cycles_per_us)
-    | None, Some file, None -> (
+            exit Exit_codes.schema
+        | Ok rows ->
+            print_string (Tails.lbo_text rows);
+            (match json_out with
+            | Some out ->
+                write_or_die "LBO JSON"
+                  (fun f ->
+                    Export.write_file f
+                      (Json.to_string ~pretty:true (Tails.lbo_json rows)))
+                  out;
+                Printf.printf "LBO distillation written to %s\n" out
+            | None -> ()))
+    | None, None, None, Some file, None -> (
         let contents =
           try read_file file
           with Sys_error msg ->
             Printf.eprintf "cgcsim: cannot read %s: %s\n" file msg;
-            exit 4
+            exit Exit_codes.schema
         in
         match Export.parse_csv contents with
         | Error msg ->
             Printf.eprintf "cgcsim: %s: %s\n" file msg;
-            exit 4
+            exit Exit_codes.schema
         | Ok (schema, header, rows) ->
             (match schema with
             | None ->
@@ -374,13 +547,13 @@ let analyze_cmd =
                    schemas: %s\n"
                   file
                   (String.concat ", " known_csv_schemas);
-                exit 4
+                exit Exit_codes.schema
             | Some s when not (List.mem s known_csv_schemas) ->
                 Printf.eprintf
                   "cgcsim: %s: unsupported schema %S; known schemas: %s\n"
                   file s
                   (String.concat ", " known_csv_schemas);
-                exit 4
+                exit Exit_codes.schema
             | Some s ->
                 Printf.printf "%s: schema %s, %d columns, %d rows\n" file s
                   (List.length header) (List.length rows));
@@ -390,10 +563,10 @@ let analyze_cmd =
                   Printf.eprintf
                     "cgcsim: %s: row width %d does not match header width %d\n"
                     file (List.length r) (List.length header);
-                  exit 4
+                  exit Exit_codes.schema
                 end)
               rows)
-    | None, None, Some w ->
+    | None, None, None, None, Some w ->
         let gc = { Config.default with Config.k0 = tracing_rate } in
         let vm =
           catching_failures (fun () ->
@@ -409,16 +582,16 @@ let analyze_cmd =
                     ~ms ()
               | w ->
                   Printf.eprintf "unknown workload %s (specjbb|pbob|javac)\n" w;
-                  exit 1)
+                  exit Exit_codes.usage)
         in
         let o = Vm.obs vm in
         finish ~label:w ~emitted:(Obs.emitted o) ~dropped:(Obs.dropped o)
           (Obs.events o) (Vm.cycles_per_us vm)
     | _ ->
         Printf.eprintf
-          "cgcsim: analyze needs exactly one of --trace FILE, --metrics FILE \
-           or --workload NAME\n";
-        exit 1
+          "cgcsim: analyze needs exactly one of --trace FILE, --report FILE, \
+           --bench FILE, --metrics FILE or --workload NAME\n";
+        exit Exit_codes.usage
   in
   let info =
     Cmd.info "analyze"
@@ -428,9 +601,9 @@ let analyze_cmd =
   in
   Cmd.v info
     Term.(
-      const exec $ trace_in $ metrics_in $ workload $ warehouses $ heap_mb
-      $ ncpus $ ms $ tracing_rate $ seed $ trace_ring $ mmu_windows $ json_out
-      $ fail_on_drops)
+      const exec $ trace_in $ report_in $ bench_in $ tails_n $ lbo $ metrics_in
+      $ workload $ warehouses $ heap_mb $ ncpus $ ms $ tracing_rate $ seed
+      $ trace_ring $ mmu_windows $ json_out $ fail_on_drops)
 
 (* ------------------------------------------------------------------ *)
 (* cgcsim serve — the open-loop request/latency subsystem.
@@ -556,7 +729,7 @@ let serve_cmd =
       | None ->
           Printf.eprintf "cgcsim: bad %s %S (expected %d comma-separated numbers)\n"
             what spec n;
-          exit 1
+          exit Exit_codes.usage
     in
     let arrival_kind =
       match (burst, arrival) with
@@ -570,7 +743,7 @@ let serve_cmd =
           Arrival.Bursty { on_ms = 20.0; off_ms = 80.0; factor = 4.0 }
       | None, a ->
           Printf.eprintf "cgcsim: unknown arrival process %S (poisson|constant|bursty)\n" a;
-          exit 1
+          exit Exit_codes.usage
     in
     let throttle_hi, throttle_lo =
       match throttle with
@@ -590,7 +763,7 @@ let serve_cmd =
               Fault.create ~scenarios ~seed ()
           | Error msg ->
               Printf.eprintf "cgcsim: %s\n" msg;
-              exit 1)
+              exit Exit_codes.usage)
     in
     let gc =
       {
@@ -607,7 +780,7 @@ let serve_cmd =
           ~slo_ms ~slo_target ~throttle_hi ~throttle_lo ~rate_per_s:rate ()
       with Invalid_argument msg ->
         Printf.eprintf "cgcsim: %s\n" msg;
-        exit 1
+        exit Exit_codes.usage
     in
     let vm =
       Vm.create
@@ -645,7 +818,7 @@ let serve_cmd =
         slo_ms
         (Server.slo_attainment tot)
         slo_target;
-      exit 6
+      exit Exit_codes.slo
     end
   in
   let info =
@@ -669,7 +842,8 @@ let serve_cmd =
    the epoch router, and each shard incarnation — a complete VM +
    collector + server — replays its slice on the persistent domain pool
    (--jobs).  Prints the fleet SLO report and optionally writes it as
-   cgcsim-cluster-v2 JSON.
+   cgcsim-cluster-v3 JSON, plus the merged fleet timeline
+   (--timeline-out) as Chrome counter tracks.
 
      cgcsim cluster --shards 8 --policy lqd --rate 24000 --slo-ms 50 \
        --ms 3000 --jobs 8 --chaos shard-restart --json fleet.json
@@ -840,14 +1014,24 @@ let cluster_cmd =
       & info [ "trace-ring" ] ~doc:"Per-thread event-ring capacity.")
   in
   let json_out =
-    let doc = "Write the $(b,cgcsim-cluster-v2) fleet report to $(docv)." in
+    let doc = "Write the $(b,cgcsim-cluster-v3) fleet report to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let timeline_out =
+    let doc =
+      "Write the merged fleet timeline (per-epoch liveness, per-bin \
+       placement accounting and availability, per-shard stopped time / \
+       queue depth / sheds) as $(b,cgcsim-timeline-v1) Chrome counter \
+       tracks to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "timeline-out" ] ~docv:"FILE" ~doc)
   in
   let exec shards policy rate arrival burst queue workers timeout_ms slo_ms
       slo_target throttle service_est_ms bin_ms collector heap_mb ncpus ms
       tracing_rate seed jobs inject fault_seed chaos chaos_seed epoch_ms
       retries retry_base_ms hedge fleet_throttle give_up verify trace_out
-      trace_ring json_out =
+      trace_ring json_out timeline_out =
     let parse_floats what spec n =
       let parts = String.split_on_char ',' spec in
       match
@@ -861,7 +1045,7 @@ let cluster_cmd =
           Printf.eprintf
             "cgcsim: bad %s %S (expected %d comma-separated numbers)\n" what
             spec n;
-          exit 1
+          exit Exit_codes.usage
     in
     let policy =
       match Balancer.policy_of_name policy with
@@ -870,7 +1054,7 @@ let cluster_cmd =
           Printf.eprintf
             "cgcsim: unknown policy %S (round-robin|least-queue|consistent-hash)\n"
             policy;
-          exit 1
+          exit Exit_codes.usage
     in
     let arrival_kind =
       match (burst, arrival) with
@@ -885,7 +1069,7 @@ let cluster_cmd =
       | None, a ->
           Printf.eprintf
             "cgcsim: unknown arrival process %S (poisson|constant|bursty)\n" a;
-          exit 1
+          exit Exit_codes.usage
     in
     let throttle_hi, throttle_lo =
       match throttle with
@@ -897,7 +1081,7 @@ let cluster_cmd =
     in
     if jobs < 1 then begin
       Printf.eprintf "--jobs expects a positive integer, got %d\n" jobs;
-      exit 1
+      exit Exit_codes.usage
     end;
     Dpool.set_size jobs;
     let faults =
@@ -910,7 +1094,7 @@ let cluster_cmd =
               Fault.create ~scenarios ~seed ()
           | Error msg ->
               Printf.eprintf "cgcsim: %s\n" msg;
-              exit 1)
+              exit Exit_codes.usage)
     in
     let gc =
       {
@@ -931,7 +1115,7 @@ let cluster_cmd =
                 "cgcsim: unknown chaos scenario %S (known: %s)\n" name
                 (String.concat ", "
                    (List.map Cluster_fault.to_name Cluster_fault.all));
-              exit 1)
+              exit Exit_codes.usage)
     in
     let chaos_seed = match chaos_seed with Some s -> s | None -> seed in
     let ccfg =
@@ -944,7 +1128,7 @@ let cluster_cmd =
           ~fleet_throttle_frac:fleet_throttle ~give_up ~rate_per_s:rate ()
       with Invalid_argument msg ->
         Printf.eprintf "cgcsim: %s\n" msg;
-        exit 1
+        exit Exit_codes.usage
     in
     let result = catching_failures (fun () -> Cluster.run ccfg) in
     print_string (Cluster_report.text result);
@@ -981,13 +1165,21 @@ let cluster_cmd =
           file;
         Printf.printf "cluster report written to %s\n" file
     | None -> ());
+    (match timeline_out with
+    | Some file ->
+        write_or_die "fleet timeline"
+          (fun f ->
+            Export.write_file f (Cgc_cluster.Timeline.chrome_json result))
+          file;
+        Printf.printf "fleet timeline written to %s\n" file
+    | None -> ());
     if Cluster.slo_breached result then begin
       Printf.eprintf
         "cgcsim: fleet SLO breach — %.1f ms attainment %.4f below target %.4f\n"
         slo_ms
         (Cluster.slo_attainment result)
         slo_target;
-      exit 6
+      exit Exit_codes.slo
     end
   in
   let info =
@@ -1003,7 +1195,27 @@ let cluster_cmd =
       $ collector $ heap_mb $ ncpus $ ms $ tracing_rate $ seed $ jobs $ inject
       $ fault_seed $ chaos $ chaos_seed $ epoch_ms $ retries $ retry_base_ms
       $ hedge $ fleet_throttle $ give_up $ verify $ trace_out $ trace_ring
-      $ json_out)
+      $ json_out $ timeline_out)
+
+let exit_codes_cmd =
+  let markdown =
+    let doc =
+      "Print the GitHub-flavoured markdown table — the literal source of \
+       the README's exit-code block."
+    in
+    Arg.(value & flag & info [ "markdown" ] ~doc)
+  in
+  let exec markdown =
+    print_string
+      (if markdown then Exit_codes.markdown_table () else Exit_codes.text ())
+  in
+  let info =
+    Cmd.info "exit-codes"
+      ~doc:
+        "Print the process exit-code table (the single source of truth the \
+         README and the binary both use)."
+  in
+  Cmd.v info Term.(const exec $ markdown)
 
 let experiment_cmd =
   let which =
@@ -1033,7 +1245,7 @@ let experiment_cmd =
     let module E = Cgc_experiments in
     if jobs < 1 then begin
       Printf.eprintf "--jobs expects a positive integer, got %d\n" jobs;
-      exit 2
+      exit Exit_codes.usage
     end;
     E.Common.set_jobs jobs;
     E.Common.reset_recorded ();
@@ -1049,7 +1261,7 @@ let experiment_cmd =
     | "clusterchaos" -> ignore (E.Clusterchaos.run ())
     | n ->
         Printf.eprintf "unknown experiment %s\n" n;
-        exit 1);
+        exit Exit_codes.usage);
     match metrics_out with
     | Some file ->
         write_or_die "metrics" E.Common.write_metrics_csv file;
@@ -1070,4 +1282,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; serve_cmd; cluster_cmd; analyze_cmd; experiment_cmd ]))
+          [
+            run_cmd;
+            serve_cmd;
+            cluster_cmd;
+            analyze_cmd;
+            experiment_cmd;
+            exit_codes_cmd;
+          ]))

@@ -1,0 +1,37 @@
+(** The single source of truth for cgcsim process exit codes.
+
+    [bin/cgcsim.ml] exits with these constants, `cgcsim exit-codes`
+    prints {!text} (or {!markdown_table} under [--markdown]), and the
+    README's exit-code table is the literal output of
+    {!markdown_table} — a test asserts the README copy matches, so the
+    three can never drift. *)
+
+type code = { value : int; name : string; meaning : string }
+
+val ok : int  (** 0 — success *)
+
+val usage : int
+(** 1 — bad command line, or a bench determinism failure *)
+
+val oom : int  (** 2 — simulated heap exhausted *)
+
+val invariant : int  (** 3 — collector invariant tripped *)
+
+val schema : int
+(** 4 — artefact failed validation (schema tag / conservation) *)
+
+val drops : int  (** 5 — ring drops under [--fail-on-drops] *)
+
+val slo : int  (** 6 — SLO attainment below target *)
+
+val fleet : int  (** 7 — fleet availability below target *)
+
+val all : code list
+(** Ascending by {!field-value}; exactly the codes 0–7. *)
+
+val markdown_table : unit -> string
+(** GitHub-flavoured table, byte-identical to the README block between
+    [<!-- exit-codes:begin -->] and [<!-- exit-codes:end -->]. *)
+
+val text : unit -> string
+(** Plain aligned rows for `cgcsim exit-codes`. *)

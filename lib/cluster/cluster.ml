@@ -3,6 +3,7 @@ module Cost = Cgc_smp.Cost
 module Server = Cgc_server.Server
 module Arrival = Cgc_server.Arrival
 module Latency = Cgc_server.Latency
+module Span = Cgc_server.Span
 module Cluster_fault = Cgc_fault.Cluster_fault
 
 type cfg = {
@@ -103,7 +104,17 @@ type chaos_info = {
   ttr_ms : float option;
 }
 
-type result = { cfg : cfg; shards : Shard.result array; chaos : chaos_info }
+(* Fleet-level per-bin counters for the merged timeline: arrivals the
+   front end placed on some shard, shed at the fleet door, or lost as
+   unroutable, bucketed by [cfg.bin_ms] over the fleet horizon. *)
+type fleet_bins = { placed : int array; shed : int array; lost : int array }
+
+type result = {
+  cfg : cfg;
+  shards : Shard.result array;
+  chaos : chaos_info;
+  bins : fleet_bins;
+}
 
 type unavailable = {
   at_ms : float;
@@ -164,7 +175,7 @@ let fleet_arrivals (cfg : cfg) ~cycles_per_ms ~rng =
    (cfg, plan), so the produced slices are identical at any pool
    size. *)
 type placement =
-  | Placed of { shard : int; at : int; pre : int }
+  | Placed of { shard : int; at : int; pre : int; route : Span.route }
   | Shed_fleet
   | Lost
 
@@ -281,11 +292,22 @@ let route_chaos (cfg : cfg) ~plan ~cycles_per_ms ~key_rng ts =
             in
             if !first < 0 then first := cand;
             if Cluster_fault.live_at plan ~shard:cand !tcur then begin
-              if !hedged && cand = !first && !attempt = 0 then
-                incr hedge_wins;
+              let hedge_win = !hedged && cand = !first && !attempt = 0 in
+              if hedge_win then incr hedge_wins;
               if cand <> !first then incr redirected;
               Balancer.note_routed router cand;
-              out.(i) <- Placed { shard = cand; at = !tcur; pre = !pre };
+              let route =
+                {
+                  Span.rid = i;
+                  first = !first;
+                  shard = cand;
+                  epoch = !cur_epoch;
+                  attempts = !attempt;
+                  hedged = !hedged;
+                  hedge_win;
+                }
+              in
+              out.(i) <- Placed { shard = cand; at = !tcur; pre = !pre; route };
               incr placed;
               finished := true
             end
@@ -413,9 +435,9 @@ let run ?pool (cfg : cfg) =
     Array.iter
       (fun p ->
         match p with
-        | Placed { shard; at; pre } when shard = k ->
+        | Placed { shard; at; pre; route } when shard = k ->
             let j = bucket_of at in
-            buckets.(j) <- (at, pre) :: buckets.(j)
+            buckets.(j) <- (at, pre, route) :: buckets.(j)
         | _ -> ())
       placements;
     (* Both loops run high-to-low so consing onto [jobs] leaves the
@@ -427,16 +449,19 @@ let run ?pool (cfg : cfg) =
         let order = Array.init (Array.length entries) Fun.id in
         Array.sort
           (fun a b ->
-            let ta = fst entries.(a) and tb = fst entries.(b) in
+            let ta, _, _ = entries.(a) and tb, _, _ = entries.(b) in
             if ta <> tb then compare ta tb else compare a b)
           order;
         let narr = Array.length entries in
         let arrivals = Array.make narr 0 in
         let delays = Array.make narr 0 in
+        let routes = Array.make narr (Span.local_route 0) in
         Array.iteri
           (fun pos o ->
-            arrivals.(pos) <- fst entries.(o) - inc.start;
-            delays.(pos) <- snd entries.(o))
+            let at, pre, route = entries.(o) in
+            arrivals.(pos) <- at - inc.start;
+            delays.(pos) <- pre;
+            routes.(pos) <- route)
           order;
         let run_cycles = Stdlib.min inc.stop horizon - inc.start in
         let start_ms =
@@ -480,16 +505,45 @@ let run ?pool (cfg : cfg) =
             marks;
           }
         in
-        jobs := (scfg, arrivals, delays) :: !jobs
+        jobs := (scfg, arrivals, delays, routes) :: !jobs
     done
   done;
   let jobs = Array.of_list !jobs in
   let results =
     Dpool.map pool
-      (fun (scfg, arrivals, delays) -> Shard.run scfg ~arrivals ~delays ())
+      (fun (scfg, arrivals, delays, routes) ->
+        Shard.run scfg ~arrivals ~delays ~routes ())
       jobs
   in
-  { cfg; shards = results; chaos }
+  (* Fleet-level timeline bins, computed serially from the placements:
+     shed/lost arrivals bucket at their front-end arrival stamp, placed
+     ones at their (possibly backed-off) placement stamp. *)
+  let nbins = Shard.nbins ~ms:cfg.ms ~bin_ms:cfg.bin_ms in
+  let bin_cycles =
+    Stdlib.max 1 (int_of_float (cfg.bin_ms *. float_of_int cycles_per_ms))
+  in
+  let bin t = Stdlib.min (nbins - 1) (Stdlib.max 0 (t / bin_cycles)) in
+  let bins =
+    {
+      placed = Array.make nbins 0;
+      shed = Array.make nbins 0;
+      lost = Array.make nbins 0;
+    }
+  in
+  Array.iteri
+    (fun i p ->
+      match p with
+      | Placed { at; _ } ->
+          let b = bin at in
+          bins.placed.(b) <- bins.placed.(b) + 1
+      | Shed_fleet ->
+          let b = bin ts.(i) in
+          bins.shed.(b) <- bins.shed.(b) + 1
+      | Lost ->
+          let b = bin ts.(i) in
+          bins.lost.(b) <- bins.lost.(b) + 1)
+    placements;
+  { cfg; shards = results; chaos; bins }
 
 let fleet_totals (r : result) =
   Array.fold_left
@@ -505,6 +559,7 @@ let fleet_totals (r : result) =
         slo_violations = acc.Server.slo_violations + t.Server.slo_violations;
         max_depth = Stdlib.max acc.Server.max_depth t.Server.max_depth;
         lat = Latency.merge acc.Server.lat t.Server.lat;
+        spans = Span.merge acc.Server.spans t.Server.spans;
       })
     {
       Server.arrived = 0;
@@ -516,6 +571,7 @@ let fleet_totals (r : result) =
       slo_violations = 0;
       max_depth = 0;
       lat = Latency.create ();
+      spans = Span.empty_summary;
     }
     r.shards
 

@@ -129,6 +129,12 @@ type chaos_info = {
           fleet never recovers or chaos is off *)
 }
 
+type fleet_bins = { placed : int array; shed : int array; lost : int array }
+(** Fleet-level per-bin arrival accounting for the merged timeline:
+    requests the front end placed on some shard (at their possibly
+    backed-off placement stamp), shed at the fleet door, or lost as
+    unroutable, each bucketed by [cfg.bin_ms] over the fleet horizon. *)
+
 type result = {
   cfg : cfg;
   shards : Shard.result array;
@@ -136,6 +142,7 @@ type result = {
           [(shard id, incarnation)] — exactly one per shard when chaos
           is off *)
   chaos : chaos_info;
+  bins : fleet_bins;
 }
 
 type unavailable = {

@@ -5,7 +5,7 @@ module Latency = Cgc_server.Latency
 
 module Cluster_fault = Cgc_fault.Cluster_fault
 
-let schema = "cgcsim-cluster-v2"
+let schema = "cgcsim-cluster-v3"
 
 (* ------------------------------------------------------------------ *)
 (* Derived views                                                       *)
@@ -131,6 +131,12 @@ let shard_json (cfg : Cluster.cfg) (s : Shard.result) =
       ("gcCycles", Json.Int s.Shard.gc_cycles);
       ("maxPauseMs", Json.Float s.Shard.max_pause_ms);
       ("droppedEvents", Json.Int s.Shard.dropped);
+      ( "droppedByTid",
+        Json.Arr
+          (List.map
+             (fun (tid, d) ->
+               Json.Obj [ ("tid", Json.Int tid); ("dropped", Json.Int d) ])
+             s.Shard.dropped_by_tid) );
       ( "server",
         Server_report.to_json cfg.Cluster.server ~ran_ms:s.Shard.run_ms
           s.Shard.totals );
@@ -191,7 +197,7 @@ let to_json (r : Cluster.result) =
       ("binMs", Json.Float cfg.Cluster.bin_ms);
       ( "fleet",
         Json.Obj
-          [
+          ([
             ( "counts",
               Json.Obj
                 [
@@ -220,7 +226,8 @@ let to_json (r : Cluster.result) =
                   ("service", Server_report.hist_json (Latency.service lat));
                   ("gcInflation", Server_report.hist_json (Latency.gc lat));
                 ] );
-          ] );
+          ]
+          @ Server_report.spans_json tot.Server.spans) );
       ( "balance",
         Json.Obj
           [
@@ -324,6 +331,19 @@ let text (r : Cluster.result) =
   row "queueing" (Latency.queueing lat);
   row "service" (Latency.service lat);
   row "gc-inflation" (Latency.gc lat);
+  Server_report.blame_text b tot.Server.spans;
+  (* Ring-drop warnings: a per-incarnation trace that lost events can
+     under-report, so name every lossy (shard, incarnation, tid). *)
+  Array.iter
+    (fun (s : Shard.result) ->
+      List.iter
+        (fun (tid, d) ->
+          pf
+            "  WARNING: shard %d.r%d dropped %d events on tid %d (ring \
+             overflow — raise --trace-ring)\n"
+            s.Shard.id s.Shard.incarnation d tid)
+        s.Shard.dropped_by_tid)
+    r.Cluster.shards;
   let c = r.Cluster.chaos in
   (match Cluster_fault.scenario c.Cluster.plan with
   | None -> ()
@@ -360,7 +380,36 @@ let validate s =
   | Error e -> Error e
   | Ok j -> (
       match Json.member "schema" j with
-      | Some (Json.Str v) when v = schema -> Ok j
+      | Some (Json.Str v) when v = schema -> (
+          (* Conservation identity: the fleet blame block, every tail
+             and exemplar span, and each embedded per-shard report must
+             have blame components summing to their e2eCycles. *)
+          let fleet_check =
+            match Json.member "fleet" j with
+            | Some f -> Server_report.check_conservation f
+            | None -> Error "missing fleet block"
+          in
+          let shard_check () =
+            match Json.member "perShard" j with
+            | Some (Json.Arr shards) ->
+                let rec go i = function
+                  | [] -> Ok ()
+                  | s :: rest -> (
+                      match Json.member "server" s with
+                      | Some srv -> (
+                          match Server_report.check_conservation srv with
+                          | Error e ->
+                              Error (Printf.sprintf "perShard[%d]: %s" i e)
+                          | Ok () -> go (i + 1) rest)
+                      | None -> go (i + 1) rest)
+                in
+                go 0 shards
+            | _ -> Ok ()
+          in
+          match fleet_check with
+          | Error e -> Error e
+          | Ok () -> (
+              match shard_check () with Error e -> Error e | Ok () -> Ok j))
       | Some (Json.Str v) ->
           Error (Printf.sprintf "schema mismatch: expected %s, got %s" schema v)
       | _ -> Error "missing schema tag")

@@ -1,4 +1,4 @@
-(** Fleet-wide SLO report: text summary and [cgcsim-cluster-v2] JSON.
+(** Fleet-wide SLO report: text summary and [cgcsim-cluster-v3] JSON.
 
     Merges the per-shard server reports into one artefact with four
     fleet-level views a single-server report cannot express:
@@ -22,14 +22,19 @@
        balancer-visible time-to-recover, and the per-epoch live counts
        and routing-table digests proving when routing changed.}}
 
+    v3 adds the causal-span blocks to the fleet view — the exact
+    [blame] decomposition summed over every completed request, the
+    fleet-merged worst-span [tails] and per-decade [exemplars] — plus
+    per-incarnation [droppedByTid] ring-loss warnings.
+
     Follows the repo's schema conventions: a [schema] tag,
     deterministic key order, [%.6f] floats — equal-seed runs serialise
     byte-identically.  The per-shard array embeds each incarnation's
-    [cgcsim-server-v1] report unchanged, so existing tooling can peel
+    [cgcsim-server-v2] report unchanged, so existing tooling can peel
     one shard out of a fleet artefact. *)
 
 val schema : string
-(** ["cgcsim-cluster-v2"]. *)
+(** ["cgcsim-cluster-v3"]. *)
 
 type phenomena = {
   bins : int;  (** timeline bins covering the run *)
@@ -54,5 +59,7 @@ val text : Cluster.result -> string
 val to_json : Cluster.result -> Cgc_prof.Json.t
 
 val validate : string -> (Cgc_prof.Json.t, string) result
-(** Parse a serialised report and check its [schema] tag — the cluster
+(** Parse a serialised report, check its [schema] tag, and re-check the
+    blame conservation identity ({!Cgc_server.Report.check_conservation})
+    on the fleet block and every embedded per-shard report — the cluster
     artefact's round-trip guard (exit code 4 territory in the CLI). *)

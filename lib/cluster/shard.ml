@@ -40,8 +40,11 @@ type result = {
   max_pause_ms : float;
   stopped_ms : float array;
   sheds : int array;
+  depth_max : int array;
   trace : string option;
+  emitted : int;
   dropped : int;
+  dropped_by_tid : (int * int) list;
   incarnation : int;
   start_ms : float;
   run_ms : float;
@@ -63,7 +66,8 @@ let nbins ~ms ~bin_ms =
    bin.  [start_cycles] offsets an incarnation's local clock into the
    fleet timeline, so every incarnation of every shard bins onto the
    same fleet-wide axis. *)
-let install_sampler vm srv ~bin_cycles ~start_cycles ~stopped ~sheds =
+let install_sampler vm srv ~bin_cycles ~start_cycles ~stopped ~sheds
+    ~depth_max =
   let last = Array.length stopped - 1 in
   let bin t = Stdlib.min last ((start_cycles + t) / bin_cycles) in
   let prev_now = ref 0 in
@@ -79,18 +83,24 @@ let install_sampler vm srv ~bin_cycles ~start_cycles ~stopped ~sheds =
       if s <> !prev_shed then begin
         sheds.(bin now) <- sheds.(bin now) + (s - !prev_shed);
         prev_shed := s
-      end)
+      end;
+      let d = Server.queue_depth srv in
+      let b = bin now in
+      if d > depth_max.(b) then depth_max.(b) <- d)
 
-let run (cfg : cfg) ~arrivals ?delays () =
+let run (cfg : cfg) ~arrivals ?delays ?routes () =
   let vm =
     Vm.create
       (Vm.config ~heap_mb:cfg.heap_mb ~ncpus:cfg.ncpus ~seed:cfg.seed
          ~gc:cfg.gc ~trace:cfg.trace ~trace_ring:cfg.trace_ring ())
   in
+  let route =
+    Option.map (fun r ord -> (r : Cgc_server.Span.route array).(ord)) routes
+  in
   let srv =
     Server.create
       ~arrivals:(Arrival.scripted ?delays arrivals)
-      ?degrade:cfg.brownout cfg.server vm
+      ?degrade:cfg.brownout ?route cfg.server vm
   in
   List.iter
     (fun (ts, arg) ->
@@ -107,7 +117,8 @@ let run (cfg : cfg) ~arrivals ?delays () =
   in
   let stopped = Array.make nb 0 in
   let sheds = Array.make nb 0 in
-  install_sampler vm srv ~bin_cycles ~start_cycles ~stopped ~sheds;
+  let depth_max = Array.make nb 0 in
+  install_sampler vm srv ~bin_cycles ~start_cycles ~stopped ~sheds ~depth_max;
   Vm.run vm ~ms:cfg.ms;
   let gs = Vm.gc_stats vm in
   let pauses = gs.Gstats.pause_ms in
@@ -125,8 +136,12 @@ let run (cfg : cfg) ~arrivals ?delays () =
         (fun c -> float_of_int c /. float_of_int cycles_per_ms)
         stopped;
     sheds;
+    depth_max;
     trace = (if cfg.trace then Some (Vm.trace_json vm) else None);
+    emitted = Obs.emitted (Vm.obs vm);
     dropped = Obs.dropped (Vm.obs vm);
+    dropped_by_tid =
+      List.filter (fun (_, d) -> d > 0) (Obs.dropped_by_thread (Vm.obs vm));
     incarnation = cfg.incarnation;
     start_ms = cfg.start_ms;
     run_ms = cfg.ms;

@@ -48,8 +48,16 @@ type result = {
   stopped_ms : float array;
       (** per fleet-timeline bin: simulated ms this shard was stopped *)
   sheds : int array;  (** per fleet-timeline bin: requests shed *)
+  depth_max : int array;
+      (** per fleet-timeline bin: high-water server queue depth — the
+          queue-depth counter track of the merged fleet timeline *)
   trace : string option;  (** Chrome trace JSON when [cfg.trace] *)
+  emitted : int;  (** events the incarnation's rings accepted *)
   dropped : int;  (** events lost to ring overflow (exit-5 territory) *)
+  dropped_by_tid : (int * int) list;
+      (** (tid, dropped) for every ring that lost events — surfaced as
+          warnings in the cluster report so per-incarnation traces can't
+          silently under-report *)
   incarnation : int;
   start_ms : float;
   run_ms : float;
@@ -67,11 +75,19 @@ val nbins : ms:float -> bin_ms:float -> int
 (** Timeline bin count for a run: [ceil (ms / bin_ms)], at least 1.
     Exposed so {!Report} can label bins without re-deriving it. *)
 
-val run : cfg -> arrivals:int array -> ?delays:int array -> unit -> result
+val run :
+  cfg ->
+  arrivals:int array ->
+  ?delays:int array ->
+  ?routes:Cgc_server.Span.route array ->
+  unit ->
+  result
 (** Build the VM, attach the server with
     [Cgc_server.Arrival.scripted ?delays arrivals] (timestamps local to
     the incarnation; [delays] the per-arrival retry backoff), install
     the timeline sampler, run for [cfg.ms] simulated milliseconds and
-    extract the result.  Raises whatever the simulation raises
+    extract the result.  [routes] aligns with [arrivals]: the fleet
+    routing decision per scripted arrival, threaded into each completed
+    request's causal span.  Raises whatever the simulation raises
     ([Cgc_core.Collector.Out_of_memory], invariant violations) — the
     pool re-raises in the caller. *)

@@ -1,0 +1,110 @@
+(* The merged fleet timeline: Chrome-trace counter tracks aligned on
+   the fleet clock, so one trace-viewer tab shows the router and every
+   shard's GC phases side by side.
+
+   Counter events ("ph":"C") render as stacked area tracks.  Emitted
+   tracks:
+
+     fleet/live-shards     balancer-visible live count, one point per
+                           routing epoch
+     fleet/placed|shed|lost   front-end arrival accounting per bin
+     fleet/availability    placed fraction of arrivals per bin
+     shardK/stopped-ms     stop-the-world ms per bin (incarnations of
+                           one shard id merged — they never overlap)
+     shardK/queue-depth    high-water server queue depth per bin
+     shardK/sheds          requests shed per bin
+
+   Everything derives serially from an already-merged [Cluster.result],
+   so the artefact is byte-identical at any --jobs. *)
+
+module Cost = Cgc_smp.Cost
+
+let schema = "cgcsim-timeline-v1"
+
+let chrome_json (r : Cluster.result) =
+  let cfg = r.Cluster.cfg in
+  let cycles_per_ms = Cost.default.Cost.cycles_per_ms in
+  let cycles_per_us = float_of_int cycles_per_ms /. 1000.0 in
+  let b = Buffer.create 65536 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf
+    "{\"displayTimeUnit\":\"ms\",\"cgcSchema\":\"%s\",\"cyclesPerUs\":%.3f,\"traceEvents\":["
+    schema cycles_per_us;
+  let first = ref true in
+  let counter ~name ~ts_us ~key v =
+    if !first then first := false else Buffer.add_char b ',';
+    pf "\n{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":0,\"tid\":0,\"args\":{\"%s\":%s}}"
+      name ts_us key v
+  in
+  (* Per-epoch balancer-visible liveness. *)
+  let c = r.Cluster.chaos in
+  let epoch_us = c.Cluster.epoch_cfg_ms *. 1000.0 in
+  Array.iteri
+    (fun e live ->
+      counter ~name:"fleet/live-shards"
+        ~ts_us:(float_of_int e *. epoch_us)
+        ~key:"live" (string_of_int live))
+    c.Cluster.live_epochs;
+  (* Per-bin front-end accounting. *)
+  let bin_us = cfg.Cluster.bin_ms *. 1000.0 in
+  let bins = r.Cluster.bins in
+  let nbins = Array.length bins.Cluster.placed in
+  for i = 0 to nbins - 1 do
+    let ts_us = float_of_int i *. bin_us in
+    counter ~name:"fleet/placed" ~ts_us ~key:"count"
+      (string_of_int bins.Cluster.placed.(i));
+    counter ~name:"fleet/shed" ~ts_us ~key:"count"
+      (string_of_int bins.Cluster.shed.(i));
+    counter ~name:"fleet/lost" ~ts_us ~key:"count"
+      (string_of_int bins.Cluster.lost.(i));
+    let total =
+      bins.Cluster.placed.(i) + bins.Cluster.shed.(i) + bins.Cluster.lost.(i)
+    in
+    let avail =
+      if total = 0 then 1.0
+      else float_of_int bins.Cluster.placed.(i) /. float_of_int total
+    in
+    counter ~name:"fleet/availability" ~ts_us ~key:"frac"
+      (Printf.sprintf "%.6f" avail)
+  done;
+  (* Per-shard tracks, incarnations merged by shard id.  Incarnations
+     of one shard never overlap in time, so summing per bin is exact
+     (depth is a max: two incarnations can touch a boundary bin). *)
+  let nids = cfg.Cluster.shards in
+  let stopped = Array.init nids (fun _ -> Array.make nbins 0.0) in
+  let sheds = Array.init nids (fun _ -> Array.make nbins 0) in
+  let depth = Array.init nids (fun _ -> Array.make nbins 0) in
+  Array.iter
+    (fun (s : Shard.result) ->
+      let id = s.Shard.id in
+      Array.iteri
+        (fun i v ->
+          if i < nbins then stopped.(id).(i) <- stopped.(id).(i) +. v)
+        s.Shard.stopped_ms;
+      Array.iteri
+        (fun i v -> if i < nbins then sheds.(id).(i) <- sheds.(id).(i) + v)
+        s.Shard.sheds;
+      Array.iteri
+        (fun i v ->
+          if i < nbins && v > depth.(id).(i) then depth.(id).(i) <- v)
+        s.Shard.depth_max)
+    r.Cluster.shards;
+  for id = 0 to nids - 1 do
+    for i = 0 to nbins - 1 do
+      let ts_us = float_of_int i *. bin_us in
+      counter
+        ~name:(Printf.sprintf "shard%d/stopped-ms" id)
+        ~ts_us ~key:"ms"
+        (Printf.sprintf "%.6f" stopped.(id).(i));
+      counter
+        ~name:(Printf.sprintf "shard%d/queue-depth" id)
+        ~ts_us ~key:"depth"
+        (string_of_int depth.(id).(i));
+      counter
+        ~name:(Printf.sprintf "shard%d/sheds" id)
+        ~ts_us ~key:"count"
+        (string_of_int sheds.(id).(i))
+    done
+  done;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

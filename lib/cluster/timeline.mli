@@ -1,0 +1,20 @@
+(** Merged fleet timeline as Chrome-trace counter tracks.
+
+    One artefact aligns the router and every shard on the fleet clock:
+    per-epoch balancer-visible liveness ([fleet/live-shards]), per-bin
+    front-end placement accounting and availability ([fleet/placed],
+    [fleet/shed], [fleet/lost], [fleet/availability]), and per-shard
+    stop-the-world time, high-water queue depth and shed counts
+    ([shardK/stopped-ms], [shardK/queue-depth], [shardK/sheds]) — all
+    as ["ph":"C"] counter events a trace viewer renders as stacked
+    tracks next to the shards' own phase traces.
+
+    Derived serially from an already-merged {!Cluster.result}, so the
+    bytes are identical at any [--jobs] count. *)
+
+val schema : string
+(** ["cgcsim-timeline-v1"] — the [cgcSchema] header tag. *)
+
+val chrome_json : Cluster.result -> string
+(** Serialise the counter tracks; written by
+    [cgcsim cluster --timeline-out FILE]. *)

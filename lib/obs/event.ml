@@ -32,6 +32,9 @@ type code =
   | Req_done
   | Req_shed
   | Req_timeout
+  | Req_retry
+  | Req_redirect
+  | Req_hedge
   | Cluster_fault
 
 type t = { ts : int; dur : int; tid : int; code : code; arg : int }
@@ -72,6 +75,9 @@ let name = function
   | Req_done -> "req-done"
   | Req_shed -> "req-shed"
   | Req_timeout -> "req-timeout"
+  | Req_retry -> "req-retry"
+  | Req_redirect -> "req-redirect"
+  | Req_hedge -> "req-hedge"
   | Cluster_fault -> "cluster-fault"
 
 let cat = function
@@ -90,7 +96,9 @@ let cat = function
       "degrade"
   | Verify_pass -> "verify"
   | Incr_factor -> "phase"
-  | Req_arrive | Req_start | Req_done | Req_shed | Req_timeout -> "server"
+  | Req_arrive | Req_start | Req_done | Req_shed | Req_timeout | Req_retry
+  | Req_redirect | Req_hedge ->
+      "server"
   | Cluster_fault -> "fault"
 
 let all_codes =
@@ -128,6 +136,9 @@ let all_codes =
     Req_done;
     Req_shed;
     Req_timeout;
+    Req_retry;
+    Req_redirect;
+    Req_hedge;
     Cluster_fault;
   ]
 

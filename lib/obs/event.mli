@@ -82,6 +82,19 @@ type code =
   | Req_timeout
       (** instant: a queued request exceeded its deadline and was
           abandoned at dispatch; arg = request id. *)
+  | Req_retry
+      (** instant: an admitted request had retried at the fleet front end
+          before landing on this shard; arg = the number of retries (its
+          backoff is charged to the request's span).  Emitted host-side at
+          admission with the synthetic server tid. *)
+  | Req_redirect
+      (** instant: an admitted request was rerouted away from its
+          first-choice shard (dark arc, crashed or flapping shard);
+          arg = the first-choice shard id it was diverted from. *)
+  | Req_hedge
+      (** instant: an admitted request was hedged at the front end;
+          arg = 1 when the hedge won (the request landed on the hedge
+          target), 0 when the original choice was kept. *)
   | Cluster_fault
       (** instant: a cluster chaos scenario touched this shard — a crash,
           a cold restart, a brownout window opening, or a ring-flap

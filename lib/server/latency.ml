@@ -7,12 +7,16 @@ type sample = {
   gc_ms : float;
 }
 
-let decompose ~cycles_per_ms ~arrival ~start ~finish ~s_arr ~s_fin =
+let decompose ~cycles_per_ms ~arrival ~start ~finish ~s_arr ~s_start ~s_fin =
   let ms c = float_of_int c /. cycles_per_ms in
   let queueing_ms = ms (start - arrival) in
   let service_ms = ms (finish - start) in
   let e2e_ms = queueing_ms +. service_ms in
-  let gc_ms = Float.min e2e_ms (Float.max 0.0 (ms (s_fin - s_arr))) in
+  (* Clamp each stopped-world overlap to the interval it can inflate,
+     mirroring the integer-exact split in {!Span.blame_of}. *)
+  let gc_q = min (start - arrival) (max 0 (s_start - s_arr)) in
+  let gc_s = min (finish - start) (max 0 (s_fin - s_start)) in
+  let gc_ms = ms (gc_q + gc_s) in
   { queueing_ms; service_ms; e2e_ms; gc_ms }
 
 type t = {

@@ -12,8 +12,9 @@ type sample = {
   e2e_ms : float;  (** exactly [queueing_ms +. service_ms] *)
   gc_ms : float;
       (** end-to-end inflation attributable to stop-the-world time
-          overlapping the request's lifetime, clamped to
-          [\[0, e2e_ms\]] *)
+          overlapping the request's lifetime: the queue-phase overlap
+          clamped to [queueing_ms] plus the service-phase overlap
+          clamped to [service_ms] *)
 }
 
 val decompose :
@@ -22,12 +23,13 @@ val decompose :
   start:int ->
   finish:int ->
   s_arr:int ->
+  s_start:int ->
   s_fin:int ->
   sample
 (** Pure accounting from cycle timestamps: [arrival] (enqueue), [start]
     (worker pick-up) and [finish] (response), plus the cumulative
-    stopped-world cycle integral sampled at arrival ([s_arr]) and at
-    completion ([s_fin]). *)
+    stopped-world cycle integral sampled at arrival ([s_arr]), at
+    dispatch ([s_start]) and at completion ([s_fin]). *)
 
 type t
 

@@ -1,7 +1,7 @@
 module Histogram = Cgc_util.Histogram
 module Json = Cgc_prof.Json
 
-let schema = "cgcsim-server-v1"
+let schema = "cgcsim-server-v2"
 
 let pcts = [ ("p50", 50.0); ("p95", 95.0); ("p99", 99.0); ("p999", 99.9) ]
 
@@ -29,10 +29,142 @@ let arrival_json (cfg : Server.cfg) =
           ("factor", Json.Float factor);
         ]
 
+(* ------------------------- causal spans --------------------------- *)
+
+let blame_fields (b : Span.blame) =
+  [
+    ("fleetQueueCycles", Json.Int b.Span.fleet_queue);
+    ("backoffCycles", Json.Int b.Span.backoff);
+    ("queueCycles", Json.Int b.Span.queue);
+    ("gcQueueCycles", Json.Int b.Span.gc_queue);
+    ("serviceCycles", Json.Int b.Span.service);
+    ("gcServiceCycles", Json.Int b.Span.gc_service);
+  ]
+
+let span_json ~cycles_per_ms (s : Span.t) =
+  let ms c =
+    if cycles_per_ms <= 0.0 then 0.0 else float_of_int c /. cycles_per_ms
+  in
+  let r = s.Span.route in
+  Json.Obj
+    [
+      ("rid", Json.Int r.Span.rid);
+      ("shard", Json.Int r.Span.shard);
+      ("firstChoice", Json.Int r.Span.first);
+      ("epoch", Json.Int r.Span.epoch);
+      ("attempts", Json.Int r.Span.attempts);
+      ("hedged", Json.Bool r.Span.hedged);
+      ("hedgeWin", Json.Bool r.Span.hedge_win);
+      ("enqueueCycles", Json.Int s.Span.enqueue);
+      ("startCycles", Json.Int s.Span.start);
+      ("finishCycles", Json.Int s.Span.finish);
+      ("e2eCycles", Json.Int (Span.e2e_cycles s));
+      ("e2eMs", Json.Float (ms (Span.e2e_cycles s)));
+      ("blame", Json.Obj (blame_fields s.Span.blame));
+    ]
+
+let spans_json (sum : Span.summary) =
+  let cpm = sum.Span.cycles_per_ms in
+  let ms c = if cpm <= 0.0 then 0.0 else float_of_int c /. cpm in
+  let mean c =
+    if sum.Span.count = 0 then 0.0 else ms c /. float_of_int sum.Span.count
+  in
+  let b = sum.Span.sum in
+  [
+    ( "blame",
+      Json.Obj
+        ([ ("count", Json.Int sum.Span.count) ]
+        @ blame_fields b
+        @ [
+            ("e2eCycles", Json.Int sum.Span.sum_e2e);
+            ("cyclesPerMs", Json.Float cpm);
+            ( "meanMs",
+              Json.Obj
+                [
+                  ("e2e", Json.Float (mean sum.Span.sum_e2e));
+                  ("fleetQueue", Json.Float (mean b.Span.fleet_queue));
+                  ("backoff", Json.Float (mean b.Span.backoff));
+                  ("queue", Json.Float (mean b.Span.queue));
+                  ("gcQueue", Json.Float (mean b.Span.gc_queue));
+                  ("service", Json.Float (mean b.Span.service));
+                  ("gcService", Json.Float (mean b.Span.gc_service));
+                ] );
+          ]) );
+    ( "tails",
+      Json.Arr (List.map (span_json ~cycles_per_ms:cpm) sum.Span.worst) );
+    ( "exemplars",
+      Json.Arr
+        (List.map
+           (fun (d, s) ->
+             match span_json ~cycles_per_ms:cpm s with
+             | Json.Obj fields -> Json.Obj (("decade", Json.Int d) :: fields)
+             | j -> j)
+           sum.Span.exemplars) );
+  ]
+
+(* Conservation check on the serialised artefact: every [blame] object
+   must have components summing to its sibling [e2eCycles].  Used by
+   {!validate} and re-used by the cluster validator on each embedded
+   per-shard report. *)
+let check_conservation j =
+  let blame_sum = function
+    | Json.Obj _ as b ->
+        let get k =
+          match Json.member k b with Some (Json.Int n) -> n | _ -> 0
+        in
+        Some
+          (get "fleetQueueCycles" + get "backoffCycles" + get "queueCycles"
+          + get "gcQueueCycles" + get "serviceCycles" + get "gcServiceCycles")
+    | _ -> None
+  in
+  let check_span where s =
+    match (Json.member "blame" s, Json.member "e2eCycles" s) with
+    | Some b, Some (Json.Int e2e) -> (
+        match blame_sum b with
+        | Some sum when sum <> e2e ->
+            Error
+              (Printf.sprintf
+                 "%s: blame components sum to %d cycles but e2eCycles is %d"
+                 where sum e2e)
+        | _ -> Ok ())
+    | _ -> Ok ()
+  in
+  let check_list key =
+    match Json.member key j with
+    | Some (Json.Arr spans) ->
+        let rec go i = function
+          | [] -> Ok ()
+          | s :: rest -> (
+              match check_span (Printf.sprintf "%s[%d]" key i) s with
+              | Error _ as e -> e
+              | Ok () -> go (i + 1) rest)
+        in
+        go 0 spans
+    | _ -> Ok ()
+  in
+  let top =
+    match Json.member "blame" j with
+    | Some (Json.Obj _ as b) -> (
+        match (blame_sum b, Json.member "e2eCycles" b) with
+        | Some sum, Some (Json.Int e2e) when sum <> e2e ->
+            Error
+              (Printf.sprintf
+                 "blame: components sum to %d cycles but e2eCycles is %d" sum
+                 e2e)
+        | _ -> Ok ())
+    | _ -> Ok ()
+  in
+  match top with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check_list "tails" with
+      | Error _ as e -> e
+      | Ok () -> check_list "exemplars")
+
 let to_json (cfg : Server.cfg) ~ran_ms (tot : Server.totals) =
   let lat = tot.Server.lat in
   Json.Obj
-    [
+    ([
       ("schema", Json.Str schema);
       ("ratePerS", Json.Float cfg.Server.rate_per_s);
       ("arrival", arrival_json cfg);
@@ -70,6 +202,44 @@ let to_json (cfg : Server.cfg) ~ran_ms (tot : Server.totals) =
             ("gcInflation", hist_json (Latency.gc lat));
           ] );
     ]
+    @ spans_json tot.Server.spans)
+
+(* Shared by the server and cluster text reports: a one-line mean blame
+   decomposition plus the worst spans' causal chains. *)
+let blame_text buf (sum : Span.summary) =
+  if sum.Span.count > 0 then begin
+    let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let cpm = sum.Span.cycles_per_ms in
+    let ms c = if cpm <= 0.0 then 0.0 else float_of_int c /. cpm in
+    let mean c = ms c /. float_of_int sum.Span.count in
+    let b = sum.Span.sum in
+    pf
+      "  blame (mean ms over %d): e2e %.3f = fleet-q %.3f + backoff %.3f + \
+       queue %.3f + gc-queue %.3f + service %.3f + gc-service %.3f\n"
+      sum.Span.count (mean sum.Span.sum_e2e)
+      (mean b.Span.fleet_queue)
+      (mean b.Span.backoff) (mean b.Span.queue) (mean b.Span.gc_queue)
+      (mean b.Span.service)
+      (mean b.Span.gc_service);
+    match sum.Span.worst with
+    | [] -> ()
+    | worst :: _ ->
+        let r = worst.Span.route in
+        pf
+          "  worst span: rid %d via shard %d (first choice %d, epoch %d, %d \
+           retries%s) e2e %.3f ms = backoff %.3f + queue %.3f + gc-queue %.3f \
+           + service %.3f + gc-service %.3f\n"
+          r.Span.rid r.Span.shard r.Span.first r.Span.epoch r.Span.attempts
+          (if r.Span.hedge_win then ", hedge won"
+           else if r.Span.hedged then ", hedged"
+           else "")
+          (ms (Span.e2e_cycles worst))
+          (ms worst.Span.blame.Span.backoff)
+          (ms worst.Span.blame.Span.queue)
+          (ms worst.Span.blame.Span.gc_queue)
+          (ms worst.Span.blame.Span.service)
+          (ms worst.Span.blame.Span.gc_service)
+  end
 
 let text (cfg : Server.cfg) ~ran_ms (tot : Server.totals) =
   let b = Buffer.create 1024 in
@@ -103,6 +273,7 @@ let text (cfg : Server.cfg) ~ran_ms (tot : Server.totals) =
   row "queueing" (Latency.queueing lat);
   row "service" (Latency.service lat);
   row "gc-inflation" (Latency.gc lat);
+  blame_text b tot.Server.spans;
   Buffer.contents b
 
 let validate s =
@@ -110,7 +281,10 @@ let validate s =
   | Error e -> Error e
   | Ok j -> (
       match Json.member "schema" j with
-      | Some (Json.Str v) when v = schema -> Ok j
+      | Some (Json.Str v) when v = schema -> (
+          match check_conservation j with
+          | Ok () -> Ok j
+          | Error e -> Error e)
       | Some (Json.Str v) ->
           Error (Printf.sprintf "schema mismatch: expected %s, got %s" schema v)
       | _ -> Error "missing schema tag")

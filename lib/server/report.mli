@@ -5,12 +5,32 @@
     two equal-seed runs serialise to identical bytes. *)
 
 val schema : string
-(** ["cgcsim-server-v1"]. *)
+(** ["cgcsim-server-v2"] — v2 added the [blame] / [tails] / [exemplars]
+    causal-span blocks. *)
 
 val hist_json : Cgc_util.Histogram.t -> Cgc_prof.Json.t
 (** The percentile-object shape shared by every latency block
     ([count]/[mean]/[min]/[p50]/[p95]/[p99]/[p999]/[max]) — exposed so
     the cluster report renders fleet-merged histograms identically. *)
+
+val span_json : cycles_per_ms:float -> Span.t -> Cgc_prof.Json.t
+(** One causal span: route fields, cycle stamps, [e2eCycles] and its
+    integer-cycle [blame] object (components sum to [e2eCycles]). *)
+
+val spans_json : Span.summary -> (string * Cgc_prof.Json.t) list
+(** The [blame] / [tails] / [exemplars] members appended to the report
+    object — exposed so the cluster report emits the fleet-merged
+    summary in the identical shape. *)
+
+val blame_text : Buffer.t -> Span.summary -> unit
+(** Append the mean blame decomposition line and the worst span's causal
+    chain; shared with the cluster text report. *)
+
+val check_conservation : Cgc_prof.Json.t -> (unit, string) result
+(** Re-check the conservation identity on a serialised report: every
+    [blame] object's components must sum to its sibling [e2eCycles]
+    (aggregate, tails and exemplars).  The cluster validator applies it
+    to the fleet block and to each embedded per-shard report. *)
 
 val text : Server.cfg -> ran_ms:float -> Server.totals -> string
 (** Human-readable summary: offered/served rates, the overload-control

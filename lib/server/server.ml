@@ -76,8 +76,10 @@ let cfg ?(arrival = Arrival.Poisson) ?(queue_cap = 256) ?(workers = 4)
 
 type req = {
   id : int;
-  arrival : int; (* enqueue timestamp, cycles *)
+  arrival : int; (* backdated enqueue timestamp, cycles (= ts - pre) *)
+  pre : int; (* front-end backoff charged before the true enqueue *)
   s_arr : int; (* stopped-world integral at enqueue *)
+  route : Span.route; (* fleet routing decision that placed this request *)
 }
 
 type t = {
@@ -88,6 +90,10 @@ type t = {
   profile : Txmix.profile; (* residency-scaled service profile *)
   queue : req Queue.t;
   lats : Latency.t array;
+  spans : Span.collector;
+  (* Fleet routing decision keyed by arrival ordinal (the scripted
+     stream position); single-VM runs default to [Span.local_route]. *)
+  route : int -> Span.route;
   arr : Arrival.t;
   (* Brownout window [d0, d1) during which service times are inflated by
      the factor — the cluster's noisy-neighbour scenario. *)
@@ -137,9 +143,24 @@ let arrive ?(pre = 0) t ~ts =
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
+    let route = t.route (t.arrived - 1) in
+    (* Causal-chain markers for requests the front end diverted: each is
+       visible in the shard trace next to the enqueue it produced. *)
+    if route.Span.attempts > 0 then
+      Obs.instant_host t.obs ~arg:route.Span.attempts ~tid:server_tid ~ts
+        Event.Req_retry;
+    if route.Span.shard <> route.Span.first then
+      Obs.instant_host t.obs ~arg:route.Span.first ~tid:server_tid ~ts
+        Event.Req_redirect;
+    if route.Span.hedged then
+      Obs.instant_host t.obs
+        ~arg:(if route.Span.hedge_win then 1 else 0)
+        ~tid:server_tid ~ts Event.Req_hedge;
     (* Front-end delay (retry backoff) backdates the arrival stamp, so
        queueing and end-to-end latency charge the redirection time. *)
-    Queue.push { id; arrival = ts - pre; s_arr = t.stopped_cycles } t.queue;
+    Queue.push
+      { id; arrival = ts - pre; pre; s_arr = t.stopped_cycles; route }
+      t.queue;
     t.admitted <- t.admitted + 1;
     let depth = depth + 1 in
     if depth > t.max_depth then t.max_depth <- depth;
@@ -162,6 +183,7 @@ let on_tick t now =
 
 let handle t m ~wid ~dir req ~start =
   t.in_flight <- t.in_flight + 1;
+  let s_start = t.stopped_cycles in
   Obs.span_at t.obs ~arg:req.id ~ts:req.arrival ~dur:(start - req.arrival)
     Event.Req_start;
   Txmix.transaction t.profile m ~dir;
@@ -175,11 +197,23 @@ let handle t m ~wid ~dir req ~start =
   | _ -> ());
   let finish = Mutator.now_cycles m in
   t.in_flight <- t.in_flight - 1;
+  let s_fin = t.stopped_cycles in
   let s =
     Latency.decompose ~cycles_per_ms:t.cycles_per_ms ~arrival:req.arrival
-      ~start ~finish ~s_arr:req.s_arr ~s_fin:t.stopped_cycles
+      ~start ~finish ~s_arr:req.s_arr ~s_start ~s_fin
   in
   Latency.observe t.lats.(wid) ~slo_ms:t.cfg.slo_ms s;
+  (* The causal span.  [req.arrival] is backdated by the backoff, so the
+     true enqueue stamp is [arrival + pre]; the blame components then
+     sum to [finish - req.arrival] — the same e2e the histogram saw —
+     exactly, which we assert for every completed request. *)
+  let enqueue = req.arrival + req.pre in
+  let blame =
+    Span.blame_of ~pre:req.pre ~enqueue ~start ~finish ~s_enq:req.s_arr
+      ~s_start ~s_fin
+  in
+  assert (Span.blame_total blame = finish - req.arrival);
+  Span.record t.spans { Span.route = req.route; enqueue; start; finish; blame };
   Obs.span_at t.obs
     ~arg:(int_of_float (s.Latency.e2e_ms *. 1000.0))
     ~ts:start ~dur:(finish - start) Event.Req_done
@@ -215,7 +249,8 @@ let reset t =
   t.shed_throttled <- 0;
   t.timed_out <- 0;
   t.max_depth <- Queue.length t.queue;
-  Array.iter Latency.clear t.lats
+  Array.iter Latency.clear t.lats;
+  Span.clear t.spans
 (* The queue, throttle state and stopped-time integral deliberately
    survive: in-flight warm-up requests finish into the measured window,
    and the integral is only ever read as a difference. *)
@@ -232,7 +267,7 @@ let attach_probes t =
             float_of_int t.in_flight)
       end
 
-let create ?arrivals ?degrade (cfg : cfg) vm =
+let create ?arrivals ?degrade ?(route = Span.local_route) (cfg : cfg) vm =
   let mach = Vm.machine vm in
   let cycles_per_ms = mach.Machine.cost.Cost.cycles_per_ms in
   (* An own PRNG root, offset from the VM's seed so the arrival stream
@@ -261,6 +296,11 @@ let create ?arrivals ?degrade (cfg : cfg) vm =
       profile;
       queue = Queue.create ();
       lats = Array.init cfg.workers (fun _ -> Latency.create ());
+      spans =
+        Span.create
+          ~cycles_per_ms:(float_of_int cycles_per_ms)
+          ~seed:(Vm.the_config vm).Vm.seed;
+      route;
       arr;
       degrade;
       next_arrival = 0;
@@ -305,6 +345,7 @@ type totals = {
   slo_violations : int;
   max_depth : int;
   lat : Latency.t;
+  spans : Span.summary;
 }
 
 let totals t =
@@ -321,6 +362,7 @@ let totals t =
     slo_violations = Latency.slo_violations lat;
     max_depth = t.max_depth;
     lat;
+    spans = Span.summary t.spans;
   }
 
 let slo_attainment tot =

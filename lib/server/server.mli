@@ -68,7 +68,12 @@ val cfg :
 type t
 
 val create :
-  ?arrivals:Arrival.t -> ?degrade:int * int * float -> cfg -> Cgc_runtime.Vm.t -> t
+  ?arrivals:Arrival.t ->
+  ?degrade:int * int * float ->
+  ?route:(int -> Span.route) ->
+  cfg ->
+  Cgc_runtime.Vm.t ->
+  t
 (** Spawns the worker mutators, installs the arrival hook, registers a
     {!Cgc_runtime.Vm.on_reset} hook so warm-up statistics are discarded
     by [run_measured], and — when a profiler is already enabled —
@@ -85,7 +90,14 @@ val create :
     [degrade] is a [(start, stop, factor)] brownout window in this VM's
     cycles: transactions dispatched inside it are stretched by
     [(factor - 1)]× their own duration, modelling a noisy neighbour
-    sharing away the shard's CPUs. *)
+    sharing away the shard's CPUs.
+
+    [route] maps an arrival ordinal (position in the arrival stream,
+    counting shed arrivals) to the fleet routing decision that placed
+    it; the cluster layer passes the balancer's per-request
+    {!Span.route} records here so every completed request's causal span
+    carries its route, retries and hedge outcome.  Defaults to
+    {!Span.local_route}. *)
 
 val the_cfg : t -> cfg
 
@@ -113,6 +125,9 @@ type totals = {
   slo_violations : int;  (** completed, but over [slo_ms] end-to-end *)
   max_depth : int;  (** high-water queue depth *)
   lat : Latency.t;  (** all workers' accounting, histogram-merged *)
+  spans : Span.summary;
+      (** exact blame decomposition over every completed request, plus
+          the worst-{!Span.worst_k} spans and per-decade exemplars *)
 }
 
 val totals : t -> totals

@@ -1,0 +1,113 @@
+(* Tests for the CLI exit-code single source of truth (Cgc_cli): the
+   codes are exactly 0-7 with unique names, and the README's exit-code
+   table between the markers is the literal output of markdown_table —
+   so the binary, `cgcsim exit-codes --markdown` and the docs can never
+   drift apart. *)
+
+module Exit_codes = Cgc_cli.Exit_codes
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let test_codes_complete_and_unique () =
+  let codes = Exit_codes.all in
+  check ci "eight codes" 8 (List.length codes);
+  List.iteri
+    (fun i (c : Exit_codes.code) ->
+      check ci "ascending, dense from zero" i c.Exit_codes.value)
+    codes;
+  let names = List.map (fun c -> c.Exit_codes.name) codes in
+  check ci "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun (c : Exit_codes.code) ->
+      check cb
+        (Printf.sprintf "code %d has a meaning" c.Exit_codes.value)
+        true
+        (String.length c.Exit_codes.meaning > 0))
+    codes
+
+let test_constants_match_table () =
+  let value name =
+    (List.find (fun c -> c.Exit_codes.name = name) Exit_codes.all)
+      .Exit_codes.value
+  in
+  check ci "ok" Exit_codes.ok (value "ok");
+  check ci "usage" Exit_codes.usage (value "usage");
+  check ci "oom" Exit_codes.oom (value "oom");
+  check ci "invariant" Exit_codes.invariant (value "invariant");
+  check ci "schema" Exit_codes.schema (value "schema");
+  check ci "drops" Exit_codes.drops (value "drops");
+  check ci "slo" Exit_codes.slo (value "slo");
+  check ci "fleet" Exit_codes.fleet (value "fleet-unavailable")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_readme_table_in_sync () =
+  (* The README block between the markers must be byte-identical to the
+     generated table (regenerate with
+     `cgcsim exit-codes --markdown`). *)
+  (* Under `dune runtest` the README is a declared dep at ../README.md;
+     under `dune exec` from the repo root it is in the cwd. *)
+  let readme =
+    match List.find_opt Sys.file_exists [ "../README.md"; "README.md" ] with
+    | Some path -> read_file path
+    | None -> Alcotest.fail "README.md not found"
+  in
+  let begin_marker = "<!-- exit-codes:begin -->\n" in
+  let end_marker = "<!-- exit-codes:end -->" in
+  let find needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i =
+      if i + nl > hl then None
+      else if String.sub hay i nl = needle then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  match (find begin_marker readme, find end_marker readme) with
+  | Some b, Some e when b < e ->
+      let start = b + String.length begin_marker in
+      let block = String.sub readme start (e - start) in
+      check Alcotest.string "README table matches Exit_codes.markdown_table"
+        (Exit_codes.markdown_table ())
+        block
+  | _ -> Alcotest.fail "README.md is missing the exit-codes markers"
+
+let test_markdown_rows () =
+  let table = Exit_codes.markdown_table () in
+  List.iter
+    (fun (c : Exit_codes.code) ->
+      let cell = Printf.sprintf "| %d | `%s` |" c.Exit_codes.value
+          c.Exit_codes.name in
+      let found =
+        let nl = String.length cell and hl = String.length table in
+        let rec go i =
+          i + nl <= hl
+          && (String.sub table i nl = cell || go (i + 1))
+        in
+        go 0
+      in
+      check cb (Printf.sprintf "table has a row for %s" c.Exit_codes.name)
+        true found)
+    Exit_codes.all
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "complete and unique" `Quick
+            test_codes_complete_and_unique;
+          Alcotest.test_case "constants match table" `Quick
+            test_constants_match_table;
+          Alcotest.test_case "markdown rows" `Quick test_markdown_rows;
+          Alcotest.test_case "README in sync" `Quick
+            test_readme_table_in_sync;
+        ] );
+    ]

@@ -5,8 +5,9 @@
    policies and the hash ring's failover monotonicity, shard/fleet
    determinism across pool sizes (byte-identical traces and report,
    chaos scenarios included), the fleet degradation ladder's exact
-   request conservation and Fleet_unavailable, and the
-   cgcsim-cluster-v2 schema round-trip. *)
+   request conservation and Fleet_unavailable, the per-request blame
+   conservation identity across every chaos scenario, and the
+   cgcsim-cluster-v3 schema round-trip. *)
 
 module Json = Cgc_prof.Json
 module Deque = Cgc_cluster.Deque
@@ -16,6 +17,7 @@ module Cluster = Cgc_cluster.Cluster
 module Shard = Cgc_cluster.Shard
 module Cluster_report = Cgc_cluster.Report
 module Server = Cgc_server.Server
+module Span = Cgc_server.Span
 module Arrival = Cgc_server.Arrival
 module Prng = Cgc_util.Prng
 module Common = Cgc_experiments.Common
@@ -460,6 +462,67 @@ let test_chaos_epoch_digests () =
        c.Cluster.live_epochs);
   check cb "restart: recovers (ttr present)" true (c.Cluster.ttr_ms <> None)
 
+let qcheck_blame_conservation_under_chaos =
+  (* The tentpole identity, adversarially: for every chaos scenario and
+     a sampled (seed, rate), the fleet-merged span summary must balance
+     exactly — blame components sum to e2e in aggregate and for every
+     retained span, with one span per completed request.  (The runtime
+     additionally asserts the identity per request as each completes.) *)
+  QCheck.Test.make ~name:"blame conservation under every chaos scenario"
+    ~count:12
+    QCheck.(
+      pair (int_range 1 1000)
+        (pair (int_range 0 (List.length Cluster_fault.all))
+           (int_range 4 8)))
+    (fun (seed, (sc_idx, rate_k)) ->
+      let chaos =
+        if sc_idx = 0 then None
+        else List.nth_opt Cluster_fault.all (sc_idx - 1)
+      in
+      let cfg =
+        Cluster.cfg ~shards:3 ~policy:Balancer.Least_queue
+          ~rate_per_s:(float_of_int (rate_k * 1000))
+          ~slo_ms:50.0 ~heap_mb:16.0 ~ms:250.0 ~seed ?chaos ()
+      in
+      let r = Cluster.run cfg in
+      let tot = Cluster.fleet_totals r in
+      let sp = tot.Server.spans in
+      sp.Span.count = tot.Server.completed
+      && Span.blame_total sp.Span.sum = sp.Span.sum_e2e
+      && List.for_all
+           (fun (s : Span.t) ->
+             Span.blame_total s.Span.blame = Span.e2e_cycles s)
+           sp.Span.worst
+      && List.for_all
+           (fun ((_, s) : int * Span.t) ->
+             Span.blame_total s.Span.blame = Span.e2e_cycles s)
+           sp.Span.exemplars)
+
+let test_chaos_routes_annotated () =
+  (* Under shard-restart the ladder retries/redirects; the surviving
+     spans must carry that history: some worst/exemplar span shows a
+     retry or a redirect, and every epoch stamp is within range. *)
+  let r = Cluster.run (chaos_cfg ~chaos:Cluster_fault.Shard_restart ()) in
+  let sp = (Cluster.fleet_totals r).Server.spans in
+  let spans = sp.Span.worst @ List.map snd sp.Span.exemplars in
+  check cb "spans retained" true (spans <> []);
+  let epochs = Array.length r.Cluster.chaos.Cluster.live_epochs in
+  List.iter
+    (fun (s : Span.t) ->
+      let ro = s.Span.route in
+      check cb "shard in range" true
+        (ro.Span.shard >= 0 && ro.Span.shard < r.Cluster.cfg.Cluster.shards);
+      check cb "epoch in range" true
+        (ro.Span.epoch >= 0 && ro.Span.epoch < max 1 epochs);
+      check cb "attempts non-negative" true (ro.Span.attempts >= 0))
+    spans;
+  check cb "some span rerouted or retried" true
+    (List.exists
+       (fun (s : Span.t) ->
+         s.Span.route.Span.attempts > 0
+         || s.Span.route.Span.shard <> s.Span.route.Span.first)
+       spans)
+
 let test_fleet_unavailable_raises () =
   (* A single-shard fleet whose only shard crashes has nowhere to
      reroute: the ladder must bottom out in the typed failure. *)
@@ -488,9 +551,33 @@ let test_report_schema_roundtrip () =
   (match Cluster_report.validate "{}" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing schema accepted");
-  match Cluster_report.validate "{\"schema\": \"cgcsim-server-v1\"}" with
+  (match Cluster_report.validate "{\"schema\": \"cgcsim-server-v1\"}" with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "wrong schema accepted"
+  | Ok _ -> Alcotest.fail "wrong schema accepted");
+  (* corrupting one blame component must break the conservation check *)
+  let key = "\"serviceCycles\": " in
+  let klen = String.length key in
+  let corrupt =
+    let rec find i =
+      if i + klen > String.length s then None
+      else if String.sub s i klen = key then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> s
+    | Some i ->
+        let j = ref (i + klen) in
+        while !j < String.length s && s.[!j] >= '0' && s.[!j] <= '9' do
+          incr j
+        done;
+        String.sub s 0 (i + klen)
+        ^ "1234567891"
+        ^ String.sub s !j (String.length s - !j)
+  in
+  check cb "report carries a serviceCycles field" true (corrupt <> s);
+  match Cluster_report.validate corrupt with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "broken conservation accepted"
 
 let test_report_phenomena_counts () =
   let r = Cluster.run (small_cfg ()) in
@@ -568,6 +655,9 @@ let () =
             test_chaos_determinism_across_pool_sizes;
           Alcotest.test_case "exact conservation" `Quick
             test_chaos_exact_conservation;
+          q qcheck_blame_conservation_under_chaos;
+          Alcotest.test_case "routes annotated" `Quick
+            test_chaos_routes_annotated;
           Alcotest.test_case "epoch digests" `Quick
             test_chaos_epoch_digests;
           Alcotest.test_case "fleet unavailable" `Quick

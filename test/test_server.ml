@@ -1,8 +1,9 @@
 (* Tests for the open-loop request/latency subsystem (cgc_server):
    arrival processes, scripted latency accounting, queue-bound shedding,
    the admission throttle, timeout abandonment, decomposition adding up
-   to end-to-end, Histogram.merge against a concatenated reference, the
-   cgcsim-server-v1 schema round-trip, and same-seed determinism of the
+   to end-to-end, the causal-span blame conservation identity,
+   Histogram.merge against a concatenated reference, the
+   cgcsim-server-v2 schema round-trip, and same-seed determinism of the
    whole server report. *)
 
 module Histogram = Cgc_util.Histogram
@@ -15,6 +16,7 @@ module Event = Cgc_obs.Event
 module Arrival = Cgc_server.Arrival
 module Latency = Cgc_server.Latency
 module Server = Cgc_server.Server
+module Span = Cgc_server.Span
 module Report = Cgc_server.Report
 
 let check = Alcotest.check
@@ -99,23 +101,23 @@ let test_arrival_bursty_modulates () =
 let test_scripted_latencies () =
   let l = Latency.create () in
   let cpm_f = float_of_int cpm in
-  (* (arrival, start, finish, stopped-integral at arrival / finish) in
-     cycles; cpm cycles = 1 ms. *)
+  (* (arrival, start, finish, stopped-integral at arrival / start /
+     finish) in cycles; cpm cycles = 1 ms. *)
   let script =
     [
       (* no queueing, 2 ms service, no pause overlap *)
-      (0, 0, 2 * cpm, 0, 0);
+      (0, 0, 2 * cpm, 0, 0, 0);
       (* 1 ms queueing, 3 ms service, 1 ms of it stopped *)
-      (cpm, 2 * cpm, 5 * cpm, 0, cpm);
+      (cpm, 2 * cpm, 5 * cpm, 0, 0, cpm);
       (* 10 ms queueing (a pause), 1 ms service, pause overlap 10 ms *)
-      (5 * cpm, 15 * cpm, 16 * cpm, cpm, 11 * cpm);
+      (5 * cpm, 15 * cpm, 16 * cpm, cpm, 11 * cpm, 11 * cpm);
     ]
   in
   List.iter
-    (fun (arrival, start, finish, s_arr, s_fin) ->
+    (fun (arrival, start, finish, s_arr, s_start, s_fin) ->
       let s =
         Latency.decompose ~cycles_per_ms:cpm_f ~arrival ~start ~finish ~s_arr
-          ~s_fin
+          ~s_start ~s_fin
       in
       Latency.observe l ~slo_ms:5.0 s)
     script;
@@ -138,12 +140,12 @@ let test_scripted_latencies () =
   (* gc is clamped into [0, e2e] *)
   let s =
     Latency.decompose ~cycles_per_ms:cpm_f ~arrival:0 ~start:0 ~finish:cpm
-      ~s_arr:0 ~s_fin:(100 * cpm)
+      ~s_arr:0 ~s_start:0 ~s_fin:(100 * cpm)
   in
   check cf "gc clamped to e2e" 1.0 s.Latency.gc_ms;
   let s =
     Latency.decompose ~cycles_per_ms:cpm_f ~arrival:0 ~start:cpm
-      ~finish:(2 * cpm) ~s_arr:cpm ~s_fin:0
+      ~finish:(2 * cpm) ~s_arr:cpm ~s_start:0 ~s_fin:0
   in
   check cf "gc clamped to zero" 0.0 s.Latency.gc_ms
 
@@ -153,7 +155,7 @@ let test_latency_merge_counters () =
   let obs l ~slo arrival start finish =
     Latency.observe l ~slo_ms:slo
       (Latency.decompose ~cycles_per_ms:cpm_f ~arrival ~start ~finish ~s_arr:0
-         ~s_fin:0)
+         ~s_start:0 ~s_fin:0)
   in
   obs a ~slo:1.0 0 0 cpm;
   obs a ~slo:1.0 0 0 (3 * cpm);
@@ -308,6 +310,7 @@ let test_slo_attainment () =
       slo_violations = viol;
       max_depth = 0;
       lat = Latency.create ();
+      spans = Span.empty_summary;
     }
   in
   check cf "all good" 1.0
@@ -367,11 +370,11 @@ let test_schema_roundtrip () =
 let test_report_fields () =
   let j = report_of_run () in
   check cb "schema tag" true
-    (Json.member "schema" j = Some (Json.Str "cgcsim-server-v1"));
+    (Json.member "schema" j = Some (Json.Str "cgcsim-server-v2"));
   List.iter
     (fun k -> check cb k true (Json.member k j <> None))
     [ "ratePerS"; "arrival"; "counts"; "latencyMs"; "sloAttainment";
-      "completedPerS" ];
+      "completedPerS"; "blame"; "tails"; "exemplars" ];
   match Json.member "latencyMs" j with
   | Some lat ->
       List.iter
@@ -396,6 +399,68 @@ let test_json_parse_rejects () =
       | Ok _ -> Alcotest.failf "parsed %S" bad
       | Error _ -> ())
     [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "{\"a\":1}x"; "\"unterminated" ]
+
+(* --------------------------- causal spans --------------------------- *)
+
+let test_blame_conservation () =
+  (* The runtime asserts the identity per request; here the aggregate
+     must hold too: summed blame components = summed e2e cycles, with
+     one span per completed request. *)
+  let _, srv, _ = serve ~rate:8000.0 ~ms:800.0 () in
+  let t = Server.totals srv in
+  let sp = t.Server.spans in
+  check ci "one span per completed request" t.Server.completed sp.Span.count;
+  check ci "aggregate blame sums to aggregate e2e" sp.Span.sum_e2e
+    (Span.blame_total sp.Span.sum);
+  List.iter
+    (fun (s : Span.t) ->
+      check ci
+        (Printf.sprintf "rid %d blame sums to e2e" s.Span.route.Span.rid)
+        (Span.e2e_cycles s)
+        (Span.blame_total s.Span.blame))
+    sp.Span.worst
+
+let test_worst_spans_ordered () =
+  let _, srv, _ = serve ~rate:8000.0 ~ms:800.0 () in
+  let sp = (Server.totals srv).Server.spans in
+  check cb "worst list bounded" true (List.length sp.Span.worst <= 32);
+  let rec desc = function
+    | a :: (b :: _ as rest) ->
+        (Span.e2e_cycles a > Span.e2e_cycles b
+        || Span.e2e_cycles a = Span.e2e_cycles b
+           && a.Span.route.Span.rid < b.Span.route.Span.rid)
+        && desc rest
+    | _ -> true
+  in
+  check cb "worst-first, rid tie-break" true (desc sp.Span.worst)
+
+let test_exemplar_reservoir_bounds () =
+  let _, srv, _ = serve ~rate:8000.0 ~ms:800.0 () in
+  let sp = (Server.totals srv).Server.spans in
+  let per_decade = Array.make 8 0 in
+  List.iter
+    (fun (d, s) ->
+      check cb "decade in range" true (d >= 0 && d < 6);
+      per_decade.(d) <- per_decade.(d) + 1;
+      check ci "exemplar satisfies the identity" (Span.e2e_cycles s)
+        (Span.blame_total s.Span.blame))
+    sp.Span.exemplars;
+  Array.iter (fun n -> check cb "at most R per decade" true (n <= 4))
+    per_decade
+
+let test_span_merge_identity () =
+  (* Merging two summaries keeps the identity and adds the counts. *)
+  let run seed =
+    let _, srv, _ = serve ~rate:6000.0 ~ms:400.0 ~seed () in
+    (Server.totals srv).Server.spans
+  in
+  let a = run 1 and b = run 2 in
+  let m = Span.merge a b in
+  check ci "merged count adds" (a.Span.count + b.Span.count) m.Span.count;
+  check ci "merged sums add" (a.Span.sum_e2e + b.Span.sum_e2e) m.Span.sum_e2e;
+  check ci "merged blame conserves" m.Span.sum_e2e
+    (Span.blame_total m.Span.sum);
+  check cb "merged worst bounded" true (List.length m.Span.worst <= 32)
 
 (* --------------------- delays and degradation ---------------------- *)
 
@@ -492,6 +557,17 @@ let () =
             test_stw_tail_exceeds_cgc;
           Alcotest.test_case "reset discards warmup" `Quick
             test_reset_discards_warmup;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "blame conservation" `Quick
+            test_blame_conservation;
+          Alcotest.test_case "worst spans ordered" `Quick
+            test_worst_spans_ordered;
+          Alcotest.test_case "exemplar reservoir bounds" `Quick
+            test_exemplar_reservoir_bounds;
+          Alcotest.test_case "merge keeps the identity" `Quick
+            test_span_merge_identity;
         ] );
       ( "chaos-support",
         [
