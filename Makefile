@@ -25,6 +25,14 @@ ART ?= _artifacts
 # host noise.
 PERF_MIN_EPS ?= 10000
 
+# Ratio gate for `make perf-smoke`: minimum hostSpeedupVsPr8 (this
+# build's whole-matrix events/sec over the committed PR 8 baseline's).
+# 0.9 tolerates host noise while catching a real slowdown vs the
+# baseline recorded in bench/baselines/.  On hosts that are not
+# comparable to the baseline machine, lower it (CI does) or set
+# CGC_BASELINE= to skip the comparison entirely.
+PERF_MIN_RATIO ?= 0.9
+
 all: build
 
 build:
@@ -74,7 +82,7 @@ fuzz: build
 
 # Full benchmark matrix (workloads x thread counts x tracing rates,
 # plus serve and sharded-cluster cells), every VM cell traced and
-# profiled.  Writes BENCH_PR8.json (schema cgcsim-bench-v1) plus a
+# profiled.  Writes BENCH_PR9.json (schema cgcsim-bench-v1) plus a
 # Chrome trace of cell 0; fails if any cell dropped trace events to
 # ring overflow.  JOBS=N runs the cells on N OCaml domains — simulated
 # results are identical at every N, only the host* timing fields
@@ -82,7 +90,7 @@ fuzz: build
 bench: build
 	mkdir -p $(ART)
 	dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	  --out $(ART)/BENCH_PR8.json --trace-out $(ART)/bench-cell0.trace.json
+	  --out $(ART)/BENCH_PR9.json --trace-out $(ART)/bench-cell0.trace.json
 
 # Shrunk matrix for CI (<60 s): one SPECjbb cell, one pBOB cell, one
 # serve cell and one cluster cell, then the offline analyzer re-reads
@@ -90,7 +98,7 @@ bench: build
 bench-smoke: build
 	mkdir -p $(ART)
 	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	  --out $(ART)/BENCH_PR8.json --trace-out $(ART)/bench-cell0.trace.json
+	  --out $(ART)/BENCH_PR9.json --trace-out $(ART)/bench-cell0.trace.json
 	dune exec bin/cgcsim.exe -- analyze \
 	  --trace $(ART)/bench-cell0.trace.json --fail-on-drops
 
@@ -192,28 +200,53 @@ chaos-smoke: build
 	  fi
 	@echo "chaos smoke OK: chaos campaigns deterministic, exit-7 gate fires"
 
-# Host-throughput floor: run the fast bench matrix and fail if the
-# whole-matrix hostEventsPerSec (observability events emitted per host
-# second — the one deliberately non-deterministic family of fields)
-# falls below PERF_MIN_EPS.  Catches large regressions in the hot
-# emit/trace path without being flaky on a noisy host.
+# Host-throughput gates: run the fast bench matrix and fail if
+#   (a) the whole-matrix hostEventsPerSec (observability events emitted
+#       per host second — the one deliberately non-deterministic family
+#       of fields) falls below the absolute PERF_MIN_EPS floor, or
+#   (b) hostSpeedupVsPr8 (this build vs the committed PR 8 baseline in
+#       bench/baselines/) falls below PERF_MIN_RATIO.
+# The fast matrix takes ~2 s, so a single sample sees +/-20% host
+# noise; the gate therefore takes the best of up to three runs and
+# fails only when all three miss.  The ratio gate is skipped — with a
+# note — when the comparison was disabled via CGC_BASELINE= or the
+# baseline file is absent.
 perf-smoke: build
-	mkdir -p $(ART)
-	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	  --out $(ART)/BENCH_PR8.json --trace-out $(ART)/perf-cell0.trace.json
-	@eps=$$(sed -n 's/.*"hostEventsPerSec": \([0-9.]*\).*/\1/p' \
-	  $(ART)/BENCH_PR8.json | head -n 1); \
-	if [ -z "$$eps" ]; then \
-	  echo "perf-smoke: hostEventsPerSec missing from BENCH_PR8.json"; \
-	  exit 1; \
-	fi; \
-	ok=$$(awk -v e="$$eps" -v m="$(PERF_MIN_EPS)" \
-	  'BEGIN { print (e + 0 >= m + 0) ? 1 : 0 }'); \
-	if [ "$$ok" -ne 1 ]; then \
-	  echo "perf-smoke: $$eps host events/s is below the $(PERF_MIN_EPS) floor"; \
-	  exit 1; \
-	fi; \
-	echo "perf smoke OK: $$eps host events/s (floor $(PERF_MIN_EPS))"
+	@mkdir -p $(ART); \
+	attempt=0; eps=; ratio=; \
+	while [ $$attempt -lt 3 ]; do \
+	  attempt=$$((attempt + 1)); \
+	  CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix --jobs $(JOBS) \
+	    --out $(ART)/BENCH_PR9.json \
+	    --trace-out $(ART)/perf-cell0.trace.json > /dev/null; \
+	  eps=$$(sed -n 's/.*"hostEventsPerSec": \([0-9.]*\).*/\1/p' \
+	    $(ART)/BENCH_PR9.json | head -n 1); \
+	  if [ -z "$$eps" ]; then \
+	    echo "perf-smoke: hostEventsPerSec missing from BENCH_PR9.json"; \
+	    exit 1; \
+	  fi; \
+	  ok=$$(awk -v e="$$eps" -v m="$(PERF_MIN_EPS)" \
+	    'BEGIN { print (e + 0 >= m + 0) ? 1 : 0 }'); \
+	  ratio=$$(sed -n 's/.*"hostSpeedupVsPr8": \([0-9.]*\).*/\1/p' \
+	    $(ART)/BENCH_PR9.json | head -n 1); \
+	  if [ -n "$$ratio" ]; then \
+	    rok=$$(awk -v r="$$ratio" -v m="$(PERF_MIN_RATIO)" \
+	      'BEGIN { print (r + 0 >= m + 0) ? 1 : 0 }'); \
+	  else \
+	    rok=1; \
+	  fi; \
+	  if [ "$$ok" -eq 1 ] && [ "$$rok" -eq 1 ]; then \
+	    if [ -n "$$ratio" ]; then \
+	      echo "perf smoke OK: $$eps host events/s (floor $(PERF_MIN_EPS)), $$ratio x vs PR 8 baseline (min $(PERF_MIN_RATIO)), attempt $$attempt"; \
+	    else \
+	      echo "perf smoke OK: $$eps host events/s (floor $(PERF_MIN_EPS)); no baseline — ratio gate skipped"; \
+	    fi; \
+	    exit 0; \
+	  fi; \
+	  echo "perf-smoke: attempt $$attempt below gate ($$eps ev/s, ratio $${ratio:-n/a}) — retrying"; \
+	done; \
+	echo "perf-smoke: all 3 attempts below the gates (last: $$eps ev/s vs floor $(PERF_MIN_EPS), ratio $${ratio:-n/a} vs min $(PERF_MIN_RATIO))"; \
+	exit 1
 
 # Tail-forensics smoke: the same chaos campaign at --jobs 1 and
 # --jobs 4 must produce byte-identical fleet reports, timelines, and

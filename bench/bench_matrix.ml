@@ -178,7 +178,8 @@ let sampler_json vm =
 let cell_json c vm srv =
   let o = Vm.obs vm in
   let a =
-    Analysis.analyse ~cycles_per_us:(Vm.cycles_per_us vm) (Obs.events o)
+    Analysis.analyse_events ~cycles_per_us:(Vm.cycles_per_us vm)
+      (Obs.events_array o)
   in
   let bal = a.Analysis.balance and p = a.Analysis.pauses in
   let json =
@@ -249,7 +250,54 @@ type cell_result = {
   host_ms : float;
 }
 
-let run ?(out = "BENCH_PR8.json") ?trace_out ?(jobs = 1) () =
+(* The committed PR 8 baseline this build is compared against.  The
+   full and fast matrices run different sweeps, so each carries its own
+   baseline file; [CGC_BASELINE] overrides the path (set it to an empty
+   string to skip the comparison, e.g. on CI hosts whose absolute speed
+   is not comparable to the machine that recorded the baseline). *)
+let baseline_path () =
+  match Sys.getenv_opt "CGC_BASELINE" with
+  | Some p -> if p = "" then None else Some p
+  | None ->
+      Some
+        (if Cgc_experiments.Common.quick () then
+           "bench/baselines/BENCH_PR8.fast.json"
+         else "bench/baselines/BENCH_PR8.json")
+
+(* Pull one "key": <float> field out of a baseline document without a
+   JSON parser: the files are machine-written by [Json.to_string], so a
+   textual scan for the quoted key is reliable. *)
+let scan_float_field path key =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    let needle = "\"" ^ key ^ "\":" in
+    let nlen = String.length needle in
+    let rec find i =
+      if i + nlen > len then None
+      else if String.sub s i nlen = needle then begin
+        let j = ref (i + nlen) in
+        while !j < len && (s.[!j] = ' ' || s.[!j] = '\n') do incr j done;
+        let k = ref !j in
+        while
+          !k < len
+          && (match s.[!k] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr k
+        done;
+        float_of_string_opt (String.sub s !j (!k - !j))
+      end
+      else find (i + 1)
+    in
+    find 0
+  end
+
+let run ?(out = "BENCH_PR9.json") ?trace_out ?(jobs = 1) () =
   Cgc_experiments.Common.hdr "Benchmark matrix (cgcsim-bench-v1)";
   let cells = matrix () in
   let ncells = List.length cells in
@@ -388,25 +436,66 @@ let run ?(out = "BENCH_PR8.json") ?trace_out ?(jobs = 1) () =
       1000.0 *. float_of_int total_emitted /. host_wall_ms
     else 0.0
   in
+  (* Compare against the committed PR 8 baseline recorded on the same
+     matrix.  Both extra fields are host-prefixed, so determinism diffs
+     drop them along with the other wall-clock fields. *)
+  let baseline_eps =
+    match baseline_path () with
+    | None -> None
+    | Some p -> scan_float_field p "hostEventsPerSec"
+  in
+  let speedup_fields =
+    match baseline_eps with
+    | Some b when b > 0.0 ->
+        [
+          ("hostBaselineEventsPerSec", Json.Float b);
+          ("hostSpeedupVsPr8", Json.Float (host_events_per_s /. b));
+        ]
+    | _ -> []
+  in
   let doc =
     Json.Obj
-      [
-        ("schema", Json.Str bench_schema);
-        ("fast", Json.Bool (Cgc_experiments.Common.quick ()));
-        (* Host-timing fields all start with "host" so a determinism
-           diff can drop them with one grep filter on the key prefix. *)
-        ("hostJobs", Json.Int (max 1 jobs));
-        ("hostWallMs", Json.Float host_wall_ms);
-        ("hostSerialEstMs", Json.Float host_serial_ms);
-        ("hostEventsPerSec", Json.Float host_events_per_s);
-        ( "hostSpeedup",
-          Json.Float
-            (if host_wall_ms > 0.0 then host_serial_ms /. host_wall_ms else 0.0)
-        );
-        ("cells", Json.Arr (List.map (fun r -> r.json) results));
-      ]
+      ([
+         ("schema", Json.Str bench_schema);
+         ("fast", Json.Bool (Cgc_experiments.Common.quick ()));
+         (* Host-timing fields all start with "host" so a determinism
+            diff can drop them with one grep filter on the key prefix. *)
+         ("hostJobs", Json.Int (max 1 jobs));
+         ("hostWallMs", Json.Float host_wall_ms);
+         ("hostSerialEstMs", Json.Float host_serial_ms);
+         ("hostEventsPerSec", Json.Float host_events_per_s);
+         ( "hostSpeedup",
+           Json.Float
+             (if host_wall_ms > 0.0 then host_serial_ms /. host_wall_ms
+              else 0.0) );
+       ]
+      @ speedup_fields
+      @ [ ("cells", Json.Arr (List.map (fun r -> r.json) results)) ])
   in
   Cgc_obs.Export.write_file out (Json.to_string ~pretty:true doc);
+  (match baseline_eps with
+  | Some b when b > 0.0 ->
+      let ratio = host_events_per_s /. b in
+      let table =
+        Printf.sprintf
+          "# Benchmark matrix: before / after\n\n\
+           | | PR 8 baseline | this build |\n\
+           |---|---|---|\n\
+           | host events/sec | %.0f | %.0f |\n\
+           | matrix wall | %.1f s | %.1f s |\n\n\
+           Speedup vs committed baseline: **%.2fx** (`hostSpeedupVsPr8`).\n\
+           Simulated outputs are byte-identical; only host-prefixed\n\
+           wall-clock fields differ between the two runs.\n"
+          b host_events_per_s
+          (1000.0 *. float_of_int total_emitted /. b /. 1000.0)
+          (host_wall_ms /. 1000.0)
+          ratio
+      in
+      let table_path = Filename.concat (Filename.dirname out) "PERF_TABLE.md" in
+      Cgc_obs.Export.write_file table_path table;
+      Printf.printf "speedup vs PR 8 baseline: %.2fx (table in %s)\n%!" ratio
+        table_path
+  | _ -> ());
   Printf.printf
     "benchmark matrix written to %s (%.1f s wall, %.1f s serial estimate, \
      %.2fx)\n"

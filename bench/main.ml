@@ -142,7 +142,7 @@ let targets : (string * (unit -> unit)) list =
   ]
 
 (* --out / --trace-out / --jobs for the matrix target. *)
-let matrix_out = ref "BENCH_PR8.json"
+let matrix_out = ref "BENCH_PR9.json"
 let matrix_trace_out : string option ref = ref None
 let jobs = ref 1
 

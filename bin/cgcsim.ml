@@ -364,7 +364,7 @@ let analyze_cmd =
             exit Exit_codes.usage)
     in
     let finish ~label ~emitted ~dropped events cycles_per_us =
-      let a = Analysis.analyse ?mmu_windows_ms ~cycles_per_us events in
+      let a = Analysis.analyse_events ?mmu_windows_ms ~cycles_per_us events in
       print_string (Prof_report.summary ~dropped a);
       (match json_out with
       | Some file ->
@@ -396,7 +396,8 @@ let analyze_cmd =
           exit Exit_codes.schema
       | Ok (meta, events) ->
           finish ~label ~emitted:meta.Export.emitted
-            ~dropped:meta.Export.dropped events meta.Export.cycles_per_us
+            ~dropped:meta.Export.dropped (Array.of_list events)
+            meta.Export.cycles_per_us
     in
     (* Expand a cluster --trace-out prefix into its per-incarnation
        trace files, sorted so the order is deterministic. *)
@@ -586,7 +587,7 @@ let analyze_cmd =
         in
         let o = Vm.obs vm in
         finish ~label:w ~emitted:(Obs.emitted o) ~dropped:(Obs.dropped o)
-          (Obs.events o) (Vm.cycles_per_us vm)
+          (Obs.events_array o) (Vm.cycles_per_us vm)
     | _ ->
         Printf.eprintf
           "cgcsim: analyze needs exactly one of --trace FILE, --report FILE, \

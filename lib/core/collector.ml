@@ -920,12 +920,16 @@ let rec alloc t (m : Mctx.t) ~nrefs ~size =
         a
   end
   else
-    match Heap.cache_alloc t.hp m.Mctx.cache ~size ~nrefs ~mark_new:(mark_new t) with
-    | Some a ->
-        note_black t size;
-        account t m size;
-        a
-    | None ->
+    let a =
+      Heap.cache_alloc_addr t.hp m.Mctx.cache ~size ~nrefs
+        ~mark_new:(mark_new t)
+    in
+    if a <> Heap.no_addr then begin
+      note_black t size;
+      account t m size;
+      a
+    end
+    else begin
         (* Slow path.  Retire (and publish) the old cache first so that
            the stack scan performed by the increment can validate this
            thread's objects through their allocation bits. *)
@@ -938,6 +942,7 @@ let rec alloc t (m : Mctx.t) ~nrefs ~size =
               if try_refill t m ~min:size then Some () else None);
           alloc t m ~nrefs ~size
         end
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Background tracing threads                                          *)

@@ -25,6 +25,12 @@ type t = {
   mutable retraced : int;
   mutable overflows : int;
   mutable corrupt : int;
+  mutable scratch_safe : int array;
+  mutable scratch_unsafe : int array;
+      (* reusable partition buffers for [acquire_input]'s allocation-bit
+         filter; grown to packet capacity on first use.  Safe to share
+         across the (self-)recursive calls: the recursion only happens
+         after both buffers have been fully drained back into packets. *)
 }
 
 let create cfg heap pl =
@@ -39,6 +45,8 @@ let create cfg heap pl =
     retraced = 0;
     overflows = 0;
     corrupt = 0;
+    scratch_safe = [||];
+    scratch_unsafe = [||];
   }
 
 let pool t = t.pl
@@ -102,23 +110,27 @@ let rec acquire_input ?(tries = 3) t =
         else begin
           let abits = Heap.alloc_bits t.heap in
           let n = Packet.count p in
-          let safe = Array.make (max n 1) 0 and nsafe = ref 0 in
-          let unsafe = Array.make (max n 1) 0 and nunsafe = ref 0 in
+          if Array.length t.scratch_safe < n then begin
+            t.scratch_safe <- Array.make n 0;
+            t.scratch_unsafe <- Array.make n 0
+          end;
+          let safe = t.scratch_safe and nsafe = ref 0 in
+          let unsafe = t.scratch_unsafe and nunsafe = ref 0 in
           (* Step 2 of the protocol: test allocation bits, partitioning. *)
           let rec drain () =
-            match Pool.pop t.pl p with
-            | None -> ()
-            | Some v ->
-                Machine.charge t.mach t.mach.Machine.cost.Cost.trace_slot;
-                if Alloc_bits.is_set abits v then begin
-                  safe.(!nsafe) <- v;
-                  incr nsafe
-                end
-                else begin
-                  unsafe.(!nunsafe) <- v;
-                  incr nunsafe
-                end;
-                drain ()
+            let v = Pool.pop_raw t.pl p in
+            if v <> Pool.no_entry then begin
+              Machine.charge t.mach t.mach.Machine.cost.Cost.trace_slot;
+              if Alloc_bits.is_set abits v then begin
+                safe.(!nsafe) <- v;
+                incr nsafe
+              end
+              else begin
+                unsafe.(!nunsafe) <- v;
+                incr nunsafe
+              end;
+              drain ()
+            end
           in
           drain ();
           (* Step 3: fence, ordering the bit loads before the traces. *)
@@ -287,23 +299,32 @@ let scan_object t s ~retrace addr =
     let nrefs = Arena.nrefs_of arena addr in
     let c = t.mach.Machine.cost in
     Machine.charge t.mach (c.Cost.trace_obj + (nrefs * c.Cost.trace_slot));
-    for i = 0 to nrefs - 1 do
-      let child = Arena.ref_get arena addr i in
-      if child <> 0 then
-        (* Do not read the child's header here: it may be a freshly
-           allocated object whose initialising stores are not visible yet.
-           Push the address; its header is examined only when it is popped
-           for scanning, after the section 5.2 allocation-bit filter has
-           declared it safe. *)
-        if Arena.in_heap arena child then begin
-          (match t.compact with
-          | Some cp when Compact.in_area cp child ->
-              Compact.record_ref cp ~parent:addr ~idx:i ~child
-          | _ -> ());
-          push_obj t s child
-        end
-        else t.corrupt <- t.corrupt + 1
-    done;
+    (* Do not read a child's header here: it may be a freshly allocated
+       object whose initialising stores are not visible yet.  Push the
+       address; its header is examined only when it is popped for
+       scanning, after the section 5.2 allocation-bit filter has declared
+       it safe.  The compactor test is hoisted out of the loop: most
+       cycles run with no compactor armed, and this loop is the hottest
+       in the simulator. *)
+    (match t.compact with
+    | None ->
+        for i = 0 to nrefs - 1 do
+          let child = Arena.ref_get arena addr i in
+          if child <> 0 then
+            if Arena.in_heap arena child then push_obj t s child
+            else t.corrupt <- t.corrupt + 1
+        done
+    | Some cp ->
+        for i = 0 to nrefs - 1 do
+          let child = Arena.ref_get arena addr i in
+          if child <> 0 then
+            if Arena.in_heap arena child then begin
+              if Compact.in_area cp child then
+                Compact.record_ref cp ~parent:addr ~idx:i ~child;
+              push_obj t s child
+            end
+            else t.corrupt <- t.corrupt + 1
+        done);
     if retrace then t.retraced <- t.retraced + size
     else t.marked <- t.marked + size;
     size
@@ -317,14 +338,14 @@ let trace_until t s ~budget =
     else
       match input_with_work t s with
       | None -> continue := false
-      | Some p -> (
-          match Pool.pop t.pl p with
-          | None -> ()
-          | Some addr ->
-              traced := !traced + scan_object t s ~retrace:false addr;
-              (* Safe point: spend the accumulated cycle debt.  Preemption
-                 can only happen here, between whole-object scans. *)
-              Machine.flush t.mach)
+      | Some p ->
+          let addr = Pool.pop_raw t.pl p in
+          if addr <> Pool.no_entry then begin
+            traced := !traced + scan_object t s ~retrace:false addr;
+            (* Safe point: spend the accumulated cycle debt.  Preemption
+               can only happen here, between whole-object scans. *)
+            Machine.flush t.mach
+          end
   done;
   Machine.flush t.mach;
   !traced

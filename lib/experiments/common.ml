@@ -236,9 +236,9 @@ let pbob ~label ~gc ~warehouses ?terminals ?heap_mb ?think_mean ?residency_at
        ?residency_at ?warmup_ms ?ms ?seed ())
 
 let analyse_trace ?mmu_windows_ms vm =
-  Cgc_prof.Analysis.analyse ?mmu_windows_ms
+  Cgc_prof.Analysis.analyse_events ?mmu_windows_ms
     ~cycles_per_us:(Vm.cycles_per_us vm)
-    (Cgc_obs.Obs.events (Vm.obs vm))
+    (Cgc_obs.Obs.events_array (Vm.obs vm))
 
 let hdr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

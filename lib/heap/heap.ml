@@ -66,8 +66,10 @@ let publish t cache =
       List.iter (fun addr -> Alloc_bits.set t.abits addr) objs;
       cache.objs <- [])
 
-let cache_alloc t cache ~size ~nrefs ~mark_new =
-  if cache.cur + size > cache.limit then None
+let no_addr = -1
+
+let cache_alloc_addr t cache ~size ~nrefs ~mark_new =
+  if cache.cur + size > cache.limit then no_addr
   else begin
     let addr = cache.cur in
     cache.cur <- addr + size;
@@ -81,8 +83,12 @@ let cache_alloc t cache ~size ~nrefs ~mark_new =
     | Naive ->
         Machine.fence t.mach Fence.Naive_alloc;
         Alloc_bits.set t.abits addr);
-    Some addr
+    addr
   end
+
+let cache_alloc t cache ~size ~nrefs ~mark_new =
+  let a = cache_alloc_addr t cache ~size ~nrefs ~mark_new in
+  if a = no_addr then None else Some a
 
 let retire_cache t cache =
   publish t cache;

@@ -59,6 +59,16 @@ val cache_alloc :
     The allocation bit is {e not} set yet — it is published in a batch
     when the cache is retired. *)
 
+val no_addr : int
+(** Sentinel returned by {!cache_alloc_addr} on cache exhaustion ([-1],
+    never a valid slot address). *)
+
+val cache_alloc_addr :
+  t -> cache -> size:int -> nrefs:int -> mark_new:bool -> int
+(** Allocation-free {!cache_alloc}: the address, or {!no_addr} when the
+    cache is exhausted.  The mutator allocation fast path runs millions
+    of times per cell, so the [Some] box per object was measurable. *)
+
 val refill_cache : t -> cache -> min:int -> pref:int -> bool
 (** Retire the current cache (publish allocation bits behind one fence)
     and install a fresh extent of at least [min] and preferably [pref]

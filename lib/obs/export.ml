@@ -8,30 +8,40 @@ type trace_meta = {
   dropped : int;
 }
 
+let add_event b ~cycles_per_us i (e : Event.t) =
+  if i > 0 then Buffer.add_char b ',';
+  Buffer.add_string b "\n{\"name\":\"";
+  Buffer.add_string b (Event.name e.code);
+  Buffer.add_string b "\",\"cat\":\"";
+  Buffer.add_string b (Event.cat e.code);
+  if Event.instant e then
+    (* Thread-scoped instant event. *)
+    Buffer.add_string b "\",\"ph\":\"i\",\"s\":\"t\""
+  else begin
+    Buffer.add_string b "\",\"ph\":\"X\",\"dur\":";
+    Buffer.add_string b (Printf.sprintf "%.3f" (us ~cycles_per_us e.dur))
+  end;
+  Buffer.add_string b
+    (Printf.sprintf ",\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"v\":%d}}"
+       (us ~cycles_per_us e.ts) e.tid e.arg)
+
+let chrome_header ~cycles_per_us ~emitted ~dropped =
+  Printf.sprintf
+    "{\"displayTimeUnit\":\"ms\",\"cgcSchema\":\"%s\",\"cyclesPerUs\":%.3f,\"emitted\":%d,\"dropped\":%d,\"traceEvents\":["
+    trace_schema cycles_per_us emitted dropped
+
 let chrome_json ?(emitted = 0) ?(dropped = 0) ~cycles_per_us events =
   let b = Buffer.create 65536 in
-  Buffer.add_string b
-    (Printf.sprintf
-       "{\"displayTimeUnit\":\"ms\",\"cgcSchema\":\"%s\",\"cyclesPerUs\":%.3f,\"emitted\":%d,\"dropped\":%d,\"traceEvents\":["
-       trace_schema cycles_per_us emitted dropped);
-  List.iteri
-    (fun i (e : Event.t) ->
-      if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b "\n{\"name\":\"";
-      Buffer.add_string b (Event.name e.code);
-      Buffer.add_string b "\",\"cat\":\"";
-      Buffer.add_string b (Event.cat e.code);
-      if Event.instant e then
-        (* Thread-scoped instant event. *)
-        Buffer.add_string b "\",\"ph\":\"i\",\"s\":\"t\""
-      else begin
-        Buffer.add_string b "\",\"ph\":\"X\",\"dur\":";
-        Buffer.add_string b (Printf.sprintf "%.3f" (us ~cycles_per_us e.dur))
-      end;
-      Buffer.add_string b
-        (Printf.sprintf ",\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"v\":%d}}"
-           (us ~cycles_per_us e.ts) e.tid e.arg))
-    events;
+  Buffer.add_string b (chrome_header ~cycles_per_us ~emitted ~dropped);
+  List.iteri (add_event b ~cycles_per_us) events;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let chrome_json_events ?(emitted = 0) ?(dropped = 0) ~cycles_per_us
+    (events : Event.t array) =
+  let b = Buffer.create (65536 + (96 * Array.length events)) in
+  Buffer.add_string b (chrome_header ~cycles_per_us ~emitted ~dropped);
+  Array.iteri (add_event b ~cycles_per_us) events;
   Buffer.add_string b "\n]}\n";
   Buffer.contents b
 

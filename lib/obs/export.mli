@@ -38,6 +38,12 @@ val chrome_json :
     [dropped] (default 0) are recorded in the header so analysis of the
     file can report how much history the rings lost. *)
 
+val chrome_json_events :
+  ?emitted:int -> ?dropped:int -> cycles_per_us:float -> Event.t array -> string
+(** {!chrome_json} over the flat array {!Cgc_obs.Obs.events_array}
+    produces — identical output bytes, without building a list of the
+    whole trace first. *)
+
 val parse_chrome_json : string -> (trace_meta * Event.t list, string) result
 (** Strict inverse of {!chrome_json}: recovers the integer cycle
     timestamps (exact for [cycles_per_us < 2000]) and typed codes.

@@ -60,5 +60,11 @@ val events : t -> Event.t list
 (** Every surviving event, sorted by timestamp; ties broken by thread id
     then emission order, so the result is deterministic. *)
 
+val events_array : t -> Event.t array
+(** {!events} as a flat array (same contents, same order).  The analysis
+    and export passes prefer this form: one contiguous array of records
+    sorts and scans several times faster than a list of the same
+    length. *)
+
 val clear : t -> unit
 (** Drop all recorded events (e.g. after a warm-up window). *)

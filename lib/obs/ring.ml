@@ -1,38 +1,107 @@
+(* Events are stored as parallel scalar arrays rather than an array of
+   Event.t records: [add_fields] is then five unboxed stores (code is a
+   constant-constructor variant, i.e. an immediate), so an armed sink
+   allocates nothing per event.  The write cursor wraps by compare
+   instead of [mod], which costs a hardware division per event and is
+   why the previous implementation wanted power-of-two capacities;
+   compare-wrap is division-free at every capacity.
+
+   Storage is grown geometrically up to [cap] as events actually arrive:
+   rings are preallocated per simulated thread and most threads emit far
+   fewer events than the configured capacity (a pBOB cell spreads a few
+   hundred thousand events over hundreds of terminal threads), so
+   eagerly sizing every ring to capacity would cost hundreds of
+   megabytes of zeroed arrays per cell.  The cursor only wraps once
+   [total] reaches [cap], by which point the arrays are at full size, so
+   growth never moves a wrapped ring.  Records are only materialised by
+   the cold read-side ([iter]/[to_list]). *)
+
 type t = {
-  buf : Event.t array;
-  mutable start : int; (* index of the oldest event *)
-  mutable len : int;
-  mutable lost : int;
+  cap : int;
+  mutable size : int; (* current physical array size, <= cap *)
+  mutable ts : int array;
+  mutable dur : int array;
+  mutable tid : int array;
+  mutable arg : int array;
+  mutable code : Event.code array;
+  mutable pos : int; (* next write slot *)
+  mutable total : int; (* events ever added since the last clear *)
 }
 
-let dummy =
-  { Event.ts = 0; dur = -1; tid = 0; code = Event.Cycle_start; arg = 0 }
+let initial_size cap = min cap 256
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
-  { buf = Array.make capacity dummy; start = 0; len = 0; lost = 0 }
+  let size = initial_size capacity in
+  {
+    cap = capacity;
+    size;
+    ts = Array.make size 0;
+    dur = Array.make size 0;
+    tid = Array.make size 0;
+    arg = Array.make size 0;
+    code = Array.make size Event.Cycle_start;
+    pos = 0;
+    total = 0;
+  }
 
-let capacity t = Array.length t.buf
+let capacity t = t.cap
 
-let add t e =
-  let cap = capacity t in
-  if t.len < cap then begin
-    t.buf.((t.start + t.len) mod cap) <- e;
-    t.len <- t.len + 1
-  end
-  else begin
-    t.buf.(t.start) <- e;
-    t.start <- (t.start + 1) mod cap;
-    t.lost <- t.lost + 1
-  end
+let grow t =
+  (* Event volume per ring is heavy-tailed: most threads never outgrow
+     the initial arrays, and a thread that does usually goes on to fill
+     the ring.  Jump 16x on the first growth and straight to [cap] on the
+     second, so a busy ring recopies its five arrays at most twice. *)
+  let size = if t.size = initial_size t.cap then min t.cap (16 * t.size) else t.cap in
+  let g (a : int array) =
+    let b = Array.make size 0 in
+    Array.blit a 0 b 0 t.size;
+    b
+  in
+  t.ts <- g t.ts;
+  t.dur <- g t.dur;
+  t.tid <- g t.tid;
+  t.arg <- g t.arg;
+  let c = Array.make size Event.Cycle_start in
+  Array.blit t.code 0 c 0 t.size;
+  t.code <- c;
+  t.size <- size
 
-let length t = t.len
-let dropped t = t.lost
+let add_fields t ~ts ~dur ~tid ~code ~arg =
+  let p = t.pos in
+  if p >= t.size then grow t;
+  t.ts.(p) <- ts;
+  t.dur.(p) <- dur;
+  t.tid.(p) <- tid;
+  t.arg.(p) <- arg;
+  t.code.(p) <- code;
+  let p1 = p + 1 in
+  t.pos <- (if p1 = t.cap then 0 else p1);
+  t.total <- t.total + 1
+
+let add t (e : Event.t) =
+  add_fields t ~ts:e.Event.ts ~dur:e.Event.dur ~tid:e.Event.tid
+    ~code:e.Event.code ~arg:e.Event.arg
+
+let length t = if t.total < t.cap then t.total else t.cap
+let dropped t = if t.total > t.cap then t.total - t.cap else 0
 
 let iter t f =
-  let cap = capacity t in
-  for i = 0 to t.len - 1 do
-    f t.buf.((t.start + i) mod cap)
+  let len = length t in
+  (* oldest surviving event: slot 0 until the ring wraps, then the next
+     slot to be overwritten *)
+  let start = if t.total <= t.cap then 0 else t.pos in
+  for i = 0 to len - 1 do
+    let j = start + i in
+    let j = if j >= t.cap then j - t.cap else j in
+    f
+      {
+        Event.ts = t.ts.(j);
+        dur = t.dur.(j);
+        tid = t.tid.(j);
+        code = t.code.(j);
+        arg = t.arg.(j);
+      }
   done
 
 let to_list t =
@@ -40,7 +109,27 @@ let to_list t =
   iter t (fun e -> out := e :: !out);
   List.rev !out
 
+(* Copy the surviving events, oldest first, into parallel destination
+   arrays starting at [pos]; returns the next free index.  Two segment
+   blits instead of a per-event record materialisation — this is how the
+   merged trace view assembles a few hundred thousand events without
+   boxing any of them. *)
+let blit_fields t ~ts ~dur ~tid ~arg ~code ~pos =
+  let len = length t in
+  let start = if t.total <= t.cap then 0 else t.pos in
+  let seg1 = min len (t.cap - start) in
+  let copy (src : int array) (dst : int array) =
+    Array.blit src start dst pos seg1;
+    if len > seg1 then Array.blit src 0 dst (pos + seg1) (len - seg1)
+  in
+  copy t.ts ts;
+  copy t.dur dur;
+  copy t.tid tid;
+  copy t.arg arg;
+  Array.blit t.code start code pos seg1;
+  if len > seg1 then Array.blit t.code 0 code (pos + seg1) (len - seg1);
+  pos + len
+
 let clear t =
-  t.start <- 0;
-  t.len <- 0;
-  t.lost <- 0
+  t.pos <- 0;
+  t.total <- 0

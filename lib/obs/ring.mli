@@ -17,6 +17,12 @@ val capacity : t -> int
 
 val add : t -> Event.t -> unit
 
+val add_fields :
+  t -> ts:int -> dur:int -> tid:int -> code:Event.code -> arg:int -> unit
+(** Like {!add} but takes the event's fields directly, so the armed hot
+    path never materialises an [Event.t] record: events live in the
+    ring as parallel scalar arrays and appends allocate nothing. *)
+
 val length : t -> int
 (** Events currently held (at most [capacity]). *)
 
@@ -27,5 +33,20 @@ val iter : t -> (Event.t -> unit) -> unit
 (** Oldest surviving event first. *)
 
 val to_list : t -> Event.t list
+
+val blit_fields :
+  t ->
+  ts:int array ->
+  dur:int array ->
+  tid:int array ->
+  arg:int array ->
+  code:Event.code array ->
+  pos:int ->
+  int
+(** Copy the surviving events (oldest first, same order as {!iter}) into
+    parallel destination arrays starting at index [pos]; returns the
+    index one past the last event written.  The destinations must have
+    room for {!length} more entries.  Used by the merged trace view to
+    assemble large traces without materialising per-event records. *)
 
 val clear : t -> unit

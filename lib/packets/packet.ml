@@ -44,6 +44,15 @@ let push t v =
     true
   end
 
+let no_entry = min_int
+
+let pop_raw t =
+  if t.n = 0 then no_entry
+  else begin
+    t.n <- t.n - 1;
+    read t t.n
+  end
+
 let pop t =
   if t.n = 0 then None
   else begin

@@ -26,6 +26,15 @@ val pop : t -> int option
     system (a stale masked value can be returned in [Relaxed] mode when
     the producer failed to fence — that is the point). *)
 
+val no_entry : int
+(** Sentinel returned by {!pop_raw} on an empty packet ([min_int], which
+    is never a heap address). *)
+
+val pop_raw : t -> int
+(** Allocation-free {!pop}: the popped entry, or {!no_entry} when the
+    packet is empty.  The tracer drains packets one entry per simulated
+    object scan, so the [Some] box per {!pop} was measurable. *)
+
 val peek : t -> int option
 (** The entry {!pop} would return, without removing it — work packets let
     the tracer prefetch the next object because, unlike a mark stack's

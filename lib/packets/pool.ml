@@ -182,6 +182,13 @@ let counts t =
   (t.counters.(sp_empty), t.counters.(sp_nonempty), t.counters.(sp_almost),
    t.counters.(sp_deferred))
 
+let no_entry = Packet.no_entry
+
+let pop_raw t p =
+  let v = Packet.pop_raw p in
+  if v <> Packet.no_entry then t.n_entries <- t.n_entries - 1;
+  v
+
 let pop t p =
   match Packet.pop p with
   | None -> None

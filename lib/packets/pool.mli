@@ -74,6 +74,14 @@ val push : t -> Packet.t -> int -> bool
 val pop : t -> Packet.t -> int option
 (** Pop through the pool (keeps the entry watermark accurate). *)
 
+val no_entry : int
+(** Sentinel returned by {!pop_raw}; see {!Packet.no_entry}. *)
+
+val pop_raw : t -> Packet.t -> int
+(** Allocation-free {!pop}: the entry, or {!no_entry} when the packet is
+    empty.  Used by the tracer's drain loops, which pop one entry per
+    simulated object and were paying a [Some] box each time. *)
+
 val terminated : t -> bool
 (** Empty-pool counter equals the total packet count: no tracing work
     exists anywhere and no thread holds a non-empty packet. *)

@@ -75,7 +75,13 @@ type acc = {
   mutable a_defers : int;
 }
 
-let tracers_of ~cycles_per_ms events =
+(* All passes below walk a flat [Event.t array] — the form
+   {!Cgc_obs.Obs.events_array} produces — in index order, which is
+   exactly the order the list-based implementation walked, so every
+   float accumulation sees the same sequence and the results are
+   bit-identical.  The list entry points below are thin wrappers. *)
+
+let tracers_of ~cycles_per_ms (events : Event.t array) =
   let tbl : (int, acc) Hashtbl.t = Hashtbl.create 16 in
   let get tid =
     match Hashtbl.find_opt tbl tid with
@@ -89,7 +95,7 @@ let tracers_of ~cycles_per_ms events =
         Hashtbl.add tbl tid a;
         a
   in
-  List.iter
+  Array.iter
     (fun (e : Event.t) ->
       match e.code with
       | Event.Mut_increment ->
@@ -130,7 +136,7 @@ let tracers_of ~cycles_per_ms events =
 (* ------------------------------------------------------------------ *)
 (* Load balance: Table 4 from the event stream alone                   *)
 
-let balance_of ~cycles_per_ms events =
+let balance_of ~cycles_per_ms (events : Event.t array) =
   let tracers = tracers_of ~cycles_per_ms events in
   let spread f rows =
     (* Mean/stddev/CV across the mutator tracers only: background
@@ -153,7 +159,7 @@ let balance_of ~cycles_per_ms events =
      that collected at least two samples. *)
   let all = Stats.create () and fair = Stats.create () in
   let cycle = ref (Stats.create ()) in
-  List.iter
+  Array.iter
     (fun (e : Event.t) ->
       match e.code with
       | Event.Cycle_start -> cycle := Stats.create ()
@@ -184,8 +190,8 @@ let balance_of ~cycles_per_ms events =
 (* ------------------------------------------------------------------ *)
 (* Windowed mutator utilization (MMU)                                  *)
 
-let bounds events =
-  List.fold_left
+let bounds (events : Event.t array) =
+  Array.fold_left
     (fun (t0, t1) (e : Event.t) ->
       (min t0 e.ts, max t1 (e.ts + max 0 e.dur)))
     (max_int, min_int) events
@@ -226,23 +232,24 @@ let window_utils ~t0 ~t1 ~w ~n_mut ~stw ~incr =
         in
         Float.max 0.0 (Float.min 1.0 (1.0 -. stolen)))
 
-let spans_of code events =
-  List.filter_map
-    (fun (e : Event.t) ->
-      if e.code = code && e.dur > 0 then Some (e.ts, e.ts + e.dur) else None)
-    events
+let spans_of code (events : Event.t array) =
+  (* Right fold so the spans come out in index (i.e. timestamp) order,
+     matching what [List.filter_map] produced. *)
+  Array.fold_right
+    (fun (e : Event.t) acc ->
+      if e.code = code && e.dur > 0 then (e.ts, e.ts + e.dur) :: acc else acc)
+    events []
 
-let mutator_tids events =
+let mutator_tids (events : Event.t array) =
   List.sort_uniq compare
-    (List.filter_map
-       (fun (e : Event.t) ->
-         if e.code = Event.Mut_increment then Some e.tid else None)
-       events)
+    (Array.fold_right
+       (fun (e : Event.t) acc ->
+         if e.code = Event.Mut_increment then e.tid :: acc else acc)
+       events [])
 
-let utilization_timeline ~cycles_per_us ~window_ms events =
-  match events with
-  | [] -> []
-  | _ ->
+let timeline_of_array ~cycles_per_us ~window_ms (events : Event.t array) =
+  if Array.length events = 0 then []
+  else begin
       let cycles_per_ms = cycles_per_us *. 1000.0 in
       let t0, t1 = bounds events in
       let w = max 1 (int_of_float (window_ms *. cycles_per_ms)) in
@@ -255,18 +262,23 @@ let utilization_timeline ~cycles_per_us ~window_ms events =
            (fun k u ->
              (float_of_int (t0 + (k * w)) /. cycles_per_ms, u))
            utils)
+  end
+
+let utilization_timeline ~cycles_per_us ~window_ms events =
+  timeline_of_array ~cycles_per_us ~window_ms (Array.of_list events)
 
 (* ------------------------------------------------------------------ *)
 (* The full analysis                                                   *)
 
-let analyse ?(mmu_windows_ms = default_mmu_windows_ms) ~cycles_per_us events =
+let analyse_events ?(mmu_windows_ms = default_mmu_windows_ms) ~cycles_per_us
+    (events : Event.t array) =
   let cycles_per_ms = cycles_per_us *. 1000.0 in
-  let n_events = List.length events in
+  let n_events = Array.length events in
   let t0, t1 = if n_events = 0 then (0, 0) else bounds events in
   let wall_ms = float_of_int (t1 - t0) /. cycles_per_ms in
   (* Per-code phase attribution. *)
   let counts = Hashtbl.create 32 in
-  List.iter
+  Array.iter
     (fun (e : Event.t) ->
       let c, d =
         match Hashtbl.find_opt counts e.code with
@@ -286,7 +298,7 @@ let analyse ?(mmu_windows_ms = default_mmu_windows_ms) ~cycles_per_us events =
   in
   (* Pause distribution (exact nearest-rank percentiles). *)
   let ps = Stats.create () in
-  List.iter
+  Array.iter
     (fun (e : Event.t) ->
       if e.code = Event.Stw_pause && e.dur >= 0 then
         Stats.add ps (float_of_int e.dur /. cycles_per_ms))
@@ -324,8 +336,9 @@ let analyse ?(mmu_windows_ms = default_mmu_windows_ms) ~cycles_per_us events =
         mmu_windows_ms
   in
   let n_cycles =
-    List.length
-      (List.filter (fun (e : Event.t) -> e.code = Event.Cycle_end) events)
+    Array.fold_left
+      (fun acc (e : Event.t) -> if e.code = Event.Cycle_end then acc + 1 else acc)
+      0 events
   in
   {
     wall_ms;
@@ -337,3 +350,6 @@ let analyse ?(mmu_windows_ms = default_mmu_windows_ms) ~cycles_per_us events =
     pauses;
     mmu;
   }
+
+let analyse ?mmu_windows_ms ~cycles_per_us events =
+  analyse_events ?mmu_windows_ms ~cycles_per_us (Array.of_list events)

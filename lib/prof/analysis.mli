@@ -95,6 +95,16 @@ val analyse :
     [\[0,1\]]: stop-the-world time robs every mutator, a tracing
     increment robs only the mutator running it. *)
 
+val analyse_events :
+  ?mmu_windows_ms:float list ->
+  cycles_per_us:float ->
+  Cgc_obs.Event.t array ->
+  t
+(** {!analyse} over the flat array {!Cgc_obs.Obs.events_array} produces.
+    Identical results (every pass walks the same order); several times
+    faster on large traces, so the hot report/bench paths use this
+    form. *)
+
 val utilization_timeline :
   cycles_per_us:float ->
   window_ms:float ->

@@ -28,7 +28,7 @@ let root_set t i v = Mctx.root_set t.mc i v
 let root_get t i = Mctx.root_get t.mc i
 let n_roots t = Array.length t.mc.Mctx.roots
 
-let work _t n = Sched.consume n
+let work t n = Sched.consume_on t.sched n
 let think _t n = Sched.sleep n
 
 let tx_done t =
@@ -44,7 +44,7 @@ let tx_done t =
      ignore (alloc t ~nrefs:1 ~size:8)
    done;
    let stall = Fault.mutator_stall faults in
-   if stall > 0 then Sched.consume stall);
+   if stall > 0 then Sched.consume_on t.sched stall);
   t.on_tx ()
 
 let transactions t = t.txs

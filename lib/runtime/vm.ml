@@ -66,11 +66,16 @@ let create cfg =
   let mach =
     Machine.create ~wm ~obs
       ~now:(fun () -> Sched.now sc)
-      ~spend:Sched.consume
+      ~spend:(Sched.consume_on sc)
       ~cpu:(fun () -> Sched.thread_id (Sched.current sc))
       ~relinquish:Sched.yield ()
   in
-  Sched.on_advance sc (fun now -> Weakmem.commit_due wm ~now);
+  (* In [Sc] mode the store buffers are always empty and [commit_due] is a
+     no-op, so don't pay an indirect call per scheduler iteration for
+     it. *)
+  (match Weakmem.mode wm with
+  | Sc -> ()
+  | Relaxed -> Sched.on_advance sc (fun now -> Weakmem.commit_due wm ~now));
   (* Arm the fault injector: its windows are keyed on simulated time and
      its events go to this VM's sink.  A disabled injector ignores this. *)
   Fault.attach cfg.gc.Config.faults ~now:(fun () -> Sched.now sc) ~obs;
@@ -158,13 +163,13 @@ let enable_profiler ?(interval_ms = 0.25) t =
       let p = Sampler.create ~interval () in
       let fi = float_of_int in
       let count_threads prio states () =
-        fi
-          (List.length
-             (List.filter
-                (fun th ->
-                  Sched.thread_prio th = prio
-                  && List.mem (Sched.thread_state th) states)
-                (Sched.threads t.sc)))
+        let n = ref 0 in
+        Sched.iter_threads t.sc (fun th ->
+            if
+              Sched.thread_prio th = prio
+              && List.mem (Sched.thread_state th) states
+            then incr n);
+        fi !n
       in
       let probe name ?every fn = Sampler.add_probe p ~name ?every fn in
       probe "mutators-running"
@@ -199,8 +204,8 @@ let enable_profiler ?(interval_ms = 0.25) t =
 
 let trace_json t =
   let o = obs t in
-  Export.chrome_json ~emitted:(Obs.emitted o) ~dropped:(Obs.dropped o)
-    ~cycles_per_us:(cycles_per_us t) (Obs.events o)
+  Export.chrome_json_events ~emitted:(Obs.emitted o) ~dropped:(Obs.dropped o)
+    ~cycles_per_us:(cycles_per_us t) (Obs.events_array o)
 
 let write_trace t path = Export.write_file path (trace_json t)
 

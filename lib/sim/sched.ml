@@ -1,3 +1,5 @@
+module R = Cgc_util.Ringbuf
+
 type prio = High | Normal | Low
 
 type outcome = Finished | Preempted | Slept of int | Yielded
@@ -23,76 +25,75 @@ type thread = {
 
 type _ Effect.t +=
   | Consume : int -> unit Effect.t
+  | Preempt : unit Effect.t
   | Sleep : int -> unit Effect.t
   | Yield : unit Effect.t
 
-(* Min-heap of sleeping threads keyed by wake time. *)
-module Sleepq = struct
-  type t = { mutable a : thread array; mutable n : int }
+let dummy_thread =
+  { id = -1; name = "<dummy>"; prio = Low; st = Dead; wake_at = 0;
+    ready_at = 0; k = None; body = None; cycles = 0 }
 
-  let create dummy = { a = Array.make 32 dummy; n = 0 }
+(* Min-heap of sleeping threads keyed by wake time (shared kernel, see
+   Cgc_util.Minheap for the slot-hygiene contract). *)
+module Sleepq = Cgc_util.Minheap.Make (struct
+  type elt = thread
 
-  let is_empty h = h.n = 0
+  let key th = th.wake_at
+  let dummy = dummy_thread
+end)
 
-  let push h th =
-    if h.n = Array.length h.a then begin
-      let bigger = Array.make (2 * h.n) h.a.(0) in
-      Array.blit h.a 0 bigger 0 h.n;
-      h.a <- bigger
-    end;
-    let i = ref h.n in
-    h.n <- h.n + 1;
-    h.a.(!i) <- th;
-    let continue = ref true in
-    while !continue && !i > 0 do
-      let p = (!i - 1) / 2 in
-      if h.a.(p).wake_at > h.a.(!i).wake_at then begin
-        let tmp = h.a.(p) in
-        h.a.(p) <- h.a.(!i);
-        h.a.(!i) <- tmp;
-        i := p
-      end
-      else continue := false
-    done
+(* One priority level's runqueue: an index-based ring (no per-push cell
+   allocation, unlike the Queue it replaced) plus a cached lower bound on
+   the queued threads' ready times.  [ready_at] is immutable while a
+   thread is queued, so the cache is exact whenever [dirty] is false: it
+   is refreshed eagerly on push and invalidated only when a thread is
+   actually removed.  The in-place rotation [take_ready] performs leaves
+   the contents unchanged, so it does not touch the cache. *)
+type runq = {
+  q : thread R.t;
+  mutable cached_min : int; (* min ready_at of queued threads; exact unless dirty *)
+  mutable dirty : bool;
+}
 
-  let peek h = if h.n = 0 then None else Some h.a.(0)
+let runq_create () =
+  { q = R.create ~capacity:32 dummy_thread; cached_min = max_int; dirty = false }
 
-  let pop h =
-    let top = h.a.(0) in
-    h.n <- h.n - 1;
-    h.a.(0) <- h.a.(h.n);
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let s = ref !i in
-      if l < h.n && h.a.(l).wake_at < h.a.(!s).wake_at then s := l;
-      if r < h.n && h.a.(r).wake_at < h.a.(!s).wake_at then s := r;
-      if !s <> !i then begin
-        let tmp = h.a.(!s) in
-        h.a.(!s) <- h.a.(!i);
-        h.a.(!i) <- tmp;
-        i := !s
-      end
-      else continue := false
-    done;
-    top
-end
+let rq_push rq th =
+  R.push_back rq.q th;
+  if (not rq.dirty) && th.ready_at < rq.cached_min then
+    rq.cached_min <- th.ready_at
+
+let rec rq_min_scan q i n acc =
+  if i >= n then acc
+  else
+    let th = R.get q i in
+    rq_min_scan q (i + 1) n (if th.ready_at < acc then th.ready_at else acc)
+
+let rq_min rq =
+  if rq.dirty then begin
+    rq.cached_min <- rq_min_scan rq.q 0 (R.length rq.q) max_int;
+    rq.dirty <- false
+  end;
+  rq.cached_min
 
 type t = {
   n_cpus : int;
   quantum : int;
   dispatch : int;
   clock : int array;
-  runq_high : thread Queue.t;
-  runq_normal : thread Queue.t;
-  runq_low : thread Queue.t;
+  runq_high : runq;
+  runq_normal : runq;
+  runq_low : runq;
   sleepers : Sleepq.t;
+  mutable next_wake : int;
+      (* mirror of [Sleepq.min_key t.sleepers], so the per-iteration
+         "anything due?" test is one field compare.  Updated on every
+         sleeper push and after every drain. *)
   mutable live : int;
   mutable stopped : bool;
   mutable stop_at : int;
   mutable initiator : (thread * prio) option;
-  mutable cur : thread option;
+  mutable cur : thread; (* [dummy_thread] when no thread is running *)
   mutable run_base : int;
   mutable used : int;
   mutable next_id : int;
@@ -107,16 +108,13 @@ type t = {
          starve the background GC threads *absolutely* — unlike a real
          OS — and a preempted background thread could sit on work packets
          for a whole cycle, blocking termination detection. *)
-  mutable hooks : (int -> unit) list;
-      (* advance hooks, in installation order *)
+  mutable hooks : (int -> unit) array;
+      (* advance hooks, in installation order; an array so the per-
+         dispatch walk is a plain indexed loop with no closure allocation *)
   mutable all_threads : thread list;  (* every spawned thread, newest first *)
 }
 
 let low_boost_every = 64
-
-let dummy_thread =
-  { id = -1; name = "<dummy>"; prio = Low; st = Dead; wake_at = 0;
-    ready_at = 0; k = None; body = None; cycles = 0 }
 
 let create ?(quantum = 110_000) ?(dispatch = Cgc_smp.Cost.default.dispatch)
     ~ncpus () =
@@ -126,15 +124,16 @@ let create ?(quantum = 110_000) ?(dispatch = Cgc_smp.Cost.default.dispatch)
     quantum;
     dispatch;
     clock = Array.make ncpus 0;
-    runq_high = Queue.create ();
-    runq_normal = Queue.create ();
-    runq_low = Queue.create ();
-    sleepers = Sleepq.create dummy_thread;
+    runq_high = runq_create ();
+    runq_normal = runq_create ();
+    runq_low = runq_create ();
+    sleepers = Sleepq.create ();
+    next_wake = max_int;
     live = 0;
     stopped = false;
     stop_at = 0;
     initiator = None;
-    cur = None;
+    cur = dummy_thread;
     run_base = 0;
     used = 0;
     next_id = 0;
@@ -143,7 +142,7 @@ let create ?(quantum = 110_000) ?(dispatch = Cgc_smp.Cost.default.dispatch)
     idle = 0;
     busy = 0;
     low_skips = 0;
-    hooks = [];
+    hooks = [||];
     all_threads = [];
   }
 
@@ -153,9 +152,9 @@ let now t = t.run_base + t.used
 
 let enqueue t th =
   match th.prio with
-  | High -> Queue.push th t.runq_high
-  | Normal -> Queue.push th t.runq_normal
-  | Low -> Queue.push th t.runq_low
+  | High -> rq_push t.runq_high th
+  | Normal -> rq_push t.runq_normal th
+  | Low -> rq_push t.runq_low th
 
 let spawn t ~name ~prio body =
   let th =
@@ -169,13 +168,31 @@ let spawn t ~name ~prio body =
   th
 
 let consume n = if n > 0 then Effect.perform (Consume n)
+
+(* Direct-call twin of {!consume} for callers that hold the scheduler.
+   The simulation is cooperative and single-stacked: while a thread
+   runs, nothing else can observe scheduler state, so a charge that does
+   not cross the quantum boundary is a plain pair of field updates — no
+   continuation capture, no handler round-trip.  Only an actual
+   preemption suspends, via the [Preempt] effect, whose handler does
+   exactly what [Consume]'s over-quantum arm did. *)
+let consume_on t n =
+  if n > 0 then begin
+    let th = t.cur in
+    if th == dummy_thread then
+      invalid_arg "Sched.consume_on: no thread is running";
+    t.used <- t.used + n;
+    th.cycles <- th.cycles + n;
+    if t.used >= t.quantum then Effect.perform Preempt
+  end
+
 let sleep n = if n > 0 then Effect.perform (Sleep n) else Effect.perform Yield
 let yield () = Effect.perform Yield
 
 let current t =
-  match t.cur with
-  | Some th -> th
-  | None -> invalid_arg "Sched.current: no thread is running"
+  if t.cur == dummy_thread then
+    invalid_arg "Sched.current: no thread is running"
+  else t.cur
 
 let world_stopped t = t.stopped
 
@@ -186,11 +203,12 @@ let stop_the_world t =
   (* The initiating thread must remain schedulable while the world is
      stopped: it drives the collection.  Boost it to High for the
      duration. *)
-  match t.cur with
-  | Some th ->
-      t.initiator <- Some (th, th.prio);
-      th.prio <- High
-  | None -> t.initiator <- None
+  let th = t.cur in
+  if th == dummy_thread then t.initiator <- None
+  else begin
+    t.initiator <- Some (th, th.prio);
+    th.prio <- High
+  end
 
 let restart_world t =
   if not t.stopped then invalid_arg "Sched.restart_world: not stopped";
@@ -222,7 +240,7 @@ let stop_requested t = t.stop_flag
 let idle_cycles t = t.idle
 let busy_cycles t = t.busy
 
-let on_advance t f = t.hooks <- t.hooks @ [ f ]
+let on_advance t f = t.hooks <- Array.append t.hooks [| f |]
 
 type tstate = Runnable | Running | Sleeping | Dead
 
@@ -235,6 +253,16 @@ let thread_state th =
 
 let thread_prio th = th.prio
 let threads t = List.rev t.all_threads
+let iter_threads t f = List.iter f t.all_threads
+
+(* The no-retention invariant the PR 9 bugfixes enforce: every vacated
+   slot in the sleep queue and the three runqueue rings holds the dummy.
+   Test hook — O(capacity), never called on the hot path. *)
+let debug_queues_clean t =
+  Sleepq.slots_clean t.sleepers
+  && R.slots_clean t.runq_high.q
+  && R.slots_clean t.runq_normal.q
+  && R.slots_clean t.runq_low.q
 
 let handler t th : (unit, outcome) Effect.Deep.handler =
   {
@@ -258,6 +286,11 @@ let handler t th : (unit, outcome) Effect.Deep.handler =
                   th.k <- Some (C k);
                   Preempted
                 end)
+        | Preempt ->
+            Some
+              (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                th.k <- Some (C k);
+                Preempted)
         | Sleep n ->
             Some
               (fun (k : (a, outcome) Effect.Deep.continuation) ->
@@ -284,56 +317,77 @@ let exec t th =
       | None -> assert false)
 
 (* Take the first thread in the queue that is allowed to run at time
-   [tm]; threads inspected before it keep their relative order. *)
-let take_ready q tm =
-  let n = Queue.length q in
-  let rec go i =
-    if i >= n then None
-    else
-      let th = Queue.pop q in
-      if th.ready_at <= tm then Some th
-      else begin
-        Queue.push th q;
-        go (i + 1)
+   [tm]; threads inspected before it keep their relative order (they are
+   rotated to the tail, exactly as the Queue pop/push of the previous
+   implementation did — the rotation is semantically observable, so it
+   is preserved).  Returns [dummy_thread] when nothing is ready; written
+   as top-level tail recursion so the scan allocates nothing. *)
+let rec take_ready_loop rq tm i n =
+  if i >= n then dummy_thread
+  else
+    let th = R.pop_front rq.q in
+    if th.ready_at <= tm then begin
+      (* A thread actually left the queue: the cached bound may now be
+         stale.  An empty queue resets to a clean max_int. *)
+      if R.is_empty rq.q then begin
+        rq.dirty <- false;
+        rq.cached_min <- max_int
       end
-  in
-  go 0
+      else rq.dirty <- true;
+      th
+    end
+    else begin
+      R.push_back rq.q th;
+      take_ready_loop rq tm (i + 1) n
+    end
+
+(* A fully failed scan pops and re-pushes every element, which restores
+   the original order — so when the cached bound proves no queued thread
+   is ready yet, skipping the scan entirely is indistinguishable from
+   running it.  Idle processors poll the queues every advance; this
+   makes that poll O(1). *)
+let take_ready rq tm =
+  if rq_min rq > tm then dummy_thread
+  else take_ready_loop rq tm 0 (R.length rq.q)
 
 let pick t tm =
   if t.stopped then take_ready t.runq_high tm
-  else
-    match take_ready t.runq_high tm with
-    | Some th -> Some th
-    | None ->
-        let boost =
-          t.low_skips >= low_boost_every
-          && not (Queue.is_empty t.runq_low)
-        in
-        if boost then begin
-          match take_ready t.runq_low tm with
-          | Some th ->
-              t.low_skips <- 0;
-              Some th
-          | None -> take_ready t.runq_normal tm
+  else begin
+    let th = take_ready t.runq_high tm in
+    if th != dummy_thread then th
+    else begin
+      let boost =
+        t.low_skips >= low_boost_every && not (R.is_empty t.runq_low.q)
+      in
+      if boost then begin
+        let th = take_ready t.runq_low tm in
+        if th != dummy_thread then begin
+          t.low_skips <- 0;
+          th
         end
-        else begin
-          match take_ready t.runq_normal tm with
-          | Some th ->
-              if not (Queue.is_empty t.runq_low) then
-                t.low_skips <- t.low_skips + 1;
-              Some th
-          | None -> take_ready t.runq_low tm
+        else take_ready t.runq_normal tm
+      end
+      else begin
+        let th = take_ready t.runq_normal tm in
+        if th != dummy_thread then begin
+          if not (R.is_empty t.runq_low.q) then
+            t.low_skips <- t.low_skips + 1;
+          th
         end
+        else take_ready t.runq_low tm
+      end
+    end
+  end
 
+(* Earliest time any queued thread becomes dispatchable.  The cached
+   per-queue bounds make this O(1) between dispatches; a queue is only
+   re-scanned (once) after a removal dirtied its cache. *)
 let min_ready_at t =
-  let best = ref max_int in
-  let scan q = Queue.iter (fun th -> if th.ready_at < !best then best := th.ready_at) q in
-  scan t.runq_high;
-  if not t.stopped then begin
-    scan t.runq_normal;
-    scan t.runq_low
-  end;
-  !best
+  let best = rq_min t.runq_high in
+  if t.stopped then best
+  else
+    let best = min best (rq_min t.runq_normal) in
+    min best (rq_min t.runq_low)
 
 let min_cpu t =
   let c = ref 0 in
@@ -342,21 +396,43 @@ let min_cpu t =
   done;
   !c
 
+(* Drop stale top entries (threads that are no longer Sleeping) so the
+   sleep queue can neither re-enqueue a dead thread nor stall the idle
+   advance on a wake time that no longer means anything.  In the current
+   scheduler every queued entry is Sleeping by construction; this is the
+   defensive companion to the [st = Sleeping] check in [wake_due]. *)
+let rec purge_stale_loop t =
+  if
+    (not (Sleepq.is_empty t.sleepers))
+    && (Sleepq.top t.sleepers).st <> Sleeping
+  then begin
+    ignore (Sleepq.pop t.sleepers);
+    purge_stale_loop t
+  end
+
+let purge_stale t =
+  if
+    (not (Sleepq.is_empty t.sleepers))
+    && (Sleepq.top t.sleepers).st <> Sleeping
+  then begin
+    purge_stale_loop t;
+    t.next_wake <- Sleepq.min_key t.sleepers
+  end
+
+(* Callers guard with [t.next_wake <= tm] so the no-op case costs one
+   field compare and no call. *)
 let wake_due t tm =
-  let continue = ref true in
-  while !continue do
-    match Sleepq.peek t.sleepers with
-    | Some th when th.wake_at <= tm ->
-        let th = Sleepq.pop t.sleepers in
-        if th.st = Sleeping then begin
-          th.st <- Runnable;
-          enqueue t th
-        end
-    | _ -> continue := false
-  done
+  while Sleepq.min_key t.sleepers <= tm do
+    let th = Sleepq.pop t.sleepers in
+    if th.st = Sleeping then begin
+      th.st <- Runnable;
+      enqueue t th
+    end
+  done;
+  t.next_wake <- Sleepq.min_key t.sleepers
 
 let run t ~until =
-  if t.cur <> None then invalid_arg "Sched.run: reentrant call";
+  if t.cur != dummy_thread then invalid_arg "Sched.run: reentrant call";
   t.finished <- false;
   let continue = ref true in
   while !continue do
@@ -366,61 +442,64 @@ let run t ~until =
       let tm = t.clock.(c) in
       if tm > until then continue := false
       else begin
-        wake_due t tm;
-        List.iter (fun f -> f tm) t.hooks;
-        match pick t tm with
-        | Some th ->
-            t.run_base <- tm;
-            t.used <- 0;
-            t.cur <- Some th;
-            th.st <- Running;
-            let outcome = exec t th in
-            t.cur <- None;
-            t.busy <- t.busy + t.used;
-            let fin = tm + t.used + t.dispatch in
-            t.clock.(c) <- fin;
-            (match outcome with
-            | Finished ->
-                th.st <- Dead;
-                t.live <- t.live - 1
-            | Preempted | Yielded ->
-                th.st <- Runnable;
-                th.ready_at <- fin;
-                enqueue t th
-            | Slept n ->
-                th.st <- Sleeping;
-                th.wake_at <- tm + t.used + n;
-                th.ready_at <- th.wake_at;
-                Sleepq.push t.sleepers th)
-        | None ->
-            (* This CPU is idle.  Advance it to the next time anything can
-               change: the earliest queued thread's ready time, the
-               earliest sleeper wake-up, bounded above by a quantum so a
-               stopped world is re-polled cheaply. *)
-            let next_queued = min_ready_at t in
-            let next_sleep =
-              match Sleepq.peek t.sleepers with
-              | Some th -> th.wake_at
-              | None -> max_int
-            in
-            let next = min next_queued next_sleep in
-            let next =
-              if next = max_int then
-                if
-                  Queue.is_empty t.runq_high
-                  && Queue.is_empty t.runq_normal
-                  && Queue.is_empty t.runq_low
-                  && Sleepq.is_empty t.sleepers
-                then (
-                  (* Nothing runnable and nothing will wake: no progress
-                     is possible. *)
-                  continue := false;
-                  tm)
-                else tm + t.quantum
-              else max (tm + 1) (min next (tm + t.quantum))
-            in
-            t.idle <- t.idle + (next - tm);
-            t.clock.(c) <- next
+        if t.next_wake <= tm then wake_due t tm;
+        let hooks = t.hooks in
+        for i = 0 to Array.length hooks - 1 do
+          hooks.(i) tm
+        done;
+        let th = pick t tm in
+        if th != dummy_thread then begin
+          t.run_base <- tm;
+          t.used <- 0;
+          t.cur <- th;
+          th.st <- Running;
+          let outcome = exec t th in
+          t.cur <- dummy_thread;
+          t.busy <- t.busy + t.used;
+          let fin = tm + t.used + t.dispatch in
+          t.clock.(c) <- fin;
+          match outcome with
+          | Finished ->
+              th.st <- Dead;
+              t.live <- t.live - 1
+          | Preempted | Yielded ->
+              th.st <- Runnable;
+              th.ready_at <- fin;
+              enqueue t th
+          | Slept n ->
+              th.st <- Sleeping;
+              th.wake_at <- tm + t.used + n;
+              th.ready_at <- th.wake_at;
+              Sleepq.push t.sleepers th;
+              if th.wake_at < t.next_wake then t.next_wake <- th.wake_at
+        end
+        else begin
+          (* This CPU is idle.  Advance it to the next time anything can
+             change: the earliest queued thread's ready time, the
+             earliest sleeper wake-up, bounded above by a quantum so a
+             stopped world is re-polled cheaply. *)
+          purge_stale t;
+          let next_queued = min_ready_at t in
+          let next_sleep = t.next_wake in
+          let next = min next_queued next_sleep in
+          let next =
+            if next = max_int then
+              if
+                R.is_empty t.runq_high.q
+                && R.is_empty t.runq_normal.q
+                && R.is_empty t.runq_low.q
+                && Sleepq.is_empty t.sleepers
+              then (
+                (* Nothing runnable and nothing will wake: no progress
+                   is possible. *)
+                continue := false;
+                tm)
+              else tm + t.quantum
+            else max (tm + 1) (min next (tm + t.quantum))
+          in
+          t.idle <- t.idle + (next - tm);
+          t.clock.(c) <- next
+        end
       end
     end
   done;

@@ -49,6 +49,14 @@ val run : t -> until:int -> unit
 val consume : int -> unit
 (** Burn simulated CPU cycles; may be preempted part-way. *)
 
+val consume_on : t -> int -> unit
+(** Like {!consume}, for callers that hold the scheduler: semantically
+    identical, but a charge that does not cross the quantum boundary is
+    a direct state update with no effect dispatch, so sub-quantum
+    charges — the overwhelming majority — cost a couple of stores
+    instead of a continuation capture.  Must be called from the
+    currently running thread of [t]. *)
+
 val sleep : int -> unit
 (** Block for the given number of cycles without occupying a CPU. *)
 
@@ -107,5 +115,17 @@ type tstate = Runnable | Running | Sleeping | Dead
 val threads : t -> thread list
 (** Every thread ever spawned, in spawn order (including dead ones). *)
 
+val iter_threads : t -> (thread -> unit) -> unit
+(** Apply a function to every thread ever spawned, in unspecified order,
+    without materialising the list {!threads} builds — for probes that
+    only count. *)
+
 val thread_state : thread -> tstate
 val thread_prio : thread -> prio
+
+val debug_queues_clean : t -> bool
+(** Test hook for the PR 9 retention bugfixes: [true] iff every vacated
+    slot in the sleep queue and the three runqueue rings holds the dummy
+    thread — i.e. the scheduler retains no reference to a thread that is
+    not actually queued.  O(queue capacity); never used on the hot
+    path. *)

@@ -1,4 +1,5 @@
 module Prng = Cgc_util.Prng
+module R = Cgc_util.Ringbuf
 
 type mode = Sc | Relaxed
 
@@ -10,67 +11,47 @@ type entry = {
   mutable dead : bool;
 }
 
-(* Binary min-heap of entries keyed by deadline. *)
-module Heap = struct
-  type t = { mutable a : entry array; mutable n : int }
+let dummy_entry = { key = 0; cpu = 0; deadline = 0; prev = 0; dead = true }
 
-  let dummy =
-    { key = 0; cpu = 0; deadline = 0; prev = 0; dead = true }
+(* Binary min-heap of entries keyed by deadline (shared kernel, see
+   Cgc_util.Minheap for the slot-hygiene contract). *)
+module Heap = Cgc_util.Minheap.Make (struct
+  type elt = entry
 
-  let create () = { a = Array.make 64 dummy; n = 0 }
+  let key e = e.deadline
+  let dummy = dummy_entry
+end)
 
-  let push h e =
-    if h.n = Array.length h.a then begin
-      let bigger = Array.make (2 * h.n) dummy in
-      Array.blit h.a 0 bigger 0 h.n;
-      h.a <- bigger
-    end;
-    let i = ref h.n in
-    h.n <- h.n + 1;
-    h.a.(!i) <- e;
-    let continue = ref true in
-    while !continue && !i > 0 do
-      let parent = (!i - 1) / 2 in
-      if h.a.(parent).deadline > h.a.(!i).deadline then begin
-        let tmp = h.a.(parent) in
-        h.a.(parent) <- h.a.(!i);
-        h.a.(!i) <- tmp;
-        i := parent
-      end
-      else continue := false
-    done
+(* Per-location state: the still-pending stores in coherence (issue)
+   order, plus the last deadline handed out for this location so drain
+   deadlines stay monotone per key.  The deque replaces the [!l @ [e]]
+   list append the previous implementation paid on every store (O(n) in
+   the pending-store count, with a fresh list each time) and the
+   [List.nth entries (length - 1)] double traversal every read paid to
+   find the newest entry: front/back are now O(1) slot reads. *)
+type kq = {
+  buf : entry R.t;
+  mutable last_deadline : int;
+}
 
-  let peek h = if h.n = 0 then None else Some h.a.(0)
-
-  let pop h =
-    let top = h.a.(0) in
-    h.n <- h.n - 1;
-    h.a.(0) <- h.a.(h.n);
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < h.n && h.a.(l).deadline < h.a.(!smallest).deadline then smallest := l;
-      if r < h.n && h.a.(r).deadline < h.a.(!smallest).deadline then smallest := r;
-      if !smallest <> !i then begin
-        let tmp = h.a.(!smallest) in
-        h.a.(!smallest) <- h.a.(!i);
-        h.a.(!i) <- tmp;
-        i := !smallest
-      end
-      else continue := false
-    done;
-    top
-end
+(* Per-CPU index of issued entries, so a fence drains exactly the fencing
+   processor's stores without the whole-table [Hashtbl.iter] the previous
+   implementation performed.  Entries killed early (by a drain deadline
+   or a coherence kill) stay in the vector marked dead until the next
+   fence or a compaction sweep discards them. *)
+type cpuvec = {
+  mutable ents : entry array;
+  mutable n : int;
+  mutable live_hint : int; (* live entries, maintained to decide compaction *)
+}
 
 type t = {
   md : mode;
   rng : Prng.t;
   max_delay : int;
   pending : Heap.t;
-  by_key : (int, entry list ref) Hashtbl.t; (* live entries, oldest first *)
-  last_deadline : (int, int) Hashtbl.t;     (* per-key coherence ordering *)
+  by_key : (int, kq) Hashtbl.t; (* live entries, oldest first *)
+  mutable by_cpu : cpuvec array; (* indexed by cpu id, grown on demand *)
   mutable next_key : int;
   mutable live : int;
 }
@@ -82,7 +63,7 @@ let create ?(max_delay = 5000) ~mode ~rng () =
     max_delay;
     pending = Heap.create ();
     by_key = Hashtbl.create 256;
-    last_deadline = Hashtbl.create 256;
+    by_cpu = [||];
     next_key = 0;
     live = 0;
   }
@@ -94,28 +75,84 @@ let register t n =
   t.next_key <- base + n;
   base
 
+let kq_of t key =
+  match Hashtbl.find t.by_key key with
+  | kq -> kq
+  | exception Not_found ->
+      let kq = { buf = R.create ~capacity:8 dummy_entry; last_deadline = min_int } in
+      Hashtbl.add t.by_key key kq;
+      kq
+
+let cpuvec_of t cpu =
+  if cpu < 0 then invalid_arg "Weakmem: negative cpu";
+  let n = Array.length t.by_cpu in
+  if cpu >= n then begin
+    let bigger =
+      Array.init (max (cpu + 1) (max 4 (2 * n))) (fun i ->
+          if i < n then t.by_cpu.(i)
+          else { ents = Array.make 16 dummy_entry; n = 0; live_hint = 0 })
+    in
+    t.by_cpu <- bigger
+  end;
+  t.by_cpu.(cpu)
+
+(* Append to the cpu's index; when the vector fills up and is mostly
+   dead, compact it in place instead of growing — the index stays
+   proportional to the cpu's live pending stores. *)
+let cpuvec_add v e =
+  if v.n = Array.length v.ents then begin
+    if 2 * v.live_hint <= v.n then begin
+      let k = ref 0 in
+      for i = 0 to v.n - 1 do
+        let x = v.ents.(i) in
+        if not x.dead then begin
+          v.ents.(!k) <- x;
+          incr k
+        end
+      done;
+      for i = !k to v.n - 1 do
+        v.ents.(i) <- dummy_entry
+      done;
+      v.n <- !k
+    end
+    else begin
+      let bigger = Array.make (2 * Array.length v.ents) dummy_entry in
+      Array.blit v.ents 0 bigger 0 v.n;
+      v.ents <- bigger
+    end
+  end;
+  v.ents.(v.n) <- e;
+  v.n <- v.n + 1;
+  v.live_hint <- v.live_hint + 1
+
 (* Make [e] globally visible.  Per-location coherence: every pending
-   store to the same location that is OLDER than [e] (the by_key lists
+   store to the same location that is OLDER than [e] (the by_key deques
    are kept in coherence order) becomes visible too — once a newer store
    to a cache line is globally visible, reads can never again return
    values from before it, no matter which processor's buffer the older
    stores sat in. *)
 let kill t e =
   if not e.dead then begin
-    match Hashtbl.find_opt t.by_key e.key with
-    | None ->
-        e.dead <- true;
-        t.live <- t.live - 1
-    | Some l ->
-        let rec drop_upto = function
-          | [] -> []
-          | x :: rest ->
-              x.dead <- true;
-              t.live <- t.live - 1;
-              if x == e then rest else drop_upto rest
-        in
-        l := drop_upto !l;
-        if !l = [] then Hashtbl.remove t.by_key e.key
+    (match Hashtbl.find_opt t.by_key e.key with
+    | None -> ()
+    | Some kq ->
+        let continue = ref true in
+        while !continue && not (R.is_empty kq.buf) do
+          let x = R.pop_front kq.buf in
+          x.dead <- true;
+          t.live <- t.live - 1;
+          if x.cpu < Array.length t.by_cpu then begin
+            let v = t.by_cpu.(x.cpu) in
+            v.live_hint <- v.live_hint - 1
+          end;
+          if x == e then continue := false
+        done);
+    if not e.dead then begin
+      (* e was not in its key's deque — defensive, mirrors the previous
+         implementation's behaviour for an orphaned entry. *)
+      e.dead <- true;
+      t.live <- t.live - 1
+    end
   end
 
 let store t ~cpu ~now ~key ~prev =
@@ -123,18 +160,14 @@ let store t ~cpu ~now ~key ~prev =
   | Sc -> ()
   | Relaxed ->
       let d = now + 1 + Prng.int t.rng t.max_delay in
-      let d =
-        match Hashtbl.find_opt t.last_deadline key with
-        | Some last when last >= d -> last + 1
-        | _ -> d
-      in
-      Hashtbl.replace t.last_deadline key d;
+      let kq = kq_of t key in
+      let d = if kq.last_deadline >= d then kq.last_deadline + 1 else d in
+      kq.last_deadline <- d;
       let e = { key; cpu; deadline = d; prev; dead = false } in
       Heap.push t.pending e;
       t.live <- t.live + 1;
-      (match Hashtbl.find_opt t.by_key key with
-      | Some l -> l := !l @ [ e ]
-      | None -> Hashtbl.replace t.by_key key (ref [ e ]))
+      R.push_back kq.buf e;
+      cpuvec_add (cpuvec_of t cpu) e
 
 let commit_due t ~now =
   match t.md with
@@ -142,51 +175,75 @@ let commit_due t ~now =
   | Relaxed ->
       let continue = ref true in
       while !continue do
-        match Heap.peek t.pending with
-        | Some e when e.dead -> ignore (Heap.pop t.pending)
-        | Some e when e.deadline <= now ->
+        if Heap.is_empty t.pending then continue := false
+        else begin
+          let e = Heap.top t.pending in
+          if e.dead then ignore (Heap.pop t.pending)
+          else if e.deadline <= now then begin
             ignore (Heap.pop t.pending);
             kill t e
-        | _ -> continue := false
+          end
+          else continue := false
+        end
       done
 
 let read t ~cpu ~now ~key ~current =
   match t.md with
   | Sc -> current
+  | Relaxed when t.live = 0 ->
+      (* No pending store anywhere: nothing can be masked.  [commit_due]
+         could only discard already-dead heap entries, which later calls
+         skip anyway, so the whole lookup short-circuits to the backing
+         value.  Reads outnumber stores heavily, so this is the common
+         case whenever the buffers are drained. *)
+      current
   | Relaxed -> (
       commit_due t ~now;
-      match Hashtbl.find_opt t.by_key key with
-      | None -> current
-      | Some l -> (
-          match !l with
-          | [] -> current
-          | entries ->
-              (* A processor always sees its own latest store.  If the
-                 newest pending entry is ours, the backing value is what we
-                 wrote.  Otherwise remote readers are still masked by the
-                 oldest pending store. *)
-              let newest = List.nth entries (List.length entries - 1) in
-              if newest.cpu = cpu then current
-              else
-                let oldest = List.hd entries in
-                if oldest.cpu = cpu then current else oldest.prev))
+      match Hashtbl.find t.by_key key with
+      | exception Not_found -> current
+      | kq ->
+          if R.is_empty kq.buf then current
+          else
+            (* A processor always sees its own latest store.  If the
+               newest pending entry is ours, the backing value is what we
+               wrote.  Otherwise remote readers are still masked by the
+               oldest pending store. *)
+            let newest = R.back kq.buf in
+            if newest.cpu = cpu then current
+            else
+              let oldest = R.front kq.buf in
+              if oldest.cpu = cpu then current else oldest.prev)
 
 let fence t ~cpu ~now:_ =
   match t.md with
   | Sc -> ()
   | Relaxed ->
-      let to_kill = ref [] in
-      Hashtbl.iter
-        (fun _ l -> List.iter (fun e -> if e.cpu = cpu then to_kill := e :: !to_kill) !l)
-        t.by_key;
-      List.iter (kill t) !to_kill
+      if cpu >= 0 && cpu < Array.length t.by_cpu then begin
+        let v = t.by_cpu.(cpu) in
+        for i = 0 to v.n - 1 do
+          let e = v.ents.(i) in
+          v.ents.(i) <- dummy_entry;
+          if not e.dead then kill t e
+        done;
+        v.n <- 0;
+        v.live_hint <- 0
+      end
 
 let fence_all t =
   match t.md with
   | Sc -> ()
   | Relaxed ->
-      let to_kill = ref [] in
-      Hashtbl.iter (fun _ l -> List.iter (fun e -> to_kill := e :: !to_kill) !l) t.by_key;
-      List.iter (kill t) !to_kill
+      for cpu = 0 to Array.length t.by_cpu - 1 do
+        let v = t.by_cpu.(cpu) in
+        for i = 0 to v.n - 1 do
+          let e = v.ents.(i) in
+          v.ents.(i) <- dummy_entry;
+          if not e.dead then kill t e
+        done;
+        v.n <- 0;
+        v.live_hint <- 0
+      done
 
 let pending_count t = t.live
+
+let debug_heap_clean t = Heap.slots_clean t.pending

@@ -1,0 +1,78 @@
+module type ORDERED = sig
+  type elt
+
+  val key : elt -> int
+  val dummy : elt
+end
+
+module Make (O : ORDERED) = struct
+  type t = { mutable a : O.elt array; mutable n : int }
+
+  let create ?(capacity = 32) () =
+    if capacity <= 0 then invalid_arg "Minheap.create: capacity";
+    { a = Array.make capacity O.dummy; n = 0 }
+
+  let length h = h.n
+  let is_empty h = h.n = 0
+
+  let push h x =
+    if h.n = Array.length h.a then begin
+      (* Grow with the dummy as filler: the doubled half must not retain
+         whatever a.(0) happens to reference. *)
+      let bigger = Array.make (2 * h.n) O.dummy in
+      Array.blit h.a 0 bigger 0 h.n;
+      h.a <- bigger
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- x;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if O.key h.a.(p) > O.key h.a.(!i) then begin
+        let tmp = h.a.(p) in
+        h.a.(p) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := p
+      end
+      else continue := false
+    done
+
+  let top h =
+    if h.n = 0 then invalid_arg "Minheap.top: empty";
+    h.a.(0)
+
+  let min_key h = if h.n = 0 then max_int else O.key h.a.(0)
+
+  let pop h =
+    if h.n = 0 then invalid_arg "Minheap.pop: empty";
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    (* Clear the vacated slot: a dead thread or committed store entry
+       must not be retained above [n] for the rest of the run. *)
+    h.a.(h.n) <- O.dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < h.n && O.key h.a.(l) < O.key h.a.(!s) then s := l;
+      if r < h.n && O.key h.a.(r) < O.key h.a.(!s) then s := r;
+      if !s <> !i then begin
+        let tmp = h.a.(!s) in
+        h.a.(!s) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !s
+      end
+      else continue := false
+    done;
+    top
+
+  let slots_clean h =
+    let clean = ref true in
+    for j = h.n to Array.length h.a - 1 do
+      if h.a.(j) != O.dummy then clean := false
+    done;
+    !clean
+end

@@ -206,6 +206,83 @@ let test_untraced_run_emits_nothing () =
   in
   check ci "no events" 0 (Obs.emitted (Vm.obs vm))
 
+(* ---------------- Ring blits and the merged event view ---------------- *)
+
+let ring_blit_matches_iter_test =
+  QCheck.Test.make ~name:"ring: blit_fields agrees with iter" ~count:300
+    QCheck.(pair (int_range 1 20) (small_list small_nat))
+    (fun (cap, tss) ->
+      let r = Ring.create ~capacity:cap in
+      List.iteri
+        (fun i ts ->
+          Ring.add_fields r ~ts ~dur:i ~tid:(i mod 3)
+            ~code:(if i mod 2 = 0 then Event.Cycle_start else Event.Fence_flush)
+            ~arg:(i * 7))
+        tss;
+      let n = Ring.length r in
+      let ts = Array.make (n + 1) (-1)
+      and dur = Array.make (n + 1) (-1)
+      and tid = Array.make (n + 1) (-1)
+      and arg = Array.make (n + 1) (-1) in
+      let code = Array.make (n + 1) Event.Cycle_start in
+      let stop = Ring.blit_fields r ~ts ~dur ~tid ~arg ~code ~pos:0 in
+      if stop <> n then QCheck.Test.fail_reportf "end index %d, want %d" stop n;
+      let i = ref 0 in
+      Ring.iter r (fun e ->
+          if
+            e.Event.ts <> ts.(!i)
+            || e.dur <> dur.(!i)
+            || e.tid <> tid.(!i)
+            || e.arg <> arg.(!i)
+            || e.code <> code.(!i)
+          then QCheck.Test.fail_reportf "field mismatch at %d" !i;
+          incr i);
+      !i = n)
+
+let obs_events_array_order_test =
+  (* The merged view must be the stable ts-sort of the per-thread streams
+     concatenated in tid order, drops included — exactly what the
+     list-based implementation produced.  The packed-key sort inside
+     [events_array] is an implementation detail this pins down. *)
+  QCheck.Test.make ~name:"obs: events_array is the stable per-tid merge"
+    ~count:300
+    QCheck.(small_list (pair (int_bound 3) (int_bound 50)))
+    (fun evs ->
+      let cap = 8 in
+      let now = ref 0 and tid = ref 0 in
+      let o = Obs.create ~ring_capacity:cap ~now:(fun () -> !now)
+          ~tid:(fun () -> !tid) ()
+      in
+      List.iteri
+        (fun i (t, ts) ->
+          tid := t;
+          now := ts;
+          Obs.instant o ~arg:i Event.Cycle_start)
+        evs;
+      let expected =
+        let tids = List.sort_uniq compare (List.map fst evs) in
+        List.concat_map
+          (fun t ->
+            let stream =
+              List.filteri (fun _ _ -> true) evs
+              |> List.mapi (fun i (t', ts) -> (t', ts, i))
+              |> List.filter (fun (t', _, _) -> t' = t)
+            in
+            let n = List.length stream in
+            let drop = max 0 (n - cap) in
+            List.filteri (fun i _ -> i >= drop) stream)
+          tids
+        |> List.stable_sort (fun (_, a, _) (_, b, _) -> compare a b)
+        |> List.map (fun (t, ts, i) -> (ts, t, i))
+      in
+      let got =
+        List.map
+          (fun e -> (e.Event.ts, e.Event.tid, e.Event.arg))
+          (Obs.events o)
+      in
+      if got <> expected then QCheck.Test.fail_report "merge order mismatch";
+      true)
+
 let () =
   Alcotest.run "obs"
     [
@@ -223,6 +300,7 @@ let () =
             test_ring_keeps_newest;
           Alcotest.test_case "no overflow below capacity" `Quick
             test_ring_no_overflow;
+          QCheck_alcotest.to_alcotest ring_blit_matches_iter_test;
         ] );
       ( "sink",
         [
@@ -230,6 +308,7 @@ let () =
             test_null_sink_emits_nothing;
           Alcotest.test_case "armed sink merges and orders" `Quick
             test_armed_sink_orders_events;
+          QCheck_alcotest.to_alcotest obs_events_array_order_test;
         ] );
       ( "export",
         [

@@ -257,6 +257,51 @@ let test_thread_cycles () =
   | Some th -> check ci "cycles attributed" 12_345 (Sched.thread_cycles th)
   | None -> Alcotest.fail "thread never ran"
 
+let test_no_thread_retention () =
+  (* Regression for the PR 9 vacated-slot leaks: thousands of short-lived
+     sleepers churn the sleep queue and all three runqueue rings through
+     growth and wrap; afterwards no queue may retain a reference to any
+     dead thread. *)
+  let s = Sched.create ~ncpus:4 ~quantum:10_000 () in
+  for i = 0 to 2_999 do
+    let prio =
+      match i mod 3 with 0 -> Sched.High | 1 -> Sched.Normal | _ -> Sched.Low
+    in
+    ignore
+      (Sched.spawn s ~name:"ephemeral" ~prio (fun () ->
+           Sched.sleep (1 + (i mod 97) * 53);
+           Sched.consume (1 + (i mod 11) * 1_000);
+           Sched.yield ();
+           Sched.sleep (1 + (i mod 13) * 29)))
+  done;
+  Sched.run s ~until:100_000_000;
+  check cb "all threads finished" true
+    (List.for_all
+       (fun th -> Sched.thread_state th = Sched.Dead)
+       (Sched.threads s));
+  check cb "no queue retains a dead thread" true (Sched.debug_queues_clean s)
+
+let test_consume_on_matches_consume () =
+  (* The allocation-free [consume_on] must be observationally identical
+     to the effect-based [consume], including preemption points. *)
+  let run use_direct =
+    let s = Sched.create ~ncpus:2 ~quantum:10_000 () in
+    let log = ref [] in
+    for t = 0 to 3 do
+      ignore
+        (Sched.spawn s ~name:"w" ~prio:Sched.Normal (fun () ->
+             for i = 0 to 20 do
+               let n = 1_000 + (397 * ((t * 21) + i) mod 9_000) in
+               if use_direct then Sched.consume_on s n else Sched.consume n;
+               log := (t, i, Sched.now s) :: !log
+             done))
+    done;
+    Sched.run s ~until:10_000_000;
+    (!log, Sched.now s, Sched.busy_cycles s, Sched.idle_cycles s)
+  in
+  let a = run true and b = run false in
+  check cb "identical schedules" true (a = b)
+
 let () =
   Alcotest.run "sim"
     [
@@ -280,5 +325,9 @@ let () =
           Alcotest.test_case "run until bound" `Quick test_run_until_bounds;
           Alcotest.test_case "idle accounting" `Quick test_idle_accounting;
           Alcotest.test_case "thread cycles" `Quick test_thread_cycles;
+          Alcotest.test_case "no thread retention (regression)" `Quick
+            test_no_thread_retention;
+          Alcotest.test_case "consume_on matches consume" `Quick
+            test_consume_on_matches_consume;
         ] );
     ]

@@ -208,11 +208,55 @@ let test_cost_conversions () =
     (abs_float (Cost.ms_of_cycles c (Cost.cycles_of_ms c 1.0) -. 1.0) < 1e-6);
   check ci "cycles_of_ms" c.Cost.cycles_per_ms (Cost.cycles_of_ms c 1.0)
 
+(* Retention hygiene of the store-buffer kernel: after any schedule of
+   stores, reads, fences and drains followed by a full drain, the
+   pending heap must hold no live entry and every vacated slot must hold
+   the dummy (the PR 9 heap-retention fix). *)
+let weakmem_no_retention_test =
+  QCheck.Test.make ~name:"weakmem: drained buffers retain nothing"
+    ~count:200
+    QCheck.(
+      pair small_nat
+        (small_list (quad (int_bound 3) (int_bound 31) (int_bound 40) bool)))
+    (fun (seed, ops) ->
+      let wm =
+        Weakmem.create ~max_delay:30 ~mode:Weakmem.Relaxed
+          ~rng:(Prng.create (succ seed)) ()
+      in
+      let base = Weakmem.register wm 32 in
+      let now = ref 0 in
+      List.iter
+        (fun (cpu, key, dt, do_fence) ->
+          now := !now + dt;
+          Weakmem.store wm ~cpu ~now:!now ~key:(base + key) ~prev:cpu;
+          ignore (Weakmem.read wm ~cpu:(3 - cpu) ~now:!now ~key:(base + key)
+                    ~current:(-1));
+          if do_fence then Weakmem.fence wm ~cpu ~now:!now)
+        ops;
+      Weakmem.fence_all wm;
+      Weakmem.commit_due wm ~now:(!now + 10_000);
+      Weakmem.pending_count wm = 0 && Weakmem.debug_heap_clean wm)
+
+let test_read_after_drain () =
+  (* The [live = 0] fast path must behave exactly like the slow path:
+     once every pending store has drained, reads return the backing
+     value for every cpu. *)
+  let wm = mk_relaxed ~max_delay:10 ~seed:3 () in
+  let key = Weakmem.register wm 1 in
+  Weakmem.store wm ~cpu:0 ~now:0 ~key ~prev:5;
+  Weakmem.fence wm ~cpu:0 ~now:1;
+  check ci "no pending" 0 (Weakmem.pending_count wm);
+  check ci "own cpu" 9 (Weakmem.read wm ~cpu:0 ~now:2 ~key ~current:9);
+  check ci "remote cpu" 9 (Weakmem.read wm ~cpu:1 ~now:2 ~key ~current:9)
+
 let () =
   Alcotest.run "smp"
     [
       ( "weakmem",
         [
+          QCheck_alcotest.to_alcotest weakmem_no_retention_test;
+          Alcotest.test_case "read fast path when drained" `Quick
+            test_read_after_drain;
           Alcotest.test_case "sc transparent" `Quick test_sc_mode_transparent;
           Alcotest.test_case "own store visible" `Quick test_own_store_visible;
           Alcotest.test_case "remote store masked" `Quick test_remote_store_masked;

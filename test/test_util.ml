@@ -482,6 +482,140 @@ let test_table_formats () =
   check Alcotest.string "f2" "0.04" (Table.f2 0.0449);
   check Alcotest.string "f3" "0.045" (Table.f3 0.0449)
 
+(* ------------------------ Ringbuf / Minheap ------------------------ *)
+(* The scheduler's runqueues and the sleep/store-buffer heaps are built
+   on these two kernels; the properties below pin the PR 9 retention
+   contract (a vacated slot always holds the dummy) alongside plain
+   functional correctness against model implementations. *)
+
+module Ringbuf = Cgc_util.Ringbuf
+
+module Minheap_int = Cgc_util.Minheap.Make (struct
+  type elt = int * string
+
+  let key (k, _) = k
+  let dummy = (max_int, "<dummy>")
+end)
+
+let test_ringbuf_fifo_wrap () =
+  let r = Ringbuf.create ~capacity:2 (-1) in
+  for i = 0 to 4 do
+    Ringbuf.push_back r i
+  done;
+  check ci "front" 0 (Ringbuf.front r);
+  check ci "back" 4 (Ringbuf.back r);
+  check ci "pop0" 0 (Ringbuf.pop_front r);
+  Ringbuf.push_back r 5;
+  for i = 1 to 5 do
+    check ci "fifo order" i (Ringbuf.pop_front r)
+  done;
+  check cb "empty" true (Ringbuf.is_empty r)
+
+let test_ringbuf_empty_pop () =
+  let r = Ringbuf.create ~capacity:2 (-1) in
+  Alcotest.check_raises "pop" (Invalid_argument "Ringbuf.pop_front: empty")
+    (fun () -> ignore (Ringbuf.pop_front r));
+  Alcotest.check_raises "front" (Invalid_argument "Ringbuf.front: empty")
+    (fun () -> ignore (Ringbuf.front r));
+  Ringbuf.push_back r 1;
+  ignore (Ringbuf.pop_front r);
+  Alcotest.check_raises "pop after drain"
+    (Invalid_argument "Ringbuf.pop_front: empty") (fun () ->
+      ignore (Ringbuf.pop_front r))
+
+let test_ringbuf_retention () =
+  (* Regression for the vacated-slot leak: after pushing boxed elements
+     through wrap and growth and draining, every physical slot must hold
+     the dummy again. *)
+  let dummy = ref (-1) in
+  let r = Ringbuf.create ~capacity:2 dummy in
+  for round = 0 to 9 do
+    for i = 0 to 99 do
+      Ringbuf.push_back r (ref ((100 * round) + i))
+    done;
+    for _ = 0 to 99 do
+      ignore (Ringbuf.pop_front r)
+    done;
+    check cb "clean between rounds" true (Ringbuf.slots_clean r)
+  done
+
+let ringbuf_model_test =
+  QCheck.Test.make
+    ~name:"ringbuf: matches queue model; vacated slots hold the dummy"
+    ~count:500
+    QCheck.(list (pair bool (int_bound 1000)))
+    (fun ops ->
+      let r = Ringbuf.create ~capacity:2 (-1) in
+      let q = Queue.create () in
+      List.iter
+        (fun (push, v) ->
+          if push || Queue.is_empty q then begin
+            Ringbuf.push_back r v;
+            Queue.push v q
+          end
+          else begin
+            let a = Ringbuf.pop_front r and b = Queue.pop q in
+            if a <> b then
+              QCheck.Test.fail_reportf "pop mismatch: %d <> %d" a b
+          end;
+          if Ringbuf.length r <> Queue.length q then
+            QCheck.Test.fail_report "length mismatch";
+          if not (Ringbuf.slots_clean r) then
+            QCheck.Test.fail_report "vacated slot retained")
+        ops;
+      true)
+
+let test_minheap_empty_pop () =
+  let h = Minheap_int.create () in
+  Alcotest.check_raises "pop" (Invalid_argument "Minheap.pop: empty")
+    (fun () -> ignore (Minheap_int.pop h));
+  Alcotest.check_raises "top" (Invalid_argument "Minheap.top: empty")
+    (fun () -> ignore (Minheap_int.top h));
+  check ci "min_key of empty" max_int (Minheap_int.min_key h)
+
+let test_minheap_retention () =
+  (* Regression for the vacated-slot leak in [pop] and for the growth
+     path recopying live references into the doubled half. *)
+  let h = Minheap_int.create ~capacity:2 () in
+  for i = 0 to 999 do
+    Minheap_int.push h (i * 7919 mod 1000, "payload")
+  done;
+  for _ = 0 to 999 do
+    ignore (Minheap_int.pop h)
+  done;
+  check cb "empty" true (Minheap_int.is_empty h);
+  check cb "all slots dummy" true (Minheap_int.slots_clean h)
+
+let minheap_model_test =
+  QCheck.Test.make
+    ~name:"minheap: pops sorted; vacated slots hold the dummy" ~count:500
+    QCheck.(list (pair bool (int_bound 10_000)))
+    (fun ops ->
+      let h = Minheap_int.create ~capacity:2 () in
+      let model = ref [] in
+      List.iter
+        (fun (push, v) ->
+          (if push || !model = [] then begin
+             Minheap_int.push h (v, "x");
+             model := List.merge compare [ v ] !model
+           end
+           else
+             let k, _ = Minheap_int.pop h in
+             match !model with
+             | m :: rest when m = k -> model := rest
+             | m :: _ ->
+                 QCheck.Test.fail_reportf "popped %d, model min is %d" k m
+             | [] -> assert false);
+          let mk = match !model with [] -> max_int | m :: _ -> m in
+          if Minheap_int.min_key h <> mk then
+            QCheck.Test.fail_report "min_key mismatch";
+          if Minheap_int.length h <> List.length !model then
+            QCheck.Test.fail_report "length mismatch";
+          if not (Minheap_int.slots_clean h) then
+            QCheck.Test.fail_report "vacated slot retained")
+        ops;
+      true)
+
 let () =
   Alcotest.run "util"
     [
@@ -536,6 +670,21 @@ let () =
             test_bitvec_fold_set_ranges;
           QCheck_alcotest.to_alcotest bitvec_model_test;
           QCheck_alcotest.to_alcotest bitvec_range_test;
+        ] );
+      ( "ringbuf",
+        [
+          Alcotest.test_case "fifo with wrap" `Quick test_ringbuf_fifo_wrap;
+          Alcotest.test_case "empty pop raises" `Quick test_ringbuf_empty_pop;
+          Alcotest.test_case "no slot retention (regression)" `Quick
+            test_ringbuf_retention;
+          QCheck_alcotest.to_alcotest ringbuf_model_test;
+        ] );
+      ( "minheap",
+        [
+          Alcotest.test_case "empty pop raises" `Quick test_minheap_empty_pop;
+          Alcotest.test_case "no slot retention (regression)" `Quick
+            test_minheap_retention;
+          QCheck_alcotest.to_alcotest minheap_model_test;
         ] );
       ( "table",
         [
