@@ -6,7 +6,7 @@
 
 .PHONY: all build test doc doc-strict fmt-check verify fuzz bench \
 	bench-smoke bench-determinism serve-smoke cluster-smoke chaos-smoke \
-	perf-smoke tails-smoke clean
+	perf-smoke tails-smoke gen-smoke clean
 
 # Number of random configurations `make fuzz` tries.
 FUZZ_COUNT ?= 100
@@ -82,7 +82,7 @@ fuzz: build
 
 # Full benchmark matrix (workloads x thread counts x tracing rates,
 # plus serve and sharded-cluster cells), every VM cell traced and
-# profiled.  Writes BENCH_PR9.json (schema cgcsim-bench-v1) plus a
+# profiled.  Writes BENCH_PR10.json (schema cgcsim-bench-v1) plus a
 # Chrome trace of cell 0; fails if any cell dropped trace events to
 # ring overflow.  JOBS=N runs the cells on N OCaml domains — simulated
 # results are identical at every N, only the host* timing fields
@@ -90,15 +90,16 @@ fuzz: build
 bench: build
 	mkdir -p $(ART)
 	dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	  --out $(ART)/BENCH_PR9.json --trace-out $(ART)/bench-cell0.trace.json
+	  --out $(ART)/BENCH_PR10.json --trace-out $(ART)/bench-cell0.trace.json
 
-# Shrunk matrix for CI (<60 s): one SPECjbb cell, one pBOB cell, one
-# serve cell and one cluster cell, then the offline analyzer re-reads
-# the emitted trace and fails on ring drops or a schema mismatch.
+# Shrunk matrix for CI (<60 s): one SPECjbb cell, one pBOB cell, serve
+# cells (cgc and gen) and one cluster cell, then the offline analyzer
+# re-reads the emitted trace and fails on ring drops or a schema
+# mismatch.
 bench-smoke: build
 	mkdir -p $(ART)
 	CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	  --out $(ART)/BENCH_PR9.json --trace-out $(ART)/bench-cell0.trace.json
+	  --out $(ART)/BENCH_PR10.json --trace-out $(ART)/bench-cell0.trace.json
 	dune exec bin/cgcsim.exe -- analyze \
 	  --trace $(ART)/bench-cell0.trace.json --fail-on-drops
 
@@ -171,6 +172,39 @@ cluster-smoke: build
 	  fi
 	@echo "cluster smoke OK: fleet report and shard traces deterministic, SLO gate fires"
 
+# Generational smoke: two same-seed gen-mode serve runs must produce
+# byte-identical reports and traces (minor collections included), a
+# gen-mode run must survive the heap + nursery invariant verifier, the
+# trace must analyze clean, and a gen-mode fleet must produce
+# byte-identical fleet reports and per-shard traces at --jobs 1 vs
+# --jobs 4 — host parallelism must not perturb a single minor.
+gen-smoke: build
+	mkdir -p $(ART)
+	dune exec bin/cgcsim.exe -- serve --gc gen --rate 6000 --ms 600 \
+	  --heap-mb 16 --seed 1 --json $(ART)/gen-a.json \
+	  --trace-out $(ART)/gen-a.trace.json
+	dune exec bin/cgcsim.exe -- serve --gc gen --rate 6000 --ms 600 \
+	  --heap-mb 16 --seed 1 --json $(ART)/gen-b.json \
+	  --trace-out $(ART)/gen-b.trace.json
+	cmp $(ART)/gen-a.json $(ART)/gen-b.json
+	cmp $(ART)/gen-a.trace.json $(ART)/gen-b.trace.json
+	dune exec bin/cgcsim.exe -- serve --gc gen --rate 6000 --ms 600 \
+	  --heap-mb 16 --seed 1 --verify > /dev/null
+	dune exec bin/cgcsim.exe -- analyze \
+	  --trace $(ART)/gen-a.trace.json --fail-on-drops > /dev/null
+	dune exec bin/cgcsim.exe -- cluster --gc gen --shards 2 --policy lqd \
+	  --rate 6000 --slo-ms 50 --heap-mb 16 --ms 600 --seed 1 --jobs 1 \
+	  --json $(ART)/gen-fleet-a.json --trace-out $(ART)/gen-fleet-a
+	dune exec bin/cgcsim.exe -- cluster --gc gen --shards 2 --policy lqd \
+	  --rate 6000 --slo-ms 50 --heap-mb 16 --ms 600 --seed 1 --jobs 4 \
+	  --json $(ART)/gen-fleet-b.json --trace-out $(ART)/gen-fleet-b
+	cmp $(ART)/gen-fleet-a.json $(ART)/gen-fleet-b.json
+	for k in 0 1; do \
+	  cmp $(ART)/gen-fleet-a.shard$$k.json $(ART)/gen-fleet-b.shard$$k.json \
+	    || exit 1; \
+	done
+	@echo "gen smoke OK: minor collections deterministic across seeds and --jobs, verifier clean"
+
 # Fleet chaos smoke: the same shard-crash campaign at --jobs 1 and
 # --jobs 4 must produce byte-identical fleet reports and per-incarnation
 # traces (the crash victim's trace included), a trace must analyze
@@ -217,18 +251,18 @@ perf-smoke: build
 	while [ $$attempt -lt 3 ]; do \
 	  attempt=$$((attempt + 1)); \
 	  CGC_BENCH_FAST=1 dune exec bench/main.exe -- matrix --jobs $(JOBS) \
-	    --out $(ART)/BENCH_PR9.json \
+	    --out $(ART)/BENCH_PR10.json \
 	    --trace-out $(ART)/perf-cell0.trace.json > /dev/null; \
 	  eps=$$(sed -n 's/.*"hostEventsPerSec": \([0-9.]*\).*/\1/p' \
-	    $(ART)/BENCH_PR9.json | head -n 1); \
+	    $(ART)/BENCH_PR10.json | head -n 1); \
 	  if [ -z "$$eps" ]; then \
-	    echo "perf-smoke: hostEventsPerSec missing from BENCH_PR9.json"; \
+	    echo "perf-smoke: hostEventsPerSec missing from BENCH_PR10.json"; \
 	    exit 1; \
 	  fi; \
 	  ok=$$(awk -v e="$$eps" -v m="$(PERF_MIN_EPS)" \
 	    'BEGIN { print (e + 0 >= m + 0) ? 1 : 0 }'); \
 	  ratio=$$(sed -n 's/.*"hostSpeedupVsPr8": \([0-9.]*\).*/\1/p' \
-	    $(ART)/BENCH_PR9.json | head -n 1); \
+	    $(ART)/BENCH_PR10.json | head -n 1); \
 	  if [ -n "$$ratio" ]; then \
 	    rok=$$(awk -v r="$$ratio" -v m="$(PERF_MIN_RATIO)" \
 	      'BEGIN { print (r + 0 >= m + 0) ? 1 : 0 }'); \

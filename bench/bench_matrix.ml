@@ -43,19 +43,24 @@ type cell = {
   rate : float;  (* offered req/s; serve and cluster cells only *)
   shards : int;  (* cluster cells only *)
   chaos : Cluster_fault.scenario option;  (* cluster cells only *)
+  gc_mode : Config.mode;  (* the --gc axis: Cgc, Stw or Gen *)
   ms : float;
   ring : int;  (* per-thread event-ring capacity *)
 }
 
 let cell_label c =
-  match c.workload with
-  | "serve" -> Printf.sprintf "serve-%.0frps" c.rate
-  | "cluster" -> (
-      let base = Printf.sprintf "cluster-%dsh-%.0frps" c.shards c.rate in
-      match c.chaos with
-      | None -> base
-      | Some sc -> base ^ "-" ^ Cluster_fault.to_name sc)
-  | _ -> Printf.sprintf "%s-%dwh-k0=%.0f" c.workload c.warehouses c.k0
+  let base =
+    match c.workload with
+    | "serve" -> Printf.sprintf "serve-%.0frps" c.rate
+    | "cluster" -> (
+        let base = Printf.sprintf "cluster-%dsh-%.0frps" c.shards c.rate in
+        match c.chaos with
+        | None -> base
+        | Some sc -> base ^ "-" ^ Cluster_fault.to_name sc)
+    | _ -> Printf.sprintf "%s-%dwh-k0=%.0f" c.workload c.warehouses c.k0
+  in
+  if c.gc_mode = Config.Cgc then base
+  else base ^ "-" ^ Config.mode_name c.gc_mode
 
 (* SPECjbb cells get deep rings (a dozen threads saturating 4 CPUs emit
    a lot); pBOB cells spread far fewer events over hundreds of threads,
@@ -67,21 +72,24 @@ let matrix () =
     List.map
       (fun k0 ->
         { workload = "specjbb"; warehouses = wh; k0; rate = 0.0; shards = 0;
-          chaos = None; ms; ring = 1 lsl 18 })
+          chaos = None; gc_mode = Config.Cgc; ms; ring = 1 lsl 18 })
       rates
   in
   let pbob wh =
     List.map
       (fun k0 ->
         { workload = "pbob"; warehouses = wh; k0; rate = 0.0; shards = 0;
-          chaos = None; ms; ring = 1 lsl 17 })
+          chaos = None; gc_mode = Config.Cgc; ms; ring = 1 lsl 17 })
       rates
   in
   (* Open-loop server cells (the PR 5 subsystem): CGC at the default
-     tracing rate under increasing offered load. *)
-  let serve rate =
+     tracing rate under increasing offered load.  The gen cells run the
+     same server on the generational front end (PR 10) at the same total
+     heap budget, so the cell pair is a direct nursery-vs-no-nursery
+     comparison with per-cell minor/major pause counts in the JSON. *)
+  let serve ?(mode = Config.Cgc) rate =
     { workload = "serve"; warehouses = 0; k0 = 8.0; rate; shards = 0;
-      chaos = None; ms; ring = 1 lsl 17 }
+      chaos = None; gc_mode = mode; ms; ring = 1 lsl 17 }
   in
   (* Sharded-cluster cells (the PR 6 subsystem): shard count x offered
      fleet load, round-robin routing.  Untraced — a cluster cell's cost
@@ -91,15 +99,16 @@ let matrix () =
      shard restart live in the embedded report's chaos block. *)
   let cluster ?chaos shards rate =
     { workload = "cluster"; warehouses = 0; k0 = 8.0; rate; shards; chaos;
-      ms; ring = 1 lsl 17 }
+      gc_mode = Config.Cgc; ms; ring = 1 lsl 17 }
   in
   if Cgc_experiments.Common.quick () then
     spec 4 @ pbob 8
-    @ [ serve 6000.0; cluster 2 6000.0;
+    @ [ serve 6000.0; serve ~mode:Config.Gen 6000.0; cluster 2 6000.0;
         cluster ~chaos:Cluster_fault.Shard_restart 2 6000.0 ]
   else
     spec 4 @ spec 8 @ pbob 8 @ pbob 16
-    @ [ serve 4000.0; serve 8000.0 ]
+    @ [ serve 4000.0; serve 8000.0;
+        serve ~mode:Config.Gen 4000.0; serve ~mode:Config.Gen 8000.0 ]
     @ [ cluster 4 8000.0; cluster 4 16000.0; cluster 8 16000.0;
         cluster 8 32000.0;
         cluster ~chaos:Cluster_fault.Shard_restart 4 16000.0;
@@ -110,7 +119,13 @@ let matrix () =
 type ran = Sim of Vm.t * Server.t option | Fleet of Cluster.result
 
 let run_cell c =
-  let gc = { Config.default with Config.k0 = c.k0 } in
+  let base =
+    match c.gc_mode with
+    | Config.Cgc -> Config.default
+    | Config.Stw -> Config.stw
+    | Config.Gen -> Config.gen
+  in
+  let gc = { base with Config.k0 = c.k0 } in
   match c.workload with
   | "cluster" ->
       (* The fleet draws on the same domain pool as the matrix itself;
@@ -187,6 +202,7 @@ let cell_json c vm srv =
       [
         ("workload", Json.Str c.workload);
         ("warehouses", Json.Int c.warehouses);
+        ("gcMode", Json.Str (Config.mode_name c.gc_mode));
         ("k0", Json.Float c.k0);
         ("ms", Json.Float c.ms);
         ("seed", Json.Int 1);
@@ -217,6 +233,19 @@ let cell_json c vm srv =
               ("p90Ms", Json.Float p.pause_p90_ms);
               ("p99Ms", Json.Float p.pause_p99_ms);
               ("maxMs", Json.Float p.pause_max_ms);
+            ] );
+        (* Per-generation decomposition: "pauses" above counts the
+           world-stopping major pauses, this block the one-mutator minor
+           pauses.  All-zero for non-gen cells. *)
+        ( "minorPauses",
+          Json.Obj
+            [
+              ("count", Json.Int a.Analysis.gen.Analysis.minor_count);
+              ("meanMs", Json.Float a.Analysis.gen.Analysis.minor_mean_ms);
+              ("p99Ms", Json.Float a.Analysis.gen.Analysis.minor_p99_ms);
+              ("maxMs", Json.Float a.Analysis.gen.Analysis.minor_max_ms);
+              ( "promotedSlots",
+                Json.Int a.Analysis.gen.Analysis.promoted_slots );
             ] );
         ( "loadBalance",
           Json.Obj
@@ -297,7 +326,7 @@ let scan_float_field path key =
     find 0
   end
 
-let run ?(out = "BENCH_PR9.json") ?trace_out ?(jobs = 1) () =
+let run ?(out = "BENCH_PR10.json") ?trace_out ?(jobs = 1) () =
   Cgc_experiments.Common.hdr "Benchmark matrix (cgcsim-bench-v1)";
   let cells = matrix () in
   let ncells = List.length cells in

@@ -8,12 +8,12 @@
      CGC_BENCH_FAST=1 dune exec bench/main.exe   # fast smoke sweep
 
    Targets: fig1 fig2 table1 table2 table3 table4 javac packetmem
-            serverlat clusterlat clusterchaos ablation-fence
+            serverlat genlat clusterlat clusterchaos ablation-fence
             ablation-cardpass ablation-lazysweep ablation-steal
             ablation-compact itanium micro matrix all
 
    The matrix target additionally honours --out FILE (default
-   BENCH_PR6.json), --trace-out FILE (Chrome trace of cell 0) and
+   BENCH_PR10.json), --trace-out FILE (Chrome trace of cell 0) and
    --jobs N (run cells on N OCaml 5 domains; simulated results are
    identical at every N, only host wall-clock changes).  --jobs also
    fans out the per-target experiment sweeps. *)
@@ -130,6 +130,7 @@ let targets : (string * (unit -> unit)) list =
     ("javac", fun () -> ignore (E.Javac_exp.run ()));
     ("packetmem", fun () -> ignore (E.Packet_memory.run ()));
     ("serverlat", fun () -> ignore (E.Server_latency.run ()));
+    ("genlat", fun () -> ignore (E.Genlat.run ()));
     ("clusterlat", fun () -> ignore (E.Clusterlat.run ()));
     ("clusterchaos", fun () -> ignore (E.Clusterchaos.run ()));
     ("ablation-fence", fun () -> ignore (E.Ablations.fence_batching ()));
@@ -142,7 +143,7 @@ let targets : (string * (unit -> unit)) list =
   ]
 
 (* --out / --trace-out / --jobs for the matrix target. *)
-let matrix_out = ref "BENCH_PR9.json"
+let matrix_out = ref "BENCH_PR10.json"
 let matrix_trace_out : string option ref = ref None
 let jobs = ref 1
 
@@ -155,6 +156,7 @@ let run_all () =
   ignore (E.Javac_exp.run ());
   ignore (E.Packet_memory.run ());
   ignore (E.Server_latency.run ());
+  ignore (E.Genlat.run ());
   ignore (E.Clusterlat.run ());
   E.Ablations.run_all ();
   run_micro ()

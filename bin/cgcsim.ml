@@ -91,14 +91,29 @@ let write_or_die what write file =
     Printf.eprintf "cgcsim: cannot write %s: %s\n" what msg;
     exit Exit_codes.usage
 
+(* The --gc axis: one spelling, three collectors.  [Config.mode_of_name]
+   is the single source of truth for the names, so the CLI, the bench
+   matrix and the experiment tables can never drift apart. *)
+let gc_doc =
+  "Collector: cgc (mostly-concurrent), gen (nursery + minor collections \
+   over cgc) or stw (baseline)."
+
+let gc_base name =
+  match Config.mode_of_name name with
+  | Some Config.Cgc -> Config.default
+  | Some Config.Stw -> Config.stw
+  | Some Config.Gen -> Config.gen
+  | None ->
+      Printf.eprintf "cgcsim: unknown collector %s (cgc|gen|stw)\n" name;
+      exit Exit_codes.usage
+
 let run_cmd =
   let workload =
     let doc = "Workload: specjbb, pbob or javac." in
     Arg.(value & opt string "specjbb" & info [ "workload"; "w" ] ~doc)
   in
   let collector =
-    let doc = "Collector: cgc (mostly-concurrent) or stw (baseline)." in
-    Arg.(value & opt string "cgc" & info [ "collector"; "c" ] ~doc)
+    Arg.(value & opt string "cgc" & info [ "gc"; "collector"; "c" ] ~doc:gc_doc)
   in
   let warehouses =
     Arg.(value & opt int 8 & info [ "warehouses" ] ~doc:"Warehouse count.")
@@ -175,9 +190,16 @@ let run_cmd =
               Printf.eprintf "cgcsim: %s\n" msg;
               exit Exit_codes.usage)
     in
+    let base = gc_base collector in
+    (if base.Config.mode = Config.Gen && (compaction || lazy_sweep) then begin
+       Printf.eprintf
+         "cgcsim: --gc gen composes with neither --compaction nor \
+          --lazy-sweep (the nursery owns the top of the arena)\n";
+       exit Exit_codes.usage
+     end);
     let gc =
       {
-        (if collector = "stw" then Config.stw else Config.default) with
+        base with
         Config.k0 = tracing_rate;
         n_background;
         n_packets = packets;
@@ -665,8 +687,7 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "throttle" ] ~docv:"HI,LO" ~doc)
   in
   let collector =
-    let doc = "Collector: cgc (mostly-concurrent) or stw (baseline)." in
-    Arg.(value & opt string "cgc" & info [ "collector"; "c" ] ~doc)
+    Arg.(value & opt string "cgc" & info [ "gc"; "collector"; "c" ] ~doc:gc_doc)
   in
   let heap_mb =
     Arg.(value & opt float 24.0 & info [ "heap-mb" ] ~doc:"Simulated heap size (MB).")
@@ -767,12 +788,7 @@ let serve_cmd =
               exit Exit_codes.usage)
     in
     let gc =
-      {
-        (if collector = "stw" then Config.stw else Config.default) with
-        Config.k0 = tracing_rate;
-        faults;
-        verify;
-      }
+      { (gc_base collector) with Config.k0 = tracing_rate; faults; verify }
     in
     let trace = trace_out <> None in
     let scfg =
@@ -916,8 +932,7 @@ let cluster_cmd =
     Arg.(value & opt float 10.0 & info [ "bin-ms" ] ~doc:"Fleet-phenomena timeline bin width (ms).")
   in
   let collector =
-    let doc = "Collector: cgc (mostly-concurrent) or stw (baseline)." in
-    Arg.(value & opt string "cgc" & info [ "collector"; "c" ] ~doc)
+    Arg.(value & opt string "cgc" & info [ "gc"; "collector"; "c" ] ~doc:gc_doc)
   in
   let heap_mb =
     Arg.(value & opt float 24.0 & info [ "heap-mb" ] ~doc:"Per-shard simulated heap size (MB).")
@@ -1098,12 +1113,7 @@ let cluster_cmd =
               exit Exit_codes.usage)
     in
     let gc =
-      {
-        (if collector = "stw" then Config.stw else Config.default) with
-        Config.k0 = tracing_rate;
-        faults;
-        verify;
-      }
+      { (gc_base collector) with Config.k0 = tracing_rate; faults; verify }
     in
     let chaos =
       match chaos with
@@ -1222,7 +1232,7 @@ let experiment_cmd =
   let which =
     let doc =
       "Experiment: fig1, fig2, table1, table2, table3, table4, javac, \
-       packetmem, serverlat, clusterlat, clusterchaos."
+       packetmem, serverlat, genlat, clusterlat, clusterchaos."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
   in
@@ -1258,6 +1268,7 @@ let experiment_cmd =
     | "javac" -> ignore (E.Javac_exp.run ())
     | "packetmem" -> ignore (E.Packet_memory.run ())
     | "serverlat" -> ignore (E.Server_latency.run ())
+    | "genlat" -> ignore (E.Genlat.run ())
     | "clusterlat" -> ignore (E.Clusterlat.run ())
     | "clusterchaos" -> ignore (E.Clusterchaos.run ())
     | n ->

@@ -81,6 +81,20 @@ type t = {
       (* ladder rung 3: arm the compactor for the next forced cycle even
          though cfg.compaction is off *)
   cp : Compact.t;
+  (* Generational front end (Gen mode), injected by [install_gen] after
+     construction — the nursery lives in cgc_gen, above this library, so
+     the collector only sees the old-space boundary and two closures. *)
+  mutable old_limit : int;
+      (* first slot past the old space; Heap.nslots except in Gen mode.
+         The sweep (and the emergency compactor) must never touch
+         [old_limit, nslots). *)
+  mutable gen_barrier : (parent:int -> value:int -> unit) option;
+      (* extra Gen write-barrier work: dirty the young remembered set on
+         an old->young store *)
+  mutable gen_refill : (Mctx.t -> min:int -> bool) option;
+      (* refill a mutator cache from the nursery, running a minor
+         collection if the nursery is exhausted; false when the caller
+         must fall back to the old-space free list *)
 }
 
 let create cfg ~sched ~heap =
@@ -88,6 +102,14 @@ let create cfg ~sched ~heap =
     invalid_arg "Collector.create: compaction requires in-pause sweep";
   if cfg.Config.compaction && cfg.Config.load_balance = Config.Stealing then
     invalid_arg "Collector.create: compaction requires the packet tracer";
+  if cfg.Config.mode = Config.Gen && cfg.Config.compaction then
+    invalid_arg
+      "Collector.create: gen mode excludes incremental compaction (the \
+       compactor would evacuate across the nursery boundary)";
+  if cfg.Config.mode = Config.Gen && cfg.Config.lazy_sweep then
+    invalid_arg
+      "Collector.create: gen mode requires in-pause sweep (the lazy cursor \
+       would fold the nursery into the free list)";
   let mach = Heap.machine heap in
   let pl =
     (* Under the naive fence policy the ablation also pays one fence per
@@ -126,9 +148,23 @@ let create cfg ~sched ~heap =
     bg_started = false;
     emergency_compact = false;
     cp = Compact.create heap;
+    old_limit = Heap.nslots heap;
+    gen_barrier = None;
+    gen_refill = None;
   }
 
 let compactor t = t.cp
+
+let install_gen t ~old_limit ~barrier ~refill =
+  if t.cfg.Config.mode <> Config.Gen then
+    invalid_arg "Collector.install_gen: collector is not in Gen mode";
+  t.old_limit <- old_limit;
+  t.gen_barrier <- Some barrier;
+  t.gen_refill <- Some refill
+
+let old_limit t = t.old_limit
+let mutators t = t.muts
+let globals_array t = t.globals
 
 let config t = t.cfg
 let heap t = t.hp
@@ -159,6 +195,15 @@ let set_ref t ~parent ~idx ~value =
   | Config.Cgc ->
       Machine.charge t.mach c.Cost.write_barrier;
       Card_table.dirty (Heap.cards t.hp) (Arena.card_of_addr parent)
+  | Config.Gen -> (
+      (* The major's barrier unchanged, plus the generational half: an
+         old->young store must also reach the young remembered set or
+         the next minor would miss the edge. *)
+      Machine.charge t.mach c.Cost.write_barrier;
+      Card_table.dirty (Heap.cards t.hp) (Arena.card_of_addr parent);
+      match t.gen_barrier with
+      | Some f -> f ~parent ~value
+      | None -> ())
 
 let get_ref t ~parent ~idx = Arena.ref_get (Heap.arena t.hp) parent idx
 
@@ -483,7 +528,7 @@ let finalize t reason =
     let mark_t0 = now in
     let marked_before_stw = Tracer.marked_slots t.tr in
     (match t.cfg.Config.mode with
-    | Config.Cgc ->
+    | Config.Cgc | Config.Gen ->
         Obs.span t.mach.Machine.obs ~arg:marked_before_stw ~start:t.conc_start
           Obs_event.Conc_mark
     | Config.Stw -> ());
@@ -500,7 +545,8 @@ let finalize t reason =
     (* Final card cleaning under the snapshot protocol (mutator fences
        already implied by the stop). *)
     (match t.cfg.Config.mode with
-    | Config.Cgc -> Card_clean.start_pass t.cl ~force_fences:(fun () -> ())
+    | Config.Cgc | Config.Gen ->
+        Card_clean.start_pass t.cl ~force_fences:(fun () -> ())
     | Config.Stw -> ());
     let workers = max 1 (min t.cfg.Config.gc_workers (Sched.ncpus t.sched)) in
     (match (t.cfg.Config.load_balance, t.cfg.Config.mode) with
@@ -549,7 +595,10 @@ let finalize t reason =
         live_estimate t
       end
       else begin
-        let regs = Sweep.regions ~nslots:(Heap.nslots t.hp) ~workers in
+        (* Gen mode sweeps only the old space: the nursery above
+           [old_limit] is bump-allocated and reclaimed wholesale by the
+           minors, and must never reach the free list. *)
+        let regs = Sweep.regions ~nslots:t.old_limit ~workers in
         let results = Array.make workers None in
         Parallel.run t.sched ~workers (fun wid ->
             let lo, hi = regs.(wid) in
@@ -559,7 +608,7 @@ let finalize t reason =
             (function Some r -> r | None -> assert false)
             results
         in
-        Sweep.merge t.hp results
+        Sweep.merge ~limit:t.old_limit t.hp results
       end
     in
     Machine.flush t.mach;
@@ -805,7 +854,7 @@ let rec try_alloc_large t ~size ~nrefs =
 let pre_alloc_hook t m ~request =
   match t.cfg.Config.mode with
   | Config.Stw -> ()
-  | Config.Cgc -> (
+  | Config.Cgc | Config.Gen -> (
       match t.ph with
       | Idle ->
           if Metering.should_start t.meter ~free:(free_estimate t) then begin
@@ -843,7 +892,7 @@ let rung_force_finish t =
   Obs.instant t.mach.Machine.obs ~arg:t.cycle_no Obs_event.Degrade_force_finish;
   match (t.cfg.Config.mode, t.ph) with
   | _, Marking -> finalize t Halted
-  | Config.Cgc, Idle -> full_collect t Degenerate
+  | (Config.Cgc | Config.Gen), Idle -> full_collect t Degenerate
   | Config.Stw, Idle -> full_collect t Forced
   | _, Finalizing -> assert false
 
@@ -853,7 +902,12 @@ let rung_full_stw t =
   full_collect t Forced
 
 let compaction_possible t =
-  (not t.cfg.Config.lazy_sweep) && t.cfg.Config.load_balance = Config.Packets
+  (not t.cfg.Config.lazy_sweep)
+  && t.cfg.Config.load_balance = Config.Packets
+  (* With a nursery carved off the top, emergency compaction would
+     evacuate into (or free ranges out of) the nursery; the rung
+     degenerates to a plain full collection instead. *)
+  && t.old_limit = Heap.nslots t.hp
 
 let rung_emergency_compact t =
   t.st.Gstats.degrade_compact <- t.st.Gstats.degrade_compact + 1;
@@ -899,6 +953,18 @@ let degrade : 'a. t -> request:int -> attempt:(unit -> 'a option) -> 'a =
           | Some a -> a
           | None -> raise_oom t ~phase0 ~request))
 
+(* Promotion allocation (Gen mode): raw old-space slots for a survivor
+   copy, climbing the same degradation ladder as ordinary allocation on
+   exhaustion.  Safe to call mid-minor: until the caller rewrites a
+   referent slot, the extent is unreachable, and if a ladder collection
+   sweeps it back onto the free list the retried [Heap.alloc_raw] simply
+   re-carves a fresh one. *)
+let alloc_old t ~size =
+  match Heap.alloc_raw t.hp ~size with
+  | Some a -> a
+  | None ->
+      degrade t ~request:size ~attempt:(fun () -> Heap.alloc_raw t.hp ~size)
+
 let rec alloc t (m : Mctx.t) ~nrefs ~size =
   if size >= t.cfg.Config.large_object_slots then begin
     Machine.flush t.mach;
@@ -936,7 +1002,15 @@ let rec alloc t (m : Mctx.t) ~nrefs ~size =
         Machine.flush t.mach;
         Heap.retire_cache t.hp m.Mctx.cache;
         pre_alloc_hook t m ~request:t.cfg.Config.cache_slots;
-        if try_refill t m ~min:size then alloc t m ~nrefs ~size
+        (* Gen mode: refill from the nursery first (running a minor
+           collection when it is exhausted and the major is idle); the
+           old-space free list is the fallback — large objects above and
+           nursery overflow during a concurrent major land there. *)
+        let gen_refilled =
+          match t.gen_refill with Some f -> f m ~min:size | None -> false
+        in
+        if gen_refilled then alloc t m ~nrefs ~size
+        else if try_refill t m ~min:size then alloc t m ~nrefs ~size
         else begin
           degrade t ~request:size ~attempt:(fun () ->
               if try_refill t m ~min:size then Some () else None);
@@ -988,7 +1062,7 @@ let start_background t =
     t.bg_started <- true;
     match t.cfg.Config.mode with
     | Config.Stw -> ()
-    | Config.Cgc ->
+    | Config.Cgc | Config.Gen ->
         for i = 1 to t.cfg.Config.n_background do
           ignore
             (Sched.spawn t.sched

@@ -98,6 +98,43 @@ val n_globals : int
 val force_collect : t -> unit
 (** Run a full collection now (from inside a simulated thread). *)
 
+(** {2 Generational front end (Gen mode)}
+
+    The nursery itself lives above this library (in [cgc_gen]); the
+    collector exposes the integration points: the old-space boundary
+    (sweep and emergency compaction must not cross it), a barrier hook
+    called on every [Gen]-mode store after the major's card dirtying,
+    and a cache-refill hook consulted on the allocation slow path before
+    the old-space free list. *)
+
+val install_gen :
+  t ->
+  old_limit:int ->
+  barrier:(parent:int -> value:int -> unit) ->
+  refill:(Mctx.t -> min:int -> bool) ->
+  unit
+(** Wire the generational front end in.  Must be called before any
+    allocation; raises [Invalid_argument] unless the collector was
+    created in [Gen] mode. *)
+
+val old_limit : t -> int
+(** First slot past the old space ([Heap.nslots] except in Gen mode). *)
+
+val mutators : t -> Mctx.t list
+(** Every registered mutator — the minor collector scans all root arrays
+    and republishes all allocation caches. *)
+
+val globals_array : t -> int array
+(** The global-roots table itself (precise; the minor collector rewrites
+    young entries in place). *)
+
+val alloc_old : t -> size:int -> int
+(** Raw old-space slots for a promoted survivor: no header is written
+    and no bits are touched — the minor collector copies the complete
+    object over the extent and publishes the allocation bit itself.
+    Climbs the degradation ladder on exhaustion.
+    @raise Out_of_memory when even the ladder cannot free the space. *)
+
 val checkpoint : t -> unit
 (** Spend any accumulated cycle debt (call between transactions). *)
 

@@ -1,4 +1,4 @@
-type mode = Stw | Cgc
+type mode = Stw | Cgc | Gen
 
 type load_balance = Packets | Stealing
 
@@ -23,6 +23,7 @@ type t = {
   defer_protocol : bool;
   compaction : bool;
   evac_fraction : float;
+  nursery_fraction : float;
   faults : Cgc_fault.Fault.t;
   verify : bool;
 }
@@ -49,8 +50,18 @@ let default =
     defer_protocol = true;
     compaction = false;
     evac_fraction = 1.0 /. 16.0;
+    nursery_fraction = 0.125;
     faults = Cgc_fault.Fault.disabled;
     verify = false;
   }
 
 let stw = { default with mode = Stw }
+let gen = { default with mode = Gen }
+
+let mode_name = function Stw -> "stw" | Cgc -> "cgc" | Gen -> "gen"
+
+let mode_of_name = function
+  | "stw" -> Some Stw
+  | "cgc" -> Some Cgc
+  | "gen" -> Some Gen
+  | _ -> None

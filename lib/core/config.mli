@@ -8,6 +8,10 @@
 type mode =
   | Stw  (** the baseline: parallel stop-the-world mark-sweep only *)
   | Cgc  (** the paper's parallel, incremental, mostly-concurrent collector *)
+  | Gen
+      (** the generational front end: a bump-allocated nursery with
+          copying minor collections in front of the concurrent (Cgc)
+          major collector *)
 
 type load_balance =
   | Packets   (** the paper's work-packet mechanism (section 4) *)
@@ -36,6 +40,11 @@ type t = {
       (** incremental compaction (section 2.3): evacuate one area per
           cycle inside the pause, with in-pointers tracked during marking *)
   evac_fraction : float;  (** fraction of the heap evacuated per cycle *)
+  nursery_fraction : float;
+      (** [Gen] mode: fraction of the arena carved off as the nursery
+          (card-aligned, taken from the top of the heap; the old space
+          shrinks by the same amount, so heap budgets stay comparable
+          across the [--gc] axis) *)
   faults : Cgc_fault.Fault.t;
       (** deterministic fault injector (default {!Cgc_fault.Fault.disabled});
           see [docs/FAULTS.md] for the scenario catalogue *)
@@ -50,3 +59,12 @@ val default : t
 
 val stw : t
 (** The stop-the-world baseline. *)
+
+val gen : t
+(** The generational front end over the concurrent major collector. *)
+
+val mode_name : mode -> string
+(** ["stw"], ["cgc"] or ["gen"] — the [--gc] axis spelling. *)
+
+val mode_of_name : string -> mode option
+(** Inverse of {!mode_name}. *)

@@ -53,6 +53,13 @@ type t = {
   mutable conc_slots : int;
   mutable conc_time : int;
   mutable total_alloc_slots : int;
+  (* Generational front end (Gen mode): minor-collection aggregates,
+     kept out of the per-cycle CSV so the cgcsim-cycles-v1 schema is
+     untouched. *)
+  minor_pause_ms : Histogram.t;
+  mutable minors : int;
+  mutable promoted_slots : int;
+  mutable minor_deferred : int;
 }
 
 let create () =
@@ -89,6 +96,10 @@ let create () =
     conc_slots = 0;
     conc_time = 0;
     total_alloc_slots = 0;
+    minor_pause_ms = Histogram.create ();
+    minors = 0;
+    promoted_slots = 0;
+    minor_deferred = 0;
   }
 
 let reset t =
@@ -123,7 +134,11 @@ let reset t =
   t.preconc_time <- 0;
   t.conc_slots <- 0;
   t.conc_time <- 0;
-  t.total_alloc_slots <- 0
+  t.total_alloc_slots <- 0;
+  Histogram.clear t.minor_pause_ms;
+  t.minors <- 0;
+  t.promoted_slots <- 0;
+  t.minor_deferred <- 0
 
 let note_cycle t row =
   t.cycle_log <- row :: t.cycle_log;

@@ -82,6 +82,18 @@ type t = {
   mutable conc_slots : int;  (** slots allocated during concurrent phases *)
   mutable conc_time : int;  (** cycles of concurrent-phase wall time *)
   mutable total_alloc_slots : int;
+  (* Generational front end (Gen mode).  The per-cycle CSV schema
+     (cgcsim-cycles-v1) is unchanged: minors are not major cycles, so
+     they aggregate here and surface through the run report and the
+     trace analyzer instead. *)
+  minor_pause_ms : Histogram.t;
+      (** per-minor pause of the allocating mutator (the only thread a
+          minor collection stops) *)
+  mutable minors : int;  (** minor collections run *)
+  mutable promoted_slots : int;  (** slots copied into the old space *)
+  mutable minor_deferred : int;
+      (** nursery exhaustions that fell back to old-space allocation
+          because a concurrent major phase was in flight *)
 }
 
 val create : unit -> t

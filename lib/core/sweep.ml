@@ -60,7 +60,7 @@ let add_free heap ~addr ~size =
   Alloc_bits.clear_range (Heap.alloc_bits heap) addr size;
   Freelist.add (Heap.freelist heap) ~addr ~size
 
-let merge heap regions =
+let merge ?limit heap regions =
   let fl = Heap.freelist heap in
   Freelist.clear fl;
   let prev_end = ref 1 in
@@ -77,7 +77,7 @@ let merge heap regions =
         prev_end := max !prev_end r.last_end
       end)
     regions;
-  let n = Heap.nslots heap in
+  let n = match limit with Some l -> l | None -> Heap.nslots heap in
   if n > !prev_end then add_free heap ~addr:!prev_end ~size:(n - !prev_end);
   Machine.flush (Heap.machine heap);
   !live

@@ -20,10 +20,13 @@ val sweep_region : Cgc_heap.Heap.t -> lo:int -> hi:int -> region
 (** Scan one region of the mark bit vector.  Charges scan cost; safe to
     run from parallel worker threads. *)
 
-val merge : Cgc_heap.Heap.t -> region array -> int
+val merge : ?limit:int -> Cgc_heap.Heap.t -> region array -> int
 (** Clear the free list, install all free runs (clearing their allocation
     bits), and return the total live slots.  Regions must be given in
-    ascending address order and cover the heap exactly. *)
+    ascending address order and cover the swept space exactly.  [limit]
+    (default [Heap.nslots]) bounds the final tail run — [Gen] mode sweeps
+    only the old space, and the nursery above [limit] must never reach
+    the free list. *)
 
 val regions : nslots:int -> workers:int -> (int * int) array
 (** Split [1, nslots) into [workers] balanced [(lo, hi)] regions. *)

@@ -137,3 +137,114 @@ let check ~heap ~roots ~globals ~expect_marked ~expect_clean_cards ~label =
     free_chunks = !free_chunks;
     free_slots = !free_slots;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Nursery invariants (Gen mode)                                       *)
+
+let check_nursery ~heap ~young ~n_lo ~n_hi ~bump ~pins ~caches ~promoted
+    ~stage ~label =
+  let arena = Heap.arena heap in
+  let abits = Heap.alloc_bits heap in
+  if bump < n_lo || bump > n_hi then
+    fail label "nursery bump pointer %d outside the nursery [%d, %d)" bump n_lo
+      n_hi;
+  ignore
+    (List.fold_left
+       (fun prev_end (pa, ps) ->
+         if pa < n_lo || pa + ps > n_hi then
+           fail label "pinned extent [%d, %d) escapes the nursery [%d, %d)" pa
+             (pa + ps) n_lo n_hi;
+         if pa < prev_end then
+           fail label "pinned extents overlap or are unsorted at %d" pa;
+         pa + ps)
+       n_lo pins);
+  let pin_start a = List.exists (fun (pa, _) -> pa = a) pins in
+  List.iter
+    (fun (base, cur, limit) ->
+      if limit > 0 then begin
+        (* A live cache extent is a carved nursery chunk: it must sit
+           inside the nursery, below the carve pointer, and its own bump
+           cursor must stay inside it. *)
+        if base < n_lo || limit > n_hi then
+          fail label "allocation cache [%d, %d) escapes the nursery [%d, %d)"
+            base limit n_lo n_hi;
+        if limit > bump then
+          fail label
+            "allocation cache [%d, %d) extends past the nursery carve \
+             pointer %d"
+            base limit bump;
+        if cur < base || cur > limit then
+          fail label "cache bump pointer %d outside its chunk [%d, %d)" cur
+            base limit
+      end)
+    caches;
+  match stage with
+  | `Pre ->
+      (* Every old->young edge must sit on a dirty young card (parent's
+         header card, matching the barrier's convention), or the minor
+         about to run would miss the referent and reclaim it live.  All
+         caches were published before this check, so committed state is
+         the truth. *)
+      let addr = ref (Alloc_bits.next_set abits 1) in
+      while !addr < n_lo do
+        let a = !addr in
+        if Arena.header_valid_sc arena a then begin
+          let nrefs = Arena.nrefs_of_sc arena a in
+          for i = 0 to nrefs - 1 do
+            let v = Arena.ref_get_sc arena a i in
+            if v >= n_lo && v < n_hi then
+              if not (Card_table.is_dirty young (Arena.card_of_addr a)) then
+                fail label
+                  "old object %d holds young reference %d (slot %d) but its \
+                   young card %d is clean"
+                  a v i (Arena.card_of_addr a)
+          done
+        end;
+        addr := Alloc_bits.next_set abits (a + 1)
+      done
+  | `Post ->
+      (* The nursery was reset: the only published objects left in it
+         are the pinned survivors, each a valid object at a pin start. *)
+      let addr = ref (Alloc_bits.next_set abits n_lo) in
+      while !addr < n_hi do
+        let a = !addr in
+        if not (pin_start a) then
+          fail label
+            "slot %d carries an allocation bit after the nursery reset but \
+             is not a pinned survivor"
+            a;
+        addr := Alloc_bits.next_set abits (a + 1)
+      done;
+      List.iter
+        (fun (pa, _) ->
+          if not (Alloc_bits.is_set_sc abits pa) then
+            fail label "pinned survivor %d lost its allocation bit" pa;
+          if not (Arena.header_valid_sc arena pa) then
+            fail label "pinned survivor %d has an invalid header" pa)
+        pins;
+      (* Every survivor copied out must be a fully-formed old-space
+         object whose only remaining young references point at pinned
+         survivors (those edges stay registered via re-dirtied cards). *)
+      List.iter
+        (fun a ->
+          if a < 1 || a >= n_lo then
+            fail label "promoted object %d is not in the old space" a;
+          if not (Alloc_bits.is_set_sc abits a) then
+            fail label "promoted object %d has no allocation bit" a;
+          if not (Arena.header_valid_sc arena a) then
+            fail label "promoted object %d has an invalid header" a;
+          let size = Arena.size_of_sc arena a in
+          if a + size > n_lo then
+            fail label
+              "promoted object %d (size %d) straddles the nursery boundary %d"
+              a size n_lo;
+          let nrefs = Arena.nrefs_of_sc arena a in
+          for i = 0 to nrefs - 1 do
+            let v = Arena.ref_get_sc arena a i in
+            if v >= n_lo && v < n_hi && not (pin_start v) then
+              fail label
+                "promoted object %d still references nursery slot %d (slot \
+                 %d) after evacuation"
+                a v i
+          done)
+        promoted

@@ -48,3 +48,30 @@ val check :
     [roots] are the mutator root arrays (conservative), [globals] the
     precise global table.  [label] prefixes violation messages (e.g.
     ["cycle 12"]). *)
+
+val check_nursery :
+  heap:Cgc_heap.Heap.t ->
+  young:Cgc_heap.Card_table.t ->
+  n_lo:int ->
+  n_hi:int ->
+  bump:int ->
+  pins:(int * int) list ->
+  caches:(int * int * int) list ->
+  promoted:int list ->
+  stage:[ `Pre | `Post ] ->
+  label:string ->
+  unit
+(** Nursery invariants (Gen mode), run at minor-collection boundaries
+    under [Config.verify].  Always: the carve pointer [bump] and every
+    live allocation-cache extent ([caches], from
+    {!Cgc_heap.Heap.cache_extent}) stay inside the nursery
+    [[n_lo, n_hi)], and the pinned extents [pins] are sorted, disjoint
+    and in bounds.  At [`Pre] (caches published, evacuation about to
+    start): every old->young reference sits on a dirty card of the
+    [young] remembered set — a clean card hiding such an edge is exactly
+    the bug the extended write barrier (and the pinned-edge re-dirtying)
+    exists to prevent.  At [`Post] (nursery reset): the only allocation
+    bits left in the nursery are the pinned survivors' (each a valid
+    object), and every [promoted] survivor is a valid old-space object
+    whose remaining young references, if any, point at pinned survivors.
+    Raises {!Invariant_violation} on the first breach. *)

@@ -136,6 +136,43 @@ let alloc_large t ~size ~nrefs ~mark_new =
 let free_slots t = Freelist.free_slots t.free
 let cumulative_alloc_slots t = t.cum_alloc
 
+(* ------------------------------------------------------------------ *)
+(* Nursery support (Gen mode)                                          *)
+
+let reserve_top t ~slots =
+  if slots < Arena.slots_per_card || slots >= t.n - Arena.slots_per_card then
+    invalid_arg "Heap.reserve_top: nursery size";
+  (* Card-align the boundary so a card is never split between the two
+     spaces (the old->young remembered set is card-granular). *)
+  let n_lo = (t.n - slots) / Arena.slots_per_card * Arena.slots_per_card in
+  if t.cum_alloc > 0 then invalid_arg "Heap.reserve_top: heap already in use";
+  (* The freelist still holds the pristine [1, n) run; re-carve it so the
+     old space owns exactly [1, n_lo) and the nursery is never handed out
+     by the free-list allocator. *)
+  Freelist.clear t.free;
+  Freelist.add t.free ~addr:1 ~size:(n_lo - 1);
+  n_lo
+
+let install_cache t cache ~base ~limit =
+  publish t cache;
+  Machine.charge t.mach t.mach.Machine.cost.Cost.cache_refill;
+  cache.base <- base;
+  cache.cur <- base;
+  cache.limit <- limit;
+  t.cum_alloc <- t.cum_alloc + (limit - base)
+
+let cache_extent cache = (cache.base, cache.cur, cache.limit)
+
+let alloc_raw t ~size =
+  Machine.charge t.mach t.mach.Machine.cost.Cost.cache_refill;
+  match Freelist.alloc t.free size with
+  | None -> None
+  | Some addr ->
+      let c = t.mach.Machine.cost in
+      Machine.charge t.mach (c.Cost.alloc_obj + (size * c.Cost.alloc_slot));
+      t.cum_alloc <- t.cum_alloc + size;
+      Some addr
+
 let object_overlapping t slot =
   match Alloc_bits.prev_set t.abits slot with
   | -1 -> None

@@ -86,6 +86,32 @@ val alloc_large : t -> size:int -> nrefs:int -> mark_new:bool -> int option
 (** Allocate a large object straight from the free list; publishes its
     allocation bit immediately behind its own fence. *)
 
+(** {2 Nursery support (Gen mode)} *)
+
+val reserve_top : t -> slots:int -> int
+(** Carve [slots] (card-aligned, rounded down) off the top of the arena
+    and withdraw them from the free list, returning the first nursery
+    slot.  Must be called on a pristine heap (before any allocation);
+    afterwards the free-list allocator only ever hands out old-space
+    extents below the returned boundary. *)
+
+val install_cache : t -> cache -> base:int -> limit:int -> unit
+(** Point a cache at an externally-carved extent [[base, limit)] (a
+    nursery chunk).  Publishes any pending allocation bits first and
+    counts the extent into {!cumulative_alloc_slots}, exactly like
+    {!refill_cache} does for free-list extents. *)
+
+val cache_extent : cache -> int * int * int
+(** [(base, cur, limit)] of the cache — lets the nursery verifier check
+    the bump pointer stays inside the nursery bounds. *)
+
+val alloc_raw : t -> size:int -> int option
+(** Carve [size] slots straight off the free list without writing a
+    header or touching any bit vector — the promotion path copies a
+    fully-formed object (header included) over the extent and publishes
+    its allocation bit itself.  Charges allocation cost and counts into
+    {!cumulative_alloc_slots}. *)
+
 (** {2 Occupancy} *)
 
 val free_slots : t -> int

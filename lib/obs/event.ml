@@ -36,6 +36,10 @@ type code =
   | Req_redirect
   | Req_hedge
   | Cluster_fault
+  | Minor_start
+  | Minor_done
+  | Promote
+  | Nursery_fill
 
 type t = { ts : int; dur : int; tid : int; code : code; arg : int }
 
@@ -79,6 +83,10 @@ let name = function
   | Req_redirect -> "req-redirect"
   | Req_hedge -> "req-hedge"
   | Cluster_fault -> "cluster-fault"
+  | Minor_start -> "minor-start"
+  | Minor_done -> "minor-done"
+  | Promote -> "promote"
+  | Nursery_fill -> "nursery-fill"
 
 let cat = function
   | Cycle_start | Cycle_end -> "cycle"
@@ -100,6 +108,7 @@ let cat = function
   | Req_redirect | Req_hedge ->
       "server"
   | Cluster_fault -> "fault"
+  | Minor_start | Minor_done | Promote | Nursery_fill -> "gen"
 
 let all_codes =
   [
@@ -140,6 +149,10 @@ let all_codes =
     Req_redirect;
     Req_hedge;
     Cluster_fault;
+    Minor_start;
+    Minor_done;
+    Promote;
+    Nursery_fill;
   ]
 
 let of_name =

@@ -101,6 +101,21 @@ type code =
           leave/join; arg = the scenario's [Cgc_fault.Cluster_fault.index].
           Emitted host-side with the synthetic server tid into the
           affected shard incarnation's trace. *)
+  | Minor_start
+      (** instant: a minor (nursery) collection began ([Gen] mode);
+          arg = nursery slots in use at the trigger. *)
+  | Minor_done
+      (** span: one whole minor collection — [ts] at the trigger, [dur]
+          the time billed to the allocating mutator; arg = slots
+          promoted to the old space. *)
+  | Promote
+      (** instant: one minor collection's survivor volume left the
+          nursery; arg = slots copied into the old space (0 when
+          everything died young). *)
+  | Nursery_fill
+      (** instant: a mutator carved a fresh allocation chunk out of the
+          nursery; arg = nursery slots still unclaimed after the
+          carve. *)
 
 type t = {
   ts : int;  (** simulated cycles at the event (span: at its start) *)
@@ -118,8 +133,8 @@ val name : code -> string
 
 val cat : code -> string
 (** Coarse grouping (["phase"], ["pause"], ["packet"], ["card"],
-    ["sweep"], ["root"], ["fence"], ["cycle"], ["server"]) — the [cat]
-    field used by trace-viewer filtering. *)
+    ["sweep"], ["root"], ["fence"], ["cycle"], ["server"], ["gen"]) —
+    the [cat] field used by trace-viewer filtering. *)
 
 val all_codes : code list
 (** Every code, in declaration order — lets docs and tests enumerate the

@@ -38,6 +38,16 @@ type pauses = {
   pause_max_ms : float;
 }
 
+type gen_stats = {
+  minor_count : int;
+  minor_mean_ms : float;
+  minor_p50_ms : float;
+  minor_p90_ms : float;
+  minor_p99_ms : float;
+  minor_max_ms : float;
+  promoted_slots : int;
+}
+
 type phase_row = { code : Event.code; count : int; total_ms : float }
 
 type mmu_point = {
@@ -55,6 +65,7 @@ type t = {
   phases : phase_row list;
   balance : balance;
   pauses : pauses;
+  gen : gen_stats;
   mmu : mmu_point list;
 }
 
@@ -313,6 +324,29 @@ let analyse_events ?(mmu_windows_ms = default_mmu_windows_ms) ~cycles_per_us
       pause_max_ms = (if Stats.count ps = 0 then 0.0 else Stats.max ps);
     }
   in
+  (* Minor (nursery) pause distribution and promotion volume, from the
+     generational front end's Minor_done spans.  All-zero for traces of
+     non-Gen runs — the record is additive, not a mode switch. *)
+  let ms = Stats.create () in
+  let promoted = ref 0 in
+  Array.iter
+    (fun (e : Event.t) ->
+      if e.code = Event.Minor_done && e.dur >= 0 then begin
+        Stats.add ms (float_of_int e.dur /. cycles_per_ms);
+        promoted := !promoted + e.arg
+      end)
+    events;
+  let gen =
+    {
+      minor_count = Stats.count ms;
+      minor_mean_ms = Stats.mean ms;
+      minor_p50_ms = Stats.percentile ms 50.0;
+      minor_p90_ms = Stats.percentile ms 90.0;
+      minor_p99_ms = Stats.percentile ms 99.0;
+      minor_max_ms = (if Stats.count ms = 0 then 0.0 else Stats.max ms);
+      promoted_slots = !promoted;
+    }
+  in
   (* MMU curve. *)
   let stw = spans_of Event.Stw_pause events in
   let incr = spans_of Event.Mut_increment events in
@@ -348,6 +382,7 @@ let analyse_events ?(mmu_windows_ms = default_mmu_windows_ms) ~cycles_per_us
     phases;
     balance = balance_of ~cycles_per_ms events;
     pauses;
+    gen;
     mmu;
   }
 

@@ -53,6 +53,21 @@ type pauses = {
   pause_max_ms : float;
 }
 
+type gen_stats = {
+  minor_count : int;  (** minor (nursery) collections in the trace *)
+  minor_mean_ms : float;
+  minor_p50_ms : float;
+  minor_p90_ms : float;
+  minor_p99_ms : float;
+  minor_max_ms : float;
+      (** minor-pause distribution, from [Minor_done] span durations —
+          each pause stops only the allocating mutator, so these sit in
+          a different column than the world-stopping [pauses] above *)
+  promoted_slots : int;  (** total slots promoted to the old space *)
+}
+(** Generational decomposition ([Config.Gen] runs).  All zero when the
+    trace contains no minor collections. *)
+
 type phase_row = {
   code : Cgc_obs.Event.code;
   count : int;
@@ -73,7 +88,8 @@ type t = {
   n_cycles : int;  (** completed GC cycles in the trace *)
   phases : phase_row list;  (** per-event-code attribution, catalogue order *)
   balance : balance;
-  pauses : pauses;
+  pauses : pauses;  (** stop-the-world (major) pause distribution *)
+  gen : gen_stats;  (** minor-pause / promotion decomposition (Gen mode) *)
   mmu : mmu_point list;  (** one point per requested window size *)
 }
 

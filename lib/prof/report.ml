@@ -54,6 +54,14 @@ let summary ?(dropped = 0) (a : Analysis.t) =
     p.pause_count (Table.f2 p.pause_mean_ms) (Table.f2 p.pause_p50_ms)
     (Table.f2 p.pause_p90_ms) (Table.f2 p.pause_p99_ms)
     (Table.f2 p.pause_max_ms);
+  let g = a.gen in
+  if g.minor_count > 0 then
+    line
+      "minor pauses: n=%d  mean %s ms  p50 %s  p90 %s  p99 %s  max %s; \
+       promoted %d slots (one-mutator pauses, not world stops)"
+      g.minor_count (Table.f2 g.minor_mean_ms) (Table.f2 g.minor_p50_ms)
+      (Table.f2 g.minor_p90_ms) (Table.f2 g.minor_p99_ms)
+      (Table.f2 g.minor_max_ms) g.promoted_slots;
   (* Per-event attribution. *)
   let t = Table.create ~title:"Event attribution"
       ~header:[ "event"; "count"; "total ms"; "% of wall" ]
@@ -103,6 +111,20 @@ let to_json ?(label = "") ?(emitted = 0) ?(dropped = 0) (a : Analysis.t) =
             ("p90Ms", Float p.pause_p90_ms);
             ("p99Ms", Float p.pause_p99_ms);
             ("maxMs", Float p.pause_max_ms);
+          ] );
+      (* Additive fields: same cgcsim-analysis-v1 schema, all-zero for
+         traces without minor collections; consumers of older reports
+         never see them and new consumers tolerate their absence. *)
+      ( "minorPauses",
+        Obj
+          [
+            ("count", Int a.gen.minor_count);
+            ("meanMs", Float a.gen.minor_mean_ms);
+            ("p50Ms", Float a.gen.minor_p50_ms);
+            ("p90Ms", Float a.gen.minor_p90_ms);
+            ("p99Ms", Float a.gen.minor_p99_ms);
+            ("maxMs", Float a.gen.minor_max_ms);
+            ("promotedSlots", Int a.gen.promoted_slots);
           ] );
       ( "loadBalance",
         Obj

@@ -18,6 +18,7 @@ module Sampler = Cgc_prof.Sampler
 module Series = Cgc_prof.Series
 module Card_table = Cgc_heap.Card_table
 module Tracer = Cgc_core.Tracer
+module Gen = Cgc_gen.Gen
 
 type config = {
   heap_mb : float;
@@ -43,6 +44,7 @@ type t = {
   sc : Sched.t;
   hp : Heap.t;
   coll : Collector.t;
+  gen : Gen.t option;  (* the nursery, in [Config.Gen] mode *)
   rng : Prng.t;
   mutable mutators : Mutator.t list;
   mutable txs : int;
@@ -82,11 +84,21 @@ let create cfg =
   let nslots = int_of_float (cfg.heap_mb *. 1024.0 *. 1024.0 /. 8.0) in
   let hp = Heap.create ~fence_policy:cfg.fence_policy mach ~nslots in
   let coll = Collector.create cfg.gc ~sched:sc ~heap:hp in
-  { cfg; sc; hp; coll; rng; mutators = []; txs = 0; ran_ms = 0.0;
+  let gen =
+    match cfg.gc.Config.mode with
+    | Config.Stw | Config.Cgc -> None
+    | Config.Gen ->
+        let slots =
+          int_of_float (float_of_int nslots *. cfg.gc.Config.nursery_fraction)
+        in
+        Some (Gen.create coll ~nursery_slots:slots)
+  in
+  { cfg; sc; hp; coll; gen; rng; mutators = []; txs = 0; ran_ms = 0.0;
     prof = None; reset_hooks = [] }
 
 let sched t = t.sc
 let collector t = t.coll
+let gen t = t.gen
 let heap t = t.hp
 let machine t = Heap.machine t.hp
 let gc_stats t = Collector.stats t.coll
@@ -199,6 +211,11 @@ let enable_profiler ?(interval_ms = 0.25) t =
           | Collector.Idle -> 0.0
           | Collector.Marking -> 1.0
           | Collector.Finalizing -> 2.0);
+      (match t.gen with
+      | None -> ()
+      | Some g ->
+          probe "nursery-occupancy" (fun () -> Gen.nursery_used g);
+          probe "promotion-rate" (fun () -> Gen.promotion_rate g));
       Sched.on_advance t.sc (fun now -> Sampler.tick p ~now);
       t.prof <- Some p
 
@@ -232,7 +249,10 @@ let print_report t =
   in
   Printf.printf "=== VM report (%.0f MB heap, %d cpus, %s) ===\n" t.cfg.heap_mb
     t.cfg.ncpus
-    (match t.cfg.gc.Config.mode with Config.Cgc -> "CGC" | Config.Stw -> "STW");
+    (match t.cfg.gc.Config.mode with
+    | Config.Cgc -> "CGC"
+    | Config.Stw -> "STW"
+    | Config.Gen -> "GEN");
   Printf.printf "simulated time: %.1f ms; transactions: %d (%.1f tx/s)\n"
     (now_ms t) t.txs (throughput t);
   Printf.printf "GC cycles: %d (%d finished concurrently, %d halted by allocation failure)\n"
@@ -240,6 +260,16 @@ let print_report t =
   p "pause" st.Gstats.pause_ms;
   p "  mark component" st.Gstats.mark_ms;
   p "  sweep component" st.Gstats.sweep_ms;
+  (match t.gen with
+  | None -> ()
+  | Some g ->
+      Printf.printf
+        "minor GCs: %d (%d deferred to old space during marking); promoted \
+         %d slots (%.1f KB); survival %.1f%%\n"
+        st.Gstats.minors st.Gstats.minor_deferred st.Gstats.promoted_slots
+        (float_of_int st.Gstats.promoted_slots *. 8.0 /. 1024.0)
+        (100.0 *. Gen.promotion_rate g);
+      p "minor pause" st.Gstats.minor_pause_ms);
   Printf.printf "  avg occupancy after GC: %.1f%%\n"
     (100.0 *. Stats.mean st.Gstats.occupancy_end);
   Printf.printf "  cards cleaned: concurrent avg %.0f, stop-the-world avg %.0f\n"

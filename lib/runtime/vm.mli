@@ -61,6 +61,11 @@ val create : config -> t
 
 val sched : t -> Cgc_sim.Sched.t
 val collector : t -> Cgc_core.Collector.t
+
+val gen : t -> Cgc_gen.Gen.t option
+(** The generational front end — [Some] exactly when the VM was created
+    with [Config.Gen] mode (nursery carved, hooks installed). *)
+
 val heap : t -> Cgc_heap.Heap.t
 val machine : t -> Cgc_smp.Machine.t
 val gc_stats : t -> Cgc_core.Gstats.t

@@ -101,7 +101,7 @@ let print_cfg
   Printf.sprintf
     "heap=%.0fMB cpus=%d workers=%d mode=%s k0=%.0f pkts=%dx%d bg=%d passes=%d lazy=%b compact=%b steal=%b relaxed=%b naive=%b faults=[%s] seed=%d"
     heap_mb ncpus workers
-    (match gc.Config.mode with Config.Cgc -> "cgc" | Config.Stw -> "stw")
+    (Config.mode_name gc.Config.mode)
     gc.Config.k0 gc.Config.n_packets gc.Config.packet_capacity
     gc.Config.n_background gc.Config.card_passes gc.Config.lazy_sweep
     gc.Config.compaction
